@@ -1,0 +1,82 @@
+// Ablation study over the framework's design choices (DESIGN.md §9):
+//   (a) union-division rules on/off          — CSS alternatives and memory,
+//   (b) FK-lookup metadata on/off            — the Section 3.2.2 reduction,
+//   (c) bushy vs left-deep plan space        — SEs/plans the optimizer costs,
+//   (d) greedy vs exact ILP selection        — heuristic quality gap.
+// Run on representative workflows from the suite.
+
+#include <cstdio>
+
+#include "suite_analysis.h"
+#include "util/string_util.h"
+
+using namespace etlopt;
+using bench::AnalyzeWorkflow;
+
+namespace {
+
+struct Row {
+  int ses = 0;
+  int plans = 0;
+  int css = 0;
+  double memory = 0.0;
+};
+
+Row Measure(int index, bool union_division, bool fk_rules, bool left_deep,
+            bool use_ilp) {
+  const WorkloadSpec spec = BuildWorkload(index);
+  Row row;
+  for (const Block& block : PartitionBlocks(spec.workflow)) {
+    const BlockContext ctx =
+        BlockContext::Build(&spec.workflow, block).value();
+    PlanSpaceOptions pso;
+    pso.left_deep_only = left_deep;
+    const PlanSpace ps = PlanSpace::Build(ctx, pso).value();
+    CssGenOptions css;
+    css.enable_union_division = union_division;
+    css.enable_fk_rules = fk_rules;
+    const CssCatalog catalog = GenerateCss(ctx, ps, css);
+    CostModel cm(&spec.workflow.catalog(), {});
+    const SelectionProblem problem =
+        BuildSelectionProblem(ctx, ps, catalog, cm);
+    IlpSelectorOptions ilp;
+    ilp.time_limit_seconds = 1.0;
+    ilp.max_nodes = 800;
+    const SelectionResult sel =
+        use_ilp ? SelectIlp(problem, ilp) : SelectGreedy(problem);
+    row.ses += ps.num_ses();
+    row.plans += ps.num_plans();
+    row.css += catalog.num_css();
+    row.memory += sel.total_cost;
+  }
+  return row;
+}
+
+void Print(const char* label, const Row& row) {
+  std::printf("  %-28s ses=%4d plans=%4d css=%6d memory=%s\n", label,
+              row.ses, row.plans, row.css,
+              WithThousands(static_cast<int64_t>(row.memory)).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: design choices of the framework ==\n");
+  for (int wf : {3, 5, 16, 25, 30}) {
+    const WorkloadSpec spec = BuildWorkload(wf);
+    std::printf("\nworkflow %d (%s)\n", wf, spec.name.c_str());
+    Print("baseline (all on, greedy)",
+          Measure(wf, true, true, false, false));
+    Print("no union-division", Measure(wf, false, true, false, false));
+    Print("no FK metadata", Measure(wf, true, false, false, false));
+    Print("left-deep plan space", Measure(wf, true, true, true, false));
+    Print("exact ILP selection", Measure(wf, true, true, false, true));
+  }
+  std::printf(
+      "\nreadings:\n"
+      "  * union-division off -> memory jumps on wf3 (the 60x anchor)\n"
+      "  * FK metadata off -> wf25 falls from ~4 counters to histograms\n"
+      "  * left-deep restricts plans (and can hide cheap bushy covers)\n"
+      "  * ILP <= greedy cost everywhere it finishes within its budget\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Figure 12: the number of executions needed to cover all SEs
+// when only trivial CSSs (plain cardinality counters) are observed and
+// coverage comes from repeatedly executing re-ordered plans — the
+// pay-as-you-go baseline the paper compares against.
+//
+// Per workflow we report:
+//   n            — relations in the largest optimizable block,
+//   min (formula)— the paper's lower bound ⌈(2ⁿ − (n+2)) / (n−2)⌉,
+//   min (E)      — the semantics-aware bound over the actual SE set
+//                  (cross products excluded, as the paper notes semantics
+//                  "can be exploited to reduce the number of executions"),
+//   found        — executions used by our greedy join-tree cover.
+//
+// Paper anchors: wf21 (8-way) min 41 / found > 70; wf30 (6-way) min 14 /
+// found 18. Workflows with a single execution plan need exactly 1.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "opt/exec_cover.h"
+#include "suite_analysis.h"
+
+int main() {
+  std::printf("== Figure 12: executions to cover all SEs (trivial CSS only) "
+              "==\n");
+  std::printf("%-4s %-18s %3s %14s %10s %7s\n", "wf", "name", "n",
+              "min(formula)", "min(E)", "found");
+  for (int i = 1; i <= 30; ++i) {
+    const etlopt::bench::WorkflowAnalysis wa =
+        etlopt::bench::AnalyzeWorkflow(i);
+    // The workflow's number is driven by its largest block.
+    int n = 0;
+    int64_t formula = 1;
+    int64_t semantic = 1;
+    int found = 1;
+    for (size_t b = 0; b < wa.contexts.size(); ++b) {
+      const etlopt::ExecCoverResult r = etlopt::ComputeExecutionCover(
+          wa.contexts[b], wa.plan_spaces[b]);
+      if (wa.contexts[b].num_rels() > n) {
+        n = wa.contexts[b].num_rels();
+        formula = r.formula_lower_bound;
+        semantic = r.semantic_lower_bound;
+        found = r.executions;
+      }
+    }
+    std::printf("%-4d %-18s %3d %14lld %10lld %7d\n", i,
+                wa.spec.name.c_str(), n, static_cast<long long>(formula),
+                static_cast<long long>(semantic), found);
+  }
+  std::printf("\npaper anchors: 8-way join min 41 (wf21), 6-way join min 14 "
+              "(wf30);\nsingle-plan workflows need 1 execution. Our "
+              "framework instead covers every SE\nin the very first run "
+              "when memory allows (Figure 11).\n");
+  return 0;
+}

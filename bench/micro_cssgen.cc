@@ -1,0 +1,80 @@
+// Micro-benchmarks for plan-space enumeration and CSS generation
+// (Algorithm 1) across workflow shapes.
+
+#include <benchmark/benchmark.h>
+
+#include "css/generator.h"
+#include "datagen/workload_suite.h"
+
+namespace etlopt {
+namespace {
+
+void BM_PlanSpace(benchmark::State& state) {
+  const WorkloadSpec spec = BuildWorkload(static_cast<int>(state.range(0)));
+  const std::vector<Block> blocks = PartitionBlocks(spec.workflow);
+  std::vector<BlockContext> contexts;
+  for (const Block& b : blocks) {
+    contexts.push_back(BlockContext::Build(&spec.workflow, b).value());
+  }
+  for (auto _ : state) {
+    int ses = 0;
+    for (const BlockContext& ctx : contexts) {
+      ses += PlanSpace::Build(ctx).value().num_ses();
+    }
+    benchmark::DoNotOptimize(ses);
+  }
+}
+BENCHMARK(BM_PlanSpace)->Arg(3)->Arg(13)->Arg(21)->Arg(30);
+
+void BM_GenerateCss(benchmark::State& state) {
+  const WorkloadSpec spec = BuildWorkload(static_cast<int>(state.range(0)));
+  const std::vector<Block> blocks = PartitionBlocks(spec.workflow);
+  std::vector<BlockContext> contexts;
+  std::vector<PlanSpace> spaces;
+  for (const Block& b : blocks) {
+    contexts.push_back(BlockContext::Build(&spec.workflow, b).value());
+    spaces.push_back(PlanSpace::Build(contexts.back()).value());
+  }
+  for (auto _ : state) {
+    int css = 0;
+    for (size_t i = 0; i < contexts.size(); ++i) {
+      css += GenerateCss(contexts[i], spaces[i], {}).num_css();
+    }
+    benchmark::DoNotOptimize(css);
+  }
+}
+BENCHMARK(BM_GenerateCss)->Arg(3)->Arg(13)->Arg(21)->Arg(30);
+
+void BM_GenerateCssNoUnionDivision(benchmark::State& state) {
+  const WorkloadSpec spec = BuildWorkload(static_cast<int>(state.range(0)));
+  const std::vector<Block> blocks = PartitionBlocks(spec.workflow);
+  std::vector<BlockContext> contexts;
+  std::vector<PlanSpace> spaces;
+  for (const Block& b : blocks) {
+    contexts.push_back(BlockContext::Build(&spec.workflow, b).value());
+    spaces.push_back(PlanSpace::Build(contexts.back()).value());
+  }
+  CssGenOptions options;
+  options.enable_union_division = false;
+  for (auto _ : state) {
+    int css = 0;
+    for (size_t i = 0; i < contexts.size(); ++i) {
+      css += GenerateCss(contexts[i], spaces[i], options).num_css();
+    }
+    benchmark::DoNotOptimize(css);
+  }
+}
+BENCHMARK(BM_GenerateCssNoUnionDivision)->Arg(13)->Arg(21);
+
+void BM_PartitionBlocks(benchmark::State& state) {
+  const WorkloadSpec spec = BuildWorkload(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionBlocks(spec.workflow).size());
+  }
+}
+BENCHMARK(BM_PartitionBlocks)->Arg(10)->Arg(21)->Arg(29);
+
+}  // namespace
+}  // namespace etlopt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Micro-benchmarks for the execution engine: hash join, workflow execution,
+// and instrumented observation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.h"
+#include "datagen/workload_suite.h"
+
+namespace etlopt {
+namespace {
+
+void BM_HashJoin(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  AttrCatalog catalog;
+  const AttrId k = catalog.Register("k", 1000);
+  const AttrId x = catalog.Register("x", 100);
+  Rng rng(9);
+  Table left{Schema({k, x})};
+  for (int64_t i = 0; i < rows; ++i) {
+    left.AddRow({rng.NextInRange(1, 1000), rng.NextInRange(1, 100)});
+  }
+  Table right{Schema({k})};
+  for (int64_t i = 0; i < rows / 4; ++i) {
+    right.AddRow({rng.NextInRange(1, 1000)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashJoin(left, right, k, nullptr).num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_HashJoin)->Arg(10000)->Arg(100000);
+
+void BM_ExecuteWorkflow(benchmark::State& state) {
+  const WorkloadSpec spec = BuildWorkload(static_cast<int>(state.range(0)));
+  const SourceMap sources = GenerateSources(spec, 3, 0.05);
+  Executor executor(&spec.workflow);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        executor.Execute(sources).value().rows_processed);
+  }
+}
+BENCHMARK(BM_ExecuteWorkflow)->Arg(3)->Arg(5)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullPipelineCycle(benchmark::State& state) {
+  const WorkloadSpec spec = BuildWorkload(static_cast<int>(state.range(0)));
+  const SourceMap sources = GenerateSources(spec, 3, 0.02);
+  Pipeline pipeline;
+  for (auto _ : state) {
+    const Result<CycleOutcome> cycle =
+        pipeline.RunCycle(spec.workflow, sources);
+    benchmark::DoNotOptimize(cycle.ok());
+  }
+}
+BENCHMARK(BM_FullPipelineCycle)->Arg(3)->Arg(9)->Arg(22)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ObserveStatistics(benchmark::State& state) {
+  const WorkloadSpec spec = BuildWorkload(3);
+  const SourceMap sources = GenerateSources(spec, 3, 0.05);
+  Pipeline pipeline;
+  const auto analysis = pipeline.Analyze(spec.workflow).value();
+  Executor executor(analysis->workflow.get());
+  const ExecutionResult exec = executor.Execute(sources).value();
+  const BlockAnalysis& ba = *analysis->blocks[0];
+  const std::vector<StatKey> keys = ba.selection.ObservedKeys(ba.catalog);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ObserveStatistics(ba.ctx, exec, keys).value().size());
+  }
+}
+BENCHMARK(BM_ObserveStatistics)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace etlopt
+
+BENCHMARK_MAIN();

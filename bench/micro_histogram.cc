@@ -1,0 +1,80 @@
+// Micro-benchmarks for the histogram algebra (the estimator's hot path).
+
+#include <benchmark/benchmark.h>
+
+#include "stats/histogram.h"
+#include "util/random.h"
+
+namespace etlopt {
+namespace {
+
+Histogram RandomHist(int64_t buckets, int64_t domain, uint64_t seed,
+                     AttrMask attrs = 0b01) {
+  Rng rng(seed);
+  Histogram h(attrs);
+  const int arity = PopCount(attrs);
+  for (int64_t i = 0; i < buckets; ++i) {
+    std::vector<Value> key;
+    for (int a = 0; a < arity; ++a) key.push_back(rng.NextInRange(1, domain));
+    h.Add(key, rng.NextInRange(1, 50));
+  }
+  return h;
+}
+
+void BM_HistogramBuild(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(5);
+  std::vector<Value> values(static_cast<size_t>(n));
+  for (auto& v : values) v = rng.NextInRange(1, 10000);
+  for (auto _ : state) {
+    Histogram h(0b01);
+    for (Value v : values) h.Add1(v);
+    benchmark::DoNotOptimize(h.TotalCount());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HistogramBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DotProduct(benchmark::State& state) {
+  const Histogram a = RandomHist(state.range(0), 100000, 1);
+  const Histogram b = RandomHist(state.range(0), 100000, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Histogram::DotProduct(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DotProduct)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MultiplyBy(benchmark::State& state) {
+  const Histogram ab = RandomHist(state.range(0), 3000, 3, 0b11);
+  const Histogram b = RandomHist(3000, 3000, 4, 0b01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Histogram::MultiplyBy(ab, b).TotalCount());
+  }
+}
+BENCHMARK(BM_MultiplyBy)->Arg(1000)->Arg(10000);
+
+void BM_Marginalize(benchmark::State& state) {
+  const Histogram ab = RandomHist(state.range(0), 3000, 5, 0b111);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ab.Marginalize(0b001).TotalCount());
+  }
+}
+BENCHMARK(BM_Marginalize)->Arg(1000)->Arg(10000);
+
+void BM_UnionDivision(benchmark::State& state) {
+  // Multiply then divide — the Eq. 2-3 round trip.
+  const Histogram t_prime = RandomHist(state.range(0), 500, 6);
+  Histogram t3(0b01);
+  for (Value v = 1; v <= 500; ++v) t3.Add1(v, (v % 7) + 1);
+  const Histogram joined = Histogram::MultiplyBy(t_prime, t3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Histogram::DivideBy(joined, t3).TotalCount());
+  }
+}
+BENCHMARK(BM_UnionDivision)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace etlopt
+
+BENCHMARK_MAIN();

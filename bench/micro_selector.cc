@@ -1,0 +1,93 @@
+// Micro-benchmarks for the statistics selectors (Section 5) and the
+// computability closure.
+
+#include <benchmark/benchmark.h>
+
+#include "css/generator.h"
+#include "datagen/workload_suite.h"
+#include "opt/closure.h"
+#include "opt/greedy_selector.h"
+#include "opt/ilp_selector.h"
+
+namespace etlopt {
+namespace {
+
+struct Prepared {
+  WorkloadSpec spec;
+  std::vector<BlockContext> contexts;
+  std::vector<PlanSpace> spaces;
+  std::vector<CssCatalog> catalogs;
+  std::vector<SelectionProblem> problems;
+};
+
+Prepared Prepare(int index) {
+  Prepared p;
+  p.spec = BuildWorkload(index);
+  for (const Block& b : PartitionBlocks(p.spec.workflow)) {
+    p.contexts.push_back(BlockContext::Build(&p.spec.workflow, b).value());
+  }
+  for (const BlockContext& ctx : p.contexts) {
+    p.spaces.push_back(PlanSpace::Build(ctx).value());
+  }
+  for (size_t i = 0; i < p.contexts.size(); ++i) {
+    p.catalogs.push_back(GenerateCss(p.contexts[i], p.spaces[i], {}));
+  }
+  for (size_t i = 0; i < p.contexts.size(); ++i) {
+    CostModel cm(&p.spec.workflow.catalog(), {});
+    p.problems.push_back(BuildSelectionProblem(p.contexts[i], p.spaces[i],
+                                               p.catalogs[i], cm));
+    p.problems.back().catalog = &p.catalogs[i];
+  }
+  return p;
+}
+
+void BM_Closure(benchmark::State& state) {
+  const Prepared p = Prepare(static_cast<int>(state.range(0)));
+  // Observe everything observable: worst-case closure propagation.
+  std::vector<std::vector<char>> observed;
+  for (const SelectionProblem& problem : p.problems) {
+    observed.push_back(problem.observable);
+  }
+  for (auto _ : state) {
+    size_t computable = 0;
+    for (size_t i = 0; i < p.problems.size(); ++i) {
+      const auto flags = ComputeClosure(p.catalogs[i], observed[i]);
+      computable += static_cast<size_t>(
+          std::count(flags.begin(), flags.end(), char{1}));
+    }
+    benchmark::DoNotOptimize(computable);
+  }
+}
+BENCHMARK(BM_Closure)->Arg(3)->Arg(13)->Arg(21);
+
+void BM_GreedySelect(benchmark::State& state) {
+  const Prepared p = Prepare(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    double cost = 0;
+    for (const SelectionProblem& problem : p.problems) {
+      cost += SelectGreedy(problem).total_cost;
+    }
+    benchmark::DoNotOptimize(cost);
+  }
+}
+BENCHMARK(BM_GreedySelect)->Arg(3)->Arg(13)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_IlpSelectSmall(benchmark::State& state) {
+  const Prepared p = Prepare(static_cast<int>(state.range(0)));
+  IlpSelectorOptions options;
+  options.time_limit_seconds = 1.0;
+  options.max_nodes = 500;
+  for (auto _ : state) {
+    double cost = 0;
+    for (const SelectionProblem& problem : p.problems) {
+      cost += SelectIlp(problem, options).total_cost;
+    }
+    benchmark::DoNotOptimize(cost);
+  }
+}
+BENCHMARK(BM_IlpSelectSmall)->Arg(3)->Arg(22)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace etlopt
+
+BENCHMARK_MAIN();

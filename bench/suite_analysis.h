@@ -1,0 +1,102 @@
+#ifndef ETLOPT_BENCH_SUITE_ANALYSIS_H_
+#define ETLOPT_BENCH_SUITE_ANALYSIS_H_
+
+#include <vector>
+
+#include "css/generator.h"
+#include "datagen/workload_suite.h"
+#include "opt/greedy_selector.h"
+#include "opt/ilp_selector.h"
+#include "opt/selection.h"
+#include "util/timer.h"
+
+namespace etlopt {
+namespace bench {
+
+// Per-workflow analysis shared by the figure harnesses: block contexts,
+// plan spaces, and CSS catalogs with and without union-division.
+struct WorkflowAnalysis {
+  WorkloadSpec spec;
+  // One entry per block (aligned vectors).
+  std::vector<BlockContext> contexts;
+  std::vector<PlanSpace> plan_spaces;
+  std::vector<CssCatalog> catalogs_ud;
+  std::vector<CssCatalog> catalogs_noud;
+  double gen_ms_ud = 0.0;
+  double gen_ms_noud = 0.0;
+
+  int total_ses() const {
+    int n = 0;
+    for (const auto& ps : plan_spaces) n += ps.num_ses();
+    return n;
+  }
+  int total_css(bool with_ud) const {
+    int n = 0;
+    for (const auto& c : with_ud ? catalogs_ud : catalogs_noud) {
+      n += c.num_css();
+    }
+    return n;
+  }
+};
+
+inline WorkflowAnalysis AnalyzeWorkflow(int index) {
+  WorkflowAnalysis wa;
+  wa.spec = BuildWorkload(index);
+  const std::vector<Block> blocks = PartitionBlocks(wa.spec.workflow);
+  for (const Block& block : blocks) {
+    Result<BlockContext> ctx = BlockContext::Build(&wa.spec.workflow, block);
+    ETLOPT_CHECK_MSG(ctx.ok(), ctx.status().ToString());
+    wa.contexts.push_back(std::move(ctx).value());
+  }
+  for (const BlockContext& ctx : wa.contexts) {
+    Result<PlanSpace> ps = PlanSpace::Build(ctx);
+    ETLOPT_CHECK_MSG(ps.ok(), ps.status().ToString());
+    wa.plan_spaces.push_back(std::move(ps).value());
+  }
+  CssGenOptions with_ud;
+  CssGenOptions without_ud;
+  without_ud.enable_union_division = false;
+  for (size_t b = 0; b < wa.contexts.size(); ++b) {
+    Timer t;
+    wa.catalogs_ud.push_back(
+        GenerateCss(wa.contexts[b], wa.plan_spaces[b], with_ud));
+    wa.gen_ms_ud += t.ElapsedMillis();
+    t.Restart();
+    wa.catalogs_noud.push_back(
+        GenerateCss(wa.contexts[b], wa.plan_spaces[b], without_ud));
+    wa.gen_ms_noud += t.ElapsedMillis();
+  }
+  return wa;
+}
+
+// Runs statistics selection over all blocks of a workflow for the given
+// catalogs; returns the summed observation cost and wall time.
+struct SelectionSummary {
+  double total_cost = 0.0;
+  double select_ms = 0.0;
+  bool all_feasible = true;
+};
+
+inline SelectionSummary SelectForWorkflow(
+    const WorkflowAnalysis& wa, bool with_ud, bool use_ilp,
+    const IlpSelectorOptions& ilp_options = {}) {
+  SelectionSummary out;
+  const auto& catalogs = with_ud ? wa.catalogs_ud : wa.catalogs_noud;
+  for (size_t b = 0; b < wa.contexts.size(); ++b) {
+    CostModel cost_model(&wa.spec.workflow.catalog(), {});
+    const SelectionProblem problem = BuildSelectionProblem(
+        wa.contexts[b], wa.plan_spaces[b], catalogs[b], cost_model);
+    Timer t;
+    const SelectionResult result =
+        use_ilp ? SelectIlp(problem, ilp_options) : SelectGreedy(problem);
+    out.select_ms += t.ElapsedMillis();
+    out.total_cost += result.total_cost;
+    out.all_feasible = out.all_feasible && result.feasible;
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace etlopt
+
+#endif  // ETLOPT_BENCH_SUITE_ANALYSIS_H_

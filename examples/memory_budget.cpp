@@ -1,0 +1,71 @@
+// Optimization under resource constraints (Section 6.1): when the memory
+// available for statistics collectors is smaller than the optimal set, the
+// framework observes what fits and schedules the remaining SE cardinalities
+// as trivial counters in later runs with re-ordered plans — the mix of
+// trivial and non-trivial CSSs that generalizes pay-as-you-go.
+//
+// This example sweeps the memory budget on the union-division anchor
+// workflow (wf3: TradeEnrich) and shows the space-time trade-off: more
+// memory, fewer executions.
+//
+// Build & run:  ./build/examples/memory_budget
+
+#include <cstdio>
+
+#include "core/lifecycle.h"
+#include "css/generator.h"
+#include "datagen/workload_suite.h"
+#include "opt/resource.h"
+#include "util/string_util.h"
+
+using namespace etlopt;
+
+int main() {
+  const WorkloadSpec spec = BuildWorkload(3);  // TradeEnrich
+  std::printf("workflow: %s\n%s\n", spec.name.c_str(),
+              spec.workflow.ToString().c_str());
+
+  const std::vector<Block> blocks = PartitionBlocks(spec.workflow);
+  const BlockContext ctx =
+      BlockContext::Build(&spec.workflow, blocks[0]).value();
+  const PlanSpace ps = PlanSpace::Build(ctx).value();
+  const CssCatalog catalog = GenerateCss(ctx, ps, {});
+  CostModel cost_model(&spec.workflow.catalog(), {});
+  const SelectionProblem problem =
+      BuildSelectionProblem(ctx, ps, catalog, cost_model);
+
+  std::printf("plan space: %d SEs, %d statistics, %d CSS\n\n",
+              ps.num_ses(), catalog.num_stats(), catalog.num_css());
+  std::printf("%14s | %14s %9s %11s %11s\n", "budget", "memory used",
+              "deferred", "extra runs", "total runs");
+  for (double budget : {5.0, 1000.0, 20000.0, 40000.0, 2e6}) {
+    const BudgetedSelection plan =
+        SelectWithBudget(problem, ctx, ps, budget);
+    std::printf("%14s | %14s %9zu %11d %11d\n",
+                WithThousands(static_cast<int64_t>(budget)).c_str(),
+                WithThousands(static_cast<int64_t>(plan.memory_used)).c_str(),
+                plan.deferred.size(),
+                plan.deferred.empty() ? 0 : plan.reorder_plan.executions,
+                plan.total_executions());
+  }
+  std::printf("\nWith ~30k units (the union-division optimum) a single "
+              "instrumented run covers\neverything; squeezing the budget "
+              "pushes coverage into re-ordered executions.\n");
+
+  // Now actually RUN the lifecycle at a starved budget (5 units) on scaled
+  // data and show that the framework still ends up with every SE
+  // cardinality — it just needs one extra re-ordered execution.
+  std::printf("\n--- executing the starved lifecycle (budget 5, 1%% scale "
+              "data) ---\n");
+  const SourceMap sources = GenerateSources(spec, 99, 0.01);
+  const BudgetedLifecycleResult life =
+      RunBudgetedLifecycle(spec.workflow, sources, 5.0).value();
+  std::printf("executions performed: %d\n", life.executions);
+  for (const auto& [se, card] : life.block_cards[0]) {
+    std::printf("  SE mask %u -> %lld rows\n", se,
+                static_cast<long long>(card));
+  }
+  std::printf("optimized plan cost %.0f (designed %.0f)\n",
+              life.optimized_cost, life.initial_cost);
+  return 0;
+}

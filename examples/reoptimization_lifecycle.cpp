@@ -1,0 +1,101 @@
+// Design once, execute repeatedly (Section 1): an ETL flow that was
+// efficient at design time degrades as the data drifts. This example runs
+// the same daily-load workflow over several "days" of drifting data; each
+// run re-collects the selected statistics and re-optimizes the next run's
+// join order (the cycle of Fig. 2 repeating "since the underlying data
+// characteristics may be changing").
+//
+// Scenario: FactWatches ⋈ DimCustomer ⋈ DimSecurity. Early on the customer
+// dimension is a tiny pilot set (joining it first is best); over the days it
+// grows far past the security dimension, and the optimal order flips.
+//
+// Build & run:  ./build/examples/reoptimization_lifecycle
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "etl/workflow_builder.h"
+#include "util/random.h"
+
+using namespace etlopt;
+
+namespace {
+
+SourceMap DayData(const AttrCatalog& catalog, AttrId cust, AttrId sec,
+                  int64_t customers, int64_t securities, uint64_t seed) {
+  (void)catalog;
+  Rng rng(seed);
+  SourceMap sources;
+  Table watches{Schema({cust, sec})};
+  for (int i = 0; i < 30000; ++i) {
+    watches.AddRow({rng.NextInRange(1, 5000), rng.NextInRange(1, 5000)});
+  }
+  Table dim_cust{Schema({cust})};
+  for (int64_t i = 0; i < customers; ++i) {
+    dim_cust.AddRow({rng.NextInRange(1, 5000)});
+  }
+  Table dim_sec{Schema({sec})};
+  for (int64_t i = 0; i < securities; ++i) {
+    dim_sec.AddRow({rng.NextInRange(1, 5000)});
+  }
+  sources["FactWatches"] = std::move(watches);
+  sources["DimCustomer"] = std::move(dim_cust);
+  sources["DimSecurity"] = std::move(dim_sec);
+  return sources;
+}
+
+}  // namespace
+
+int main() {
+  WorkflowBuilder builder("daily_watch_load");
+  const AttrId cust = builder.DeclareAttr("customer_sk", 5000);
+  const AttrId sec = builder.DeclareAttr("security_sk", 5000);
+  const NodeId fact = builder.Source("FactWatches", {cust, sec});
+  const NodeId dim_c = builder.Source("DimCustomer", {cust});
+  const NodeId dim_s = builder.Source("DimSecurity", {sec});
+  // The designer guessed: join securities first.
+  const NodeId j1 = builder.Join(fact, dim_s, sec);
+  const NodeId j2 = builder.Join(j1, dim_c, cust);
+  builder.Sink(j2, "warehouse.watches");
+  const Workflow designed = std::move(builder).Build().value();
+
+  Pipeline pipeline;
+
+  // The dimension sizes drift day by day.
+  struct Day {
+    int64_t customers;
+    int64_t securities;
+  };
+  const Day days[] = {{50, 4000}, {200, 4000}, {2000, 4000},
+                      {20000, 4000}, {60000, 4000}};
+
+  Workflow current = designed;  // the plan in production
+  std::printf("%-5s %12s %12s | %14s %14s | %s\n", "day", "customers",
+              "securities", "cost(designed)", "cost(chosen)", "next plan");
+  for (size_t d = 0; d < std::size(days); ++d) {
+    const SourceMap sources = DayData(designed.catalog(), cust, sec,
+                                      days[d].customers, days[d].securities,
+                                      1000 + d);
+    // Run today's plan instrumented; learn; re-optimize for tomorrow.
+    const CycleOutcome cycle = pipeline.RunCycle(current, sources).value();
+
+    // Render the chosen join order concisely.
+    const Workflow& next = cycle.opt.optimized;
+    std::string order;
+    for (const WorkflowNode& node : next.nodes()) {
+      if (node.kind != OpKind::kJoin) continue;
+      order += "(" + next.catalog().name(node.join.attr) + ")";
+    }
+    std::printf("%-5zu %12lld %12lld | %14.0f %14.0f | joins on %s\n", d + 1,
+                static_cast<long long>(days[d].customers),
+                static_cast<long long>(days[d].securities),
+                cycle.opt.initial_cost, cycle.opt.optimized_cost,
+                order.c_str());
+    current = cycle.opt.optimized;
+  }
+  std::printf("\nThe chosen order flips from customers-first to "
+              "securities-first as the\ncustomer dimension outgrows the "
+              "security dimension — without any designer\nintervention and "
+              "without source statistics.\n");
+  return 0;
+}

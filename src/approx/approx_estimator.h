@@ -1,0 +1,83 @@
+#ifndef ETLOPT_APPROX_APPROX_ESTIMATOR_H_
+#define ETLOPT_APPROX_APPROX_ESTIMATOR_H_
+
+#include <unordered_map>
+
+#include "approx/dhistogram.h"
+#include "css/css.h"
+#include "engine/executor.h"
+#include "planspace/block.h"
+
+namespace etlopt {
+
+// Approximate statistic value: a (possibly fractional) count or a
+// bucketized histogram.
+class ApproxValue {
+ public:
+  ApproxValue() = default;
+  static ApproxValue Count(double c) {
+    ApproxValue v;
+    v.is_count_ = true;
+    v.count_ = c;
+    return v;
+  }
+  static ApproxValue Hist(DHistogram h) {
+    ApproxValue v;
+    v.is_count_ = false;
+    v.hist_ = std::move(h);
+    return v;
+  }
+  bool is_count() const { return is_count_; }
+  double count() const {
+    ETLOPT_CHECK(is_count_);
+    return count_;
+  }
+  const DHistogram& hist() const {
+    ETLOPT_CHECK(!is_count_);
+    return hist_;
+  }
+
+ private:
+  bool is_count_ = true;
+  double count_ = 0.0;
+  DHistogram hist_;
+};
+
+// The Section 8 extension end-to-end: observes the selected statistics with
+// *bucketized* collectors (per-attribute widths from ApproxConfig) and
+// evaluates the same CSS derivation DAG with the uniformity-corrected
+// algebra of DHistogram. Width-1 configurations reproduce the exact
+// estimator's results. The union-division rules (J4/J5) require exact
+// bucket identities and are not supported — generate the CSS catalog with
+// enable_union_division=false for approximate mode.
+class ApproxEstimator {
+ public:
+  ApproxEstimator(const BlockContext* ctx, const CssCatalog* catalog,
+                  const ApproxConfig* config);
+
+  // Observes `keys` (all must be observable; reject statistics are
+  // rejected) from a run of the initial plan, then derives everything
+  // derivable.
+  Status ObserveAndDerive(const ExecutionResult& exec,
+                          const std::vector<StatKey>& keys);
+
+  bool Has(const StatKey& key) const { return values_.count(key) > 0; }
+  Result<double> Cardinality(RelMask se) const;
+  Result<double> Count(const StatKey& key) const;
+
+  // Estimated cardinalities for all SEs (for the optimizer, rounded).
+  Result<std::unordered_map<RelMask, int64_t>> AllCardinalities(
+      const std::vector<RelMask>& subexpressions) const;
+
+ private:
+  Result<ApproxValue> Evaluate(const CssEntry& entry) const;
+
+  const BlockContext* ctx_;
+  const CssCatalog* catalog_;
+  const ApproxConfig* config_;
+  std::unordered_map<StatKey, ApproxValue, StatKeyHash> values_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_APPROX_APPROX_ESTIMATOR_H_

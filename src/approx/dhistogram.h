@@ -1,0 +1,108 @@
+#ifndef ETLOPT_APPROX_DHISTOGRAM_H_
+#define ETLOPT_APPROX_DHISTOGRAM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/table.h"
+#include "etl/predicate.h"
+
+namespace etlopt {
+
+// Per-attribute bucketization configuration for approximate statistics
+// collection (Section 8 extension): attribute values v map to bucket
+// ⌊(v-1)/width⌋; width 1 keeps statistics exact.
+class ApproxConfig {
+ public:
+  explicit ApproxConfig(const AttrCatalog* catalog, int64_t default_width = 1)
+      : catalog_(catalog), default_width_(default_width) {
+    ETLOPT_CHECK(catalog != nullptr && default_width >= 1);
+  }
+
+  void SetWidth(AttrId attr, int64_t width) {
+    ETLOPT_CHECK(width >= 1);
+    widths_[attr] = width;
+  }
+
+  int64_t WidthFor(AttrId attr) const {
+    auto it = widths_.find(attr);
+    return it == widths_.end() ? default_width_ : it->second;
+  }
+
+  int64_t DomainFor(AttrId attr) const { return catalog_->domain_size(attr); }
+
+  // Buckets a histogram on `attrs` would need: Π ceil(|a| / width(a)) —
+  // the §5.4 memory model under bucketization.
+  int64_t MemoryUnits(AttrMask attrs) const;
+
+  const AttrCatalog& catalog() const { return *catalog_; }
+
+ private:
+  const AttrCatalog* catalog_;
+  int64_t default_width_;
+  std::unordered_map<AttrId, int64_t> widths_;
+};
+
+// A (multi-attribute) frequency histogram over bucketized values with
+// double-valued counts: the approximate analog of Histogram. The algebra
+// applies the uniform-frequency-within-bucket correction wherever two
+// distributions meet through a join attribute, so width-1 configurations
+// reproduce the exact results bit-for-bit (tested).
+class DHistogram {
+ public:
+  DHistogram() = default;
+  DHistogram(AttrMask attrs, const ApproxConfig& config);
+
+  static DHistogram FromTable(const Table& table, AttrMask attrs,
+                              const ApproxConfig& config);
+
+  AttrMask attr_mask() const { return attr_mask_; }
+  const std::vector<AttrId>& attrs() const { return attrs_; }
+
+  void AddValue(const std::vector<Value>& raw_values, double count = 1.0);
+
+  double TotalCount() const { return total_; }
+  int64_t NumBuckets() const { return static_cast<int64_t>(buckets_.size()); }
+  double Get(const std::vector<Value>& bucket_key) const;
+
+  // J1: Σ_b fa(b)·fb(b) / |values in b| over the shared (single) attribute.
+  static double JoinCardinality(const DHistogram& a, const DHistogram& b);
+
+  // J2/J3: scales each bucket of `a` by b's density on the projection onto
+  // b's attributes (count / values-in-bucket of the join attribute). `b`
+  // must be a single-attribute histogram on an attribute of `a`.
+  static DHistogram MultiplyThrough(const DHistogram& a, const DHistogram& b);
+
+  // I2.
+  DHistogram Marginalize(AttrMask keep) const;
+
+  // S1: pro-rata count of values matching the predicate.
+  double CountMatching(const Predicate& pred) const;
+
+  // S2: pro-rata scale per bucket, then marginalize to `keep`.
+  DHistogram FilterThenMarginalize(const Predicate& pred, AttrMask keep) const;
+
+  // G2 support: each bucket's distinct combinations, capped by the bucket's
+  // value-combination capacity (min(count, capacity) — the uniform-fill
+  // approximation).
+  DHistogram CollapseToDistinct() const;
+
+ private:
+  int64_t ValuesInBucket(int attr_pos, Value bucket) const;
+  // Integer values in the bucket of `attr_pos` at `bucket` that satisfy the
+  // predicate (predicate attr must be attrs_[attr_pos]).
+  int64_t SatisfyingInBucket(int attr_pos, Value bucket,
+                             const Predicate& pred) const;
+
+  std::vector<AttrId> attrs_;
+  AttrMask attr_mask_ = 0;
+  std::vector<int64_t> widths_;   // aligned with attrs_
+  std::vector<int64_t> domains_;  // aligned with attrs_
+  std::unordered_map<std::vector<Value>, double, ValueVecHash> buckets_;
+  double total_ = 0.0;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_APPROX_DHISTOGRAM_H_

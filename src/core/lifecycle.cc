@@ -1,0 +1,139 @@
+#include "core/lifecycle.h"
+
+namespace etlopt {
+namespace {
+
+// Converts a cover tree (splits per SE) into an OptimizedPlan the rewriter
+// can emit, resolving each split's join attribute from the join graph.
+Result<OptimizedPlan> PlanFromCoverTree(
+    const BlockContext& ctx, const ExecCoverResult::CoverTree& tree) {
+  OptimizedPlan plan;
+  for (const auto& [se, split] : tree.splits) {
+    const int edge = ctx.graph().CrossingEdge(split.first, split.second);
+    if (edge < 0) {
+      return Status::Internal("cover tree split has no unique join edge");
+    }
+    JoinChoice choice;
+    choice.left = split.first;
+    choice.right = split.second;
+    choice.attr = ctx.graph().edges()[static_cast<size_t>(edge)].attr;
+    plan.choices[se] = choice;
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
+    const Workflow& workflow, const SourceMap& sources, double memory_budget,
+    const PipelineOptions& options) {
+  BudgetedLifecycleResult result;
+
+  // ---- Steps 1-3: analysis (blocks, plan spaces, CSS) ----
+  const std::vector<Block> blocks = PartitionBlocks(workflow);
+  std::vector<BlockContext> contexts;
+  std::vector<PlanSpace> plan_spaces;
+  std::vector<CssCatalog> catalogs;
+  for (const Block& block : blocks) {
+    ETLOPT_ASSIGN_OR_RETURN(BlockContext ctx,
+                            BlockContext::Build(&workflow, block));
+    contexts.push_back(std::move(ctx));
+  }
+  for (const BlockContext& ctx : contexts) {
+    ETLOPT_ASSIGN_OR_RETURN(PlanSpace ps,
+                            PlanSpace::Build(ctx, options.plan_space));
+    plan_spaces.push_back(std::move(ps));
+  }
+  for (size_t b = 0; b < contexts.size(); ++b) {
+    catalogs.push_back(
+        GenerateCss(contexts[b], plan_spaces[b], options.css));
+  }
+
+  // ---- Step 4 under the budget (Section 6.1) ----
+  std::vector<SelectionProblem> problems;
+  for (size_t b = 0; b < contexts.size(); ++b) {
+    CostModel cost_model(&workflow.catalog(), options.cost);
+    problems.push_back(BuildSelectionProblem(contexts[b], plan_spaces[b],
+                                             catalogs[b], cost_model));
+    problems.back().catalog = &catalogs[b];
+  }
+  for (size_t b = 0; b < contexts.size(); ++b) {
+    result.selections.push_back(SelectWithBudget(
+        problems[b], contexts[b], plan_spaces[b], memory_budget));
+  }
+
+  // ---- Run 1: designed plan, instrumented with the affordable set ----
+  Executor executor(&workflow);
+  ETLOPT_ASSIGN_OR_RETURN(const ExecutionResult first_exec,
+                          executor.Execute(sources));
+  result.executions = 1;
+
+  result.block_cards.resize(contexts.size());
+  for (size_t b = 0; b < contexts.size(); ++b) {
+    const std::vector<StatKey> keys =
+        result.selections[b].first_run.ObservedKeys(catalogs[b]);
+    ETLOPT_ASSIGN_OR_RETURN(
+        const StatStore observed,
+        ObserveStatistics(contexts[b], first_exec, keys));
+    Estimator estimator(&contexts[b], &catalogs[b]);
+    ETLOPT_RETURN_IF_ERROR(estimator.DeriveAll(observed));
+    for (RelMask se : plan_spaces[b].subexpressions()) {
+      const Result<int64_t> card = estimator.Cardinality(se);
+      if (card.ok()) result.block_cards[b][se] = *card;
+    }
+    // On-path SEs are passively monitorable at one counter each ([LEO]-style
+    // passive monitoring, §7.3); record them regardless of the selection so
+    // tiny budgets still learn everything the first run exposes.
+    for (const auto& [se, node] : contexts[b].on_path()) {
+      result.block_cards[b][se] = first_exec.node_outputs.at(node).num_rows();
+    }
+  }
+
+  // ---- Re-ordered runs for the deferred SEs (trivial CSS counters) ----
+  for (size_t b = 0; b < contexts.size(); ++b) {
+    const BudgetedSelection& bsel = result.selections[b];
+    if (bsel.deferred.empty()) continue;
+    const ExecCoverResult& cover = bsel.reorder_plan;
+    for (size_t run = 0; run < cover.per_run_tree.size(); ++run) {
+      ETLOPT_ASSIGN_OR_RETURN(
+          const OptimizedPlan plan,
+          PlanFromCoverTree(contexts[b], cover.per_run_tree[run]));
+      std::vector<PlanRewriter::BlockPlan> bp{{&blocks[b], &plan}};
+      std::vector<std::unordered_map<RelMask, NodeId>> se_nodes;
+      ETLOPT_ASSIGN_OR_RETURN(const Workflow reordered,
+                              PlanRewriter::Apply(workflow, bp, &se_nodes));
+      Executor rerun(&reordered);
+      ETLOPT_ASSIGN_OR_RETURN(const ExecutionResult exec,
+                              rerun.Execute(sources));
+      ++result.executions;
+      for (RelMask se : cover.per_run_covered[run]) {
+        const auto it = se_nodes[0].find(se);
+        if (it == se_nodes[0].end()) {
+          return Status::Internal("covered SE missing from rewritten plan");
+        }
+        result.block_cards[b][se] =
+            exec.node_outputs.at(it->second).num_rows();
+      }
+    }
+  }
+
+  // ---- Step 7: optimize from the now-complete statistics ----
+  std::vector<OptimizedPlan> final_plans(contexts.size());
+  std::vector<PlanRewriter::BlockPlan> rewrites;
+  for (size_t b = 0; b < contexts.size(); ++b) {
+    ETLOPT_ASSIGN_OR_RETURN(
+        final_plans[b],
+        OptimizeJoins(contexts[b], plan_spaces[b], result.block_cards[b],
+                      options.optimizer_cost));
+    result.initial_cost += final_plans[b].initial_cost;
+    result.optimized_cost += final_plans[b].cost;
+    if (blocks[b].joins.size() >= 2) {
+      rewrites.push_back({&blocks[b], &final_plans[b]});
+    }
+  }
+  ETLOPT_ASSIGN_OR_RETURN(result.optimized,
+                          PlanRewriter::Apply(workflow, rewrites));
+  return result;
+}
+
+}  // namespace etlopt

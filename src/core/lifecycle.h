@@ -1,0 +1,37 @@
+#ifndef ETLOPT_CORE_LIFECYCLE_H_
+#define ETLOPT_CORE_LIFECYCLE_H_
+
+#include "core/pipeline.h"
+#include "opt/resource.h"
+
+namespace etlopt {
+
+// The full Section 6.1 lifecycle, executed: when the memory budget cannot
+// hold the optimal statistics set, the first instrumented run observes the
+// affordable subset and the remaining SE cardinalities are collected as
+// trivial counters across additional runs with re-ordered plans (the
+// repeated-execution strategy of [pay-as-you-go], reduced to only the SEs
+// that statistics could not cover).
+struct BudgetedLifecycleResult {
+  // Per block: the budgeted selection (first run) and the complete SE
+  // cardinality map after all runs.
+  std::vector<BudgetedSelection> selections;
+  std::vector<CardMap> block_cards;
+  // Total workflow executions performed (1 + re-ordered runs).
+  int executions = 0;
+  // The re-optimized workflow from the completed statistics.
+  Workflow optimized;
+  double initial_cost = 0.0;
+  double optimized_cost = 0.0;
+};
+
+// Runs the budgeted lifecycle to completion. Each block gets the full
+// `memory_budget` for its collectors (blocks run at different pipeline
+// stages, so collector memory is not held concurrently).
+Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
+    const Workflow& workflow, const SourceMap& sources, double memory_budget,
+    const PipelineOptions& options = {});
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_CORE_LIFECYCLE_H_

@@ -1,0 +1,110 @@
+#include "core/pipeline.h"
+
+namespace etlopt {
+
+Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {}
+
+Result<std::unique_ptr<Analysis>> Pipeline::Analyze(
+    const Workflow& workflow,
+    const std::vector<CardMap>* size_feedback) const {
+  auto analysis = std::make_unique<Analysis>();
+  analysis->workflow = std::make_unique<Workflow>(workflow);
+
+  const std::vector<Block> blocks = PartitionBlocks(*analysis->workflow);
+  int block_index = 0;
+  for (const Block& block : blocks) {
+    auto ba = std::make_unique<BlockAnalysis>();
+    ba->block = block;
+    ETLOPT_ASSIGN_OR_RETURN(
+        ba->ctx, BlockContext::Build(analysis->workflow.get(), block));
+    ETLOPT_ASSIGN_OR_RETURN(ba->plan_space,
+                            PlanSpace::Build(ba->ctx, options_.plan_space));
+    ba->catalog = GenerateCss(ba->ctx, ba->plan_space, options_.css);
+
+    CostModel cost_model(&analysis->workflow->catalog(), options_.cost);
+    if (size_feedback != nullptr &&
+        block_index < static_cast<int>(size_feedback->size())) {
+      for (const auto& [se, rows] :
+           (*size_feedback)[static_cast<size_t>(block_index)]) {
+        cost_model.SetSeSize(se, rows);
+      }
+    }
+    SelectionOptions sel_options;
+    sel_options.free_source_stats = options_.free_source_stats;
+    ba->problem = BuildSelectionProblem(ba->ctx, ba->plan_space, ba->catalog,
+                                        cost_model, sel_options);
+    ba->problem.catalog = &ba->catalog;  // ensure self-reference is stable
+
+    switch (options_.selector) {
+      case SelectorKind::kGreedy:
+        ba->selection = SelectGreedy(ba->problem);
+        break;
+      case SelectorKind::kIlp:
+        ba->selection = SelectIlp(ba->problem, options_.ilp);
+        break;
+    }
+    if (!ba->selection.feasible) {
+      return Status::Internal("statistics selection infeasible for block " +
+                              std::to_string(block.id));
+    }
+    analysis->blocks.push_back(std::move(ba));
+    ++block_index;
+  }
+  return analysis;
+}
+
+Result<RunOutcome> Pipeline::RunAndObserve(const Analysis& analysis,
+                                           const SourceMap& sources) const {
+  RunOutcome outcome;
+  Executor executor(analysis.workflow.get());
+  ETLOPT_ASSIGN_OR_RETURN(outcome.exec, executor.Execute(sources));
+
+  for (const auto& ba : analysis.blocks) {
+    const std::vector<StatKey> keys =
+        ba->selection.ObservedKeys(ba->catalog);
+    ETLOPT_ASSIGN_OR_RETURN(StatStore store,
+                            ObserveStatistics(ba->ctx, outcome.exec, keys));
+    outcome.block_stats.push_back(std::move(store));
+  }
+  return outcome;
+}
+
+Result<OptimizeOutcome> Pipeline::Optimize(const Analysis& analysis,
+                                           const RunOutcome& run) const {
+  OptimizeOutcome outcome;
+  std::vector<OptimizedPlan> plans(analysis.blocks.size());
+  std::vector<PlanRewriter::BlockPlan> rewrites;
+
+  for (size_t i = 0; i < analysis.blocks.size(); ++i) {
+    const BlockAnalysis& ba = *analysis.blocks[i];
+    Estimator estimator(&ba.ctx, &ba.catalog);
+    ETLOPT_RETURN_IF_ERROR(estimator.DeriveAll(run.block_stats[i]));
+    ETLOPT_ASSIGN_OR_RETURN(
+        CardMap cards,
+        estimator.AllCardinalities(ba.plan_space.subexpressions()));
+    ETLOPT_ASSIGN_OR_RETURN(plans[i],
+                            OptimizeJoins(ba.ctx, ba.plan_space, cards,
+                                          options_.optimizer_cost));
+    outcome.initial_cost += plans[i].initial_cost;
+    outcome.optimized_cost += plans[i].cost;
+    outcome.block_cards.push_back(std::move(cards));
+    if (ba.block.joins.size() >= 2) {
+      rewrites.push_back(
+          PlanRewriter::BlockPlan{&ba.block, &plans[i]});
+    }
+  }
+  ETLOPT_ASSIGN_OR_RETURN(outcome.optimized,
+                          PlanRewriter::Apply(*analysis.workflow, rewrites));
+  return outcome;
+}
+
+Result<CycleOutcome> Pipeline::RunCycle(const Workflow& workflow,
+                                        const SourceMap& sources) const {
+  CycleOutcome cycle;
+  ETLOPT_ASSIGN_OR_RETURN(cycle.analysis, Analyze(workflow));
+  ETLOPT_ASSIGN_OR_RETURN(cycle.run, RunAndObserve(*cycle.analysis, sources));
+  ETLOPT_ASSIGN_OR_RETURN(cycle.opt, Optimize(*cycle.analysis, cycle.run));
+  return cycle;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,104 @@
+#ifndef ETLOPT_CORE_PIPELINE_H_
+#define ETLOPT_CORE_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "css/generator.h"
+#include "engine/instrumentation.h"
+#include "estimator/estimator.h"
+#include "opt/greedy_selector.h"
+#include "opt/ilp_selector.h"
+#include "optimizer/rewrite.h"
+
+namespace etlopt {
+
+// Which statistics selector drives step 4 of the framework.
+enum class SelectorKind {
+  kGreedy,      // Section 5.3 heuristic
+  kIlp,         // Section 5.2 integer program (greedy fallback on size)
+};
+
+struct PipelineOptions {
+  CssGenOptions css;
+  PlanSpaceOptions plan_space;
+  CostModelOptions cost;
+  SelectorKind selector = SelectorKind::kGreedy;
+  IlpSelectorOptions ilp;
+  CostParams optimizer_cost;
+  // Statistics already known from the source systems, free to use (§6.2).
+  std::vector<StatKey> free_source_stats;
+};
+
+// Per-block analysis artifacts (steps 1-4 of Fig. 2).
+struct BlockAnalysis {
+  Block block;
+  BlockContext ctx;
+  PlanSpace plan_space;
+  CssCatalog catalog;
+  SelectionProblem problem;  // references `catalog`
+  SelectionResult selection;
+};
+
+// Whole-workflow analysis. Owns a stable copy of the workflow that the
+// block contexts point into.
+struct Analysis {
+  std::unique_ptr<Workflow> workflow;
+  std::vector<std::unique_ptr<BlockAnalysis>> blocks;
+};
+
+// One instrumented run (steps 5-6).
+struct RunOutcome {
+  ExecutionResult exec;
+  std::vector<StatStore> block_stats;  // aligned with Analysis::blocks
+};
+
+// Step 7: cost-based re-optimization from the learned statistics.
+struct OptimizeOutcome {
+  Workflow optimized;
+  std::vector<CardMap> block_cards;  // estimated SE cardinalities per block
+  double initial_cost = 0.0;         // designed plan, under learned stats
+  double optimized_cost = 0.0;       // chosen plan, under learned stats
+};
+
+struct CycleOutcome {
+  std::unique_ptr<Analysis> analysis;
+  RunOutcome run;
+  OptimizeOutcome opt;
+};
+
+// The end-to-end optimization loop of Figure 2: analyze the workflow,
+// determine the cheapest sufficient statistics, instrument + run, estimate
+// every SE cardinality, and emit the re-optimized workflow for the next run.
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions options = {});
+
+  // Steps 1-4. `size_feedback` optionally provides SE sizes from a previous
+  // run for the CPU cost metric (Section 5.4's circularity fix).
+  Result<std::unique_ptr<Analysis>> Analyze(
+      const Workflow& workflow,
+      const std::vector<CardMap>* size_feedback = nullptr) const;
+
+  // Steps 5-6: execute the designed plan and observe the selected
+  // statistics.
+  Result<RunOutcome> RunAndObserve(const Analysis& analysis,
+                                   const SourceMap& sources) const;
+
+  // Step 7: derive all SE cardinalities and rewrite the join orders.
+  Result<OptimizeOutcome> Optimize(const Analysis& analysis,
+                                   const RunOutcome& run) const;
+
+  // Convenience: one full cycle.
+  Result<CycleOutcome> RunCycle(const Workflow& workflow,
+                                const SourceMap& sources) const;
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  PipelineOptions options_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_CORE_PIPELINE_H_

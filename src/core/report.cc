@@ -1,0 +1,81 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "opt/exec_cover.h"
+#include "util/string_util.h"
+
+namespace etlopt {
+
+std::string FormatBlockReport(const BlockAnalysis& block,
+                              const AttrCatalog& catalog,
+                              const ReportOptions& options) {
+  std::ostringstream out;
+  const Block& b = block.block;
+  out << "block " << b.id << ": " << b.num_rels() << " input(s), "
+      << b.joins.size() << " join(s)\n";
+  for (int r = 0; r < b.num_rels(); ++r) {
+    const BlockInput& input = b.inputs[static_cast<size_t>(r)];
+    out << "  R" << r << " = " << block.ctx.RelLabel(r);
+    if (!input.chain.empty()) {
+      out << " (+" << input.chain.size() << " chain op"
+          << (input.chain.size() == 1 ? "" : "s") << ")";
+    }
+    out << "\n";
+  }
+  for (const JoinEdge& e : block.ctx.graph().edges()) {
+    out << "  edge R" << e.a << " -- R" << e.b << " on "
+        << catalog.name(e.attr);
+    if (e.fk_dim >= 0) out << " [fk dim R" << e.fk_dim << "]";
+    out << "\n";
+  }
+  out << "  plan space: " << block.plan_space.num_ses()
+      << " sub-expressions, " << block.plan_space.num_plans() << " plans\n";
+  out << "  statistics universe: " << block.catalog.num_stats()
+      << " statistics, " << block.catalog.num_css() << " CSS\n";
+
+  const SelectionResult& sel = block.selection;
+  out << "  selection (" << sel.method << "): "
+      << (sel.feasible ? "feasible" : "INFEASIBLE") << ", cost "
+      << WithThousands(static_cast<int64_t>(sel.total_cost))
+      << " memory units, " << sel.observed.size() << " statistics\n";
+  int listed = 0;
+  for (const StatKey& key : sel.ObservedKeys(block.catalog)) {
+    if (listed++ >= options.max_listed_stats) {
+      out << "    ... (" << (sel.observed.size() - listed + 1)
+          << " more)\n";
+      break;
+    }
+    out << "    observe " << key.ToString(&catalog) << "\n";
+  }
+
+  if (options.include_exec_cover && b.num_rels() >= 3) {
+    const ExecCoverResult cover =
+        ComputeExecutionCover(block.ctx, block.plan_space);
+    out << "  trivial-CSS baseline (pay-as-you-go): >= "
+        << cover.formula_lower_bound << " executions by formula, "
+        << cover.executions
+        << " by greedy cover — this framework needs 1 instrumented run\n";
+  }
+  return out.str();
+}
+
+std::string FormatAnalysisReport(const Analysis& analysis,
+                                 const ReportOptions& options) {
+  std::ostringstream out;
+  const Workflow& wf = *analysis.workflow;
+  out << "=== etlopt advisor report: workflow '" << wf.name() << "' ===\n";
+  out << wf.num_nodes() << " nodes, " << analysis.blocks.size()
+      << " optimizable block(s)\n\n";
+  double total_cost = 0.0;
+  for (const auto& block : analysis.blocks) {
+    out << FormatBlockReport(*block, wf.catalog(), options) << "\n";
+    total_cost += block->selection.total_cost;
+  }
+  out << "total observation cost: "
+      << WithThousands(static_cast<int64_t>(total_cost))
+      << " memory units\n";
+  return out.str();
+}
+
+}  // namespace etlopt

@@ -1,0 +1,29 @@
+#ifndef ETLOPT_CORE_REPORT_H_
+#define ETLOPT_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace etlopt {
+
+struct ReportOptions {
+  // Max observed statistics listed per block (the rest summarized).
+  int max_listed_stats = 24;
+  // Include the Figure-12-style execution-cover comparison per block.
+  bool include_exec_cover = true;
+};
+
+// Human-readable rendering of one block's analysis: inputs, join graph,
+// plan-space size, CSS counts, the chosen statistics and their cost.
+std::string FormatBlockReport(const BlockAnalysis& block,
+                              const AttrCatalog& catalog,
+                              const ReportOptions& options = {});
+
+// Whole-workflow advisor report (used by the etlopt_advisor CLI).
+std::string FormatAnalysisReport(const Analysis& analysis,
+                                 const ReportOptions& options = {});
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_CORE_REPORT_H_

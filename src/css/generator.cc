@@ -1,0 +1,48 @@
+#include "css/generator.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace etlopt {
+
+CssCatalog GenerateCss(const BlockContext& ctx, const PlanSpace& plan_space,
+                       const CssGenOptions& options) {
+  RuleEngine rules(&ctx, &plan_space, options);
+  CssCatalog catalog;
+
+  std::deque<StatKey> tobecomputed;
+  std::unordered_set<StatKey, StatKeyHash> enqueued;
+  auto enqueue = [&](const StatKey& key) {
+    if (enqueued.insert(key).second) {
+      catalog.AddStat(key);
+      tobecomputed.push_back(key);
+    }
+  };
+
+  // Lines 4-5: the cardinality of every SE must be computable.
+  for (RelMask se : plan_space.subexpressions()) {
+    enqueue(StatKey::Card(se));
+  }
+
+  // Lines 6-16: expand with the non-identity rules.
+  std::vector<CssEntry> generated;
+  while (!tobecomputed.empty()) {
+    const StatKey target = tobecomputed.front();
+    tobecomputed.pop_front();
+
+    generated.clear();
+    rules.Generate(target, &generated);
+    for (CssEntry& entry : generated) {
+      for (const StatKey& input : entry.inputs) {
+        enqueue(input);
+      }
+      catalog.AddCss(std::move(entry));
+    }
+  }
+
+  // Lines 17-21: identity rules, restricted to existing statistics.
+  rules.ApplyIdentityRules(&catalog);
+  return catalog;
+}
+
+}  // namespace etlopt

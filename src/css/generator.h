@@ -1,0 +1,17 @@
+#ifndef ETLOPT_CSS_GENERATOR_H_
+#define ETLOPT_CSS_GENERATOR_H_
+
+#include "css/rules.h"
+
+namespace etlopt {
+
+// Algorithm 1 of the paper: starting from the cardinality of every SE in E,
+// repeatedly applies the rules to the statistics still to be computed,
+// recording every generated CSS; finishes with the identity-rule pass.
+// The returned catalog is the statistics universe S plus all CSSs.
+CssCatalog GenerateCss(const BlockContext& ctx, const PlanSpace& plan_space,
+                       const CssGenOptions& options = {});
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_CSS_GENERATOR_H_

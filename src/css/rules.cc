@@ -1,0 +1,271 @@
+#include "css/rules.h"
+
+namespace etlopt {
+
+RuleEngine::RuleEngine(const BlockContext* ctx, const PlanSpace* plan_space,
+                       CssGenOptions options)
+    : ctx_(ctx), ps_(plan_space), options_(options) {
+  ETLOPT_CHECK(ctx_ != nullptr && ps_ != nullptr);
+}
+
+void RuleEngine::Generate(const StatKey& target,
+                          std::vector<CssEntry>* out) const {
+  switch (target.kind) {
+    case StatKind::kCard:
+    case StatKind::kHist:
+      if (target.is_chain_stage() || IsSingleton(target.rels)) {
+        GenerateChain(target, out);
+      } else {
+        GenerateJoin(target, out);
+      }
+      break;
+    case StatKind::kDistinct:
+      // Derivable only via the identity rule D1 (or direct observation).
+      break;
+    case StatKind::kRejectJoinCard:
+    case StatKind::kRejectJoinHist:
+      // Leaf observables: measured, never derived.
+      break;
+  }
+}
+
+void RuleEngine::GenerateChain(const StatKey& target,
+                               std::vector<CssEntry>* out) const {
+  const int rel = LowestBit(target.rels);
+  const int num_inner = ctx_->NumInnerStages(rel);
+
+  // Resolve the operator producing this stage and the input stage index.
+  NodeId op_node = kInvalidNode;
+  int16_t in_stage = 0;
+  if (target.is_chain_stage()) {
+    if (target.stage == 0) return;  // base record-set: observation only
+    op_node = ctx_->StageNode(rel, target.stage);
+    in_stage = static_cast<int16_t>(target.stage - 1);
+  } else {
+    if (num_inner == 0) return;  // chain-less input: the top is the base
+    op_node = ctx_->TopOpNode(rel);
+    in_stage = static_cast<int16_t>(num_inner - 1);
+  }
+  const WorkflowNode& op = ctx_->workflow().node(op_node);
+
+  auto in_card = [&] { return StatKey::CardStage(rel, in_stage); };
+  auto in_hist = [&](AttrMask m) {
+    return StatKey::HistStage(rel, in_stage, m);
+  };
+
+  switch (op.kind) {
+    case OpKind::kFilter: {
+      const AttrMask a_bit = AttrMask{1} << op.predicate.attr;
+      CssEntry e;
+      e.target = target;
+      e.op_node = op_node;
+      if (target.kind == StatKind::kCard) {
+        e.rule = RuleId::kS1;
+        e.inputs = {in_hist(a_bit)};
+      } else {
+        e.rule = RuleId::kS2;
+        e.inputs = {in_hist(target.attrs | a_bit)};
+      }
+      out->push_back(std::move(e));
+      break;
+    }
+    case OpKind::kProject: {
+      CssEntry e;
+      e.target = target;
+      e.op_node = op_node;
+      if (target.kind == StatKind::kCard) {
+        e.rule = RuleId::kCopyCard;
+        e.inputs = {in_card()};
+      } else {
+        e.rule = RuleId::kCopyHist;
+        e.inputs = {in_hist(target.attrs)};
+      }
+      out->push_back(std::move(e));
+      break;
+    }
+    case OpKind::kTransform: {
+      // Aggregate UDFs are sealed and never appear inside chains; a plain
+      // transform preserves cardinality (U1) and every distribution not
+      // involving the rewritten attribute (U2).
+      ETLOPT_CHECK(!op.transform.is_aggregate);
+      CssEntry e;
+      e.target = target;
+      e.op_node = op_node;
+      if (target.kind == StatKind::kCard) {
+        e.rule = RuleId::kCopyCard;
+        e.inputs = {in_card()};
+        out->push_back(std::move(e));
+      } else {
+        const AttrMask changed = AttrMask{1} << op.transform.output_attr;
+        if ((target.attrs & changed) == 0) {
+          e.rule = RuleId::kCopyHist;
+          e.inputs = {in_hist(target.attrs)};
+          out->push_back(std::move(e));
+        }
+        // Distribution of the transformed attribute depends on the UDF
+        // itself: no rule (observation only).
+      }
+      break;
+    }
+    case OpKind::kAggregate: {
+      AttrMask group_mask = 0;
+      for (AttrId a : op.aggregate.group_by) group_mask |= AttrMask{1} << a;
+      CssEntry e;
+      e.target = target;
+      e.op_node = op_node;
+      if (target.kind == StatKind::kCard) {
+        // G1: |G(T,a)| = |a_T|.
+        e.rule = RuleId::kG1;
+        e.inputs = {StatKey::DistinctStage(rel, in_stage, group_mask)};
+        out->push_back(std::move(e));
+      } else if (IsSubset(target.attrs, group_mask)) {
+        // G2: each group contributes one output row.
+        e.rule = RuleId::kG2;
+        e.aux_mask = group_mask;
+        e.inputs = {in_hist(group_mask)};
+        out->push_back(std::move(e));
+      }
+      break;
+    }
+    default:
+      ETLOPT_CHECK_MSG(false, "unexpected operator kind in a chain");
+  }
+}
+
+void RuleEngine::GenerateJoin(const StatKey& target,
+                              std::vector<CssEntry>* out) const {
+  const RelMask se = target.rels;
+  for (const PlanAlt& plan : ps_->plans(se)) {
+    const AttrMask a_bit = AttrMask{1} << plan.attr;
+    if (target.kind == StatKind::kCard) {
+      // J1: dot product of join-attribute distributions.
+      CssEntry j1;
+      j1.rule = RuleId::kJ1;
+      j1.target = target;
+      j1.join_attr = plan.attr;
+      j1.inputs = {StatKey::Hist(plan.left, a_bit),
+                   StatKey::Hist(plan.right, a_bit)};
+      out->push_back(std::move(j1));
+
+      // FK lookup shortcut: |fact ⋈ dim| = |fact side|.
+      if (options_.enable_fk_rules && plan.fk_dim_side >= 0) {
+        const RelMask dim_bit = RelMask{1} << plan.fk_dim_side;
+        if (dim_bit == plan.left || dim_bit == plan.right) {
+          CssEntry fk;
+          fk.rule = RuleId::kFk;
+          fk.target = target;
+          fk.inputs = {StatKey::Card(se & ~dim_bit)};
+          out->push_back(std::move(fk));
+        }
+      }
+    } else {  // kHist
+      // J2/J3 unified: the side carrying the non-join target attributes.
+      const AttrMask needed = target.attrs & ~a_bit;
+      for (int side = 0; side < 2; ++side) {
+        const RelMask x = side == 0 ? plan.left : plan.right;
+        const RelMask y = side == 0 ? plan.right : plan.left;
+        if (!IsSubset(needed, ctx_->SchemaMask(x))) continue;
+        CssEntry j2;
+        j2.rule = RuleId::kJ2;
+        j2.target = target;
+        j2.join_attr = plan.attr;
+        j2.marginalize = (target.attrs & a_bit) == 0;
+        j2.inputs = {StatKey::Hist(x, target.attrs | a_bit),
+                     StatKey::Hist(y, a_bit)};
+        out->push_back(std::move(j2));
+      }
+    }
+
+    // Union-division (J4/J5) in both plan orientations.
+    if (options_.enable_union_division) {
+      GenerateUnionDivision(target, plan.left, plan.right, out);
+      GenerateUnionDivision(target, plan.right, plan.left, out);
+    }
+  }
+}
+
+void RuleEngine::GenerateUnionDivision(const StatKey& target, RelMask x,
+                                       RelMask y,
+                                       std::vector<CssEntry>* out) const {
+  const RelMask se = target.rels;
+  AttrId j_attr = kInvalidAttr;
+  const RelMask k_mask = ctx_->InitialNextPartner(x, &j_attr);
+  if (k_mask == 0 || !IsSingleton(k_mask)) return;
+  if ((k_mask & se) != 0) return;   // k must be outside the SE
+  if (!ctx_->IsOnPath(y)) return;   // the side-join needs Y materialized
+  const int k = LowestBit(k_mask);
+  const AttrMask j_bit = AttrMask{1} << j_attr;
+
+  CssEntry e;
+  e.target = target;
+  e.join_attr = j_attr;
+  if (target.kind == StatKind::kCard) {
+    e.rule = RuleId::kJ4;
+    e.inputs = {StatKey::Hist(se | k_mask, j_bit), StatKey::Hist(k_mask, j_bit),
+                StatKey::RejectJoinCard(x, k, y)};
+  } else {
+    e.rule = RuleId::kJ5;
+    e.inputs = {StatKey::Hist(se | k_mask, target.attrs | j_bit),
+                StatKey::Hist(k_mask, j_bit),
+                StatKey::RejectJoinHist(x, k, y, target.attrs)};
+  }
+  out->push_back(std::move(e));
+}
+
+void RuleEngine::ApplyIdentityRules(CssCatalog* catalog) const {
+  // Snapshot: the identity pass must not introduce new statistics.
+  const std::vector<StatKey> stats = catalog->stats();
+
+  // Group histograms by (rels, stage).
+  struct PointKey {
+    RelMask rels;
+    int16_t stage;
+    bool operator==(const PointKey& o) const {
+      return rels == o.rels && stage == o.stage;
+    }
+  };
+  struct PointHash {
+    size_t operator()(const PointKey& k) const {
+      return (static_cast<size_t>(k.rels) << 16) ^
+             static_cast<size_t>(static_cast<uint16_t>(k.stage));
+    }
+  };
+  std::unordered_map<PointKey, std::vector<AttrMask>, PointHash> hists;
+  for (const StatKey& s : stats) {
+    if (s.kind == StatKind::kHist) {
+      hists[PointKey{s.rels, s.stage}].push_back(s.attrs);
+    }
+  }
+
+  for (const StatKey& s : stats) {
+    const auto it = hists.find(PointKey{s.rels, s.stage});
+    if (it == hists.end()) continue;
+    for (AttrMask m : it->second) {
+      if (s.kind == StatKind::kCard) {
+        // I1: |T| from any histogram on T.
+        CssEntry e;
+        e.rule = RuleId::kI1;
+        e.target = s;
+        e.inputs = {StatKey{StatKind::kHist, s.rels, s.stage, m, 0, 0}};
+        catalog->AddCss(std::move(e));
+      } else if (s.kind == StatKind::kHist && s.attrs != m &&
+                 IsSubset(s.attrs, m)) {
+        // I2: coarse histogram from a finer one.
+        CssEntry e;
+        e.rule = RuleId::kI2;
+        e.target = s;
+        e.inputs = {StatKey{StatKind::kHist, s.rels, s.stage, m, 0, 0}};
+        catalog->AddCss(std::move(e));
+      } else if (s.kind == StatKind::kDistinct && s.attrs == m) {
+        // D1: |a_T| is the bucket count of H_T^a.
+        CssEntry e;
+        e.rule = RuleId::kD1;
+        e.target = s;
+        e.inputs = {StatKey{StatKind::kHist, s.rels, s.stage, m, 0, 0}};
+        catalog->AddCss(std::move(e));
+      }
+    }
+  }
+}
+
+}  // namespace etlopt

@@ -1,0 +1,52 @@
+#ifndef ETLOPT_CSS_RULES_H_
+#define ETLOPT_CSS_RULES_H_
+
+#include <vector>
+
+#include "css/css.h"
+#include "planspace/plan_space.h"
+
+namespace etlopt {
+
+struct CssGenOptions {
+  // Generate the union-division CSSs (rules J4/J5, Section 4.1.2). The
+  // experiments compare runs with and without these.
+  bool enable_union_division = true;
+  // Exploit foreign-key lookup metadata (Section 3.2.2).
+  bool enable_fk_rules = true;
+};
+
+// Applies the paper's non-identity rules to one target statistic under every
+// plan the optimizer generates for its SE (Definition 2), and the identity
+// rules as a closing pass (Algorithm 1, lines 17-21).
+class RuleEngine {
+ public:
+  RuleEngine(const BlockContext* ctx, const PlanSpace* plan_space,
+             CssGenOptions options);
+
+  // Appends to `out` every CSS the non-identity rules produce for `target`.
+  void Generate(const StatKey& target, std::vector<CssEntry>* out) const;
+
+  // Identity pass: adds I1/I2/D1 CSSs referencing only statistics already in
+  // the catalog (the paper's no-new-statistics constraint, which prevents
+  // the exponential blow-up discussed in Section 4.2).
+  void ApplyIdentityRules(CssCatalog* catalog) const;
+
+ private:
+  // Chain statistics: stats on a single input's operator chain.
+  void GenerateChain(const StatKey& target, std::vector<CssEntry>* out) const;
+  // Join-SE statistics.
+  void GenerateJoin(const StatKey& target, std::vector<CssEntry>* out) const;
+  // Union-division CSSs for one plan orientation (X joins k first in the
+  // initial plan; Y is the other side of the plan).
+  void GenerateUnionDivision(const StatKey& target, RelMask x, RelMask y,
+                             std::vector<CssEntry>* out) const;
+
+  const BlockContext* ctx_;
+  const PlanSpace* ps_;
+  CssGenOptions options_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_CSS_RULES_H_

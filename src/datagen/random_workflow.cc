@@ -1,0 +1,118 @@
+#include "datagen/random_workflow.h"
+
+#include "etl/transforms.h"
+#include "etl/workflow_builder.h"
+
+namespace etlopt {
+
+WorkloadSpec GenerateRandomWorkflow(uint64_t seed,
+                                    const RandomWorkflowOptions& options) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  const int n = static_cast<int>(
+      rng.NextInRange(options.min_rels, options.max_rels));
+
+  WorkflowBuilder b("random_" + std::to_string(seed));
+  std::vector<TableSpec> tables;
+
+  // Random join tree: edge i links rel i to a random earlier rel.
+  struct Edge {
+    int parent;
+    AttrId key;
+  };
+  std::vector<Edge> edges;  // edges[i-1] belongs to rel i
+  std::unordered_map<AttrId, int64_t> key_domain;
+  for (int i = 1; i < n; ++i) {
+    const int64_t domain =
+        rng.NextInRange(options.min_key_domain, options.max_key_domain);
+    const AttrId key = b.DeclareAttr("key_" + std::to_string(i), domain);
+    key_domain[key] = domain;
+    edges.push_back(Edge{
+        static_cast<int>(rng.NextBounded(static_cast<uint64_t>(i))), key});
+  }
+  std::vector<std::vector<AttrId>> keys_of(static_cast<size_t>(n));
+  for (int i = 1; i < n; ++i) {
+    keys_of[static_cast<size_t>(i)].push_back(edges[static_cast<size_t>(i - 1)].key);
+    keys_of[static_cast<size_t>(edges[static_cast<size_t>(i - 1)].parent)]
+        .push_back(edges[static_cast<size_t>(i - 1)].key);
+  }
+
+  // Sources with payloads + random operator chains.
+  std::vector<NodeId> tops(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    const AttrId payload = b.DeclareAttr("pay_" + std::to_string(r),
+                                         rng.NextInRange(10, 60));
+    std::vector<AttrId> cols = keys_of[static_cast<size_t>(r)];
+    cols.push_back(payload);
+
+    TableSpec spec;
+    spec.name = "T" + std::to_string(r);
+    spec.rows = rng.NextInRange(options.min_rows, options.max_rows);
+    for (AttrId a : cols) {
+      // Mix of uniform and Zipf key columns.
+      spec.columns.push_back(
+          rng.NextDouble() < 0.5
+              ? ColumnSpec{a, ColumnGen::kUniform, 0.0, 0, 0.0}
+              : ColumnSpec{a, ColumnGen::kZipf, 1.1, 0, 0.0});
+    }
+    tables.push_back(std::move(spec));
+    NodeId node = b.Source("T" + std::to_string(r), cols);
+
+    if (rng.NextDouble() < options.filter_prob) {
+      const Value cut = rng.NextInRange(5, 55);
+      node = b.Filter(node, Predicate{payload, CompareOp::kLe, cut});
+    }
+    if (!keys_of[static_cast<size_t>(r)].empty() &&
+        rng.NextDouble() < options.key_filter_prob) {
+      const AttrId key = keys_of[static_cast<size_t>(r)][static_cast<size_t>(
+          rng.NextBounded(keys_of[static_cast<size_t>(r)].size()))];
+      // Keep ~60-95% of the key's domain so joins rarely run empty.
+      const int64_t domain = key_domain.at(key);
+      const Value cut = rng.NextInRange((domain * 3) / 5, domain);
+      node = b.Filter(node, Predicate{key, CompareOp::kLe, cut});
+    }
+    if (rng.NextDouble() < options.transform_prob) {
+      node = b.Transform(node, payload, transforms::Mod100);
+    }
+    if (!keys_of[static_cast<size_t>(r)].empty() &&
+        rng.NextDouble() < options.groupby_prob) {
+      node = b.Aggregate(node, keys_of[static_cast<size_t>(r)]);
+    }
+    tops[static_cast<size_t>(r)] = node;
+  }
+
+  // Random left-deep designed join order: grow a connected set.
+  std::vector<char> in_set(static_cast<size_t>(n), 0);
+  const int start = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(n)));
+  in_set[static_cast<size_t>(start)] = 1;
+  NodeId flow = tops[static_cast<size_t>(start)];
+  for (int step = 1; step < n; ++step) {
+    // Candidate rels adjacent to the current set.
+    std::vector<std::pair<int, AttrId>> frontier;
+    for (int i = 1; i < n; ++i) {
+      const Edge& e = edges[static_cast<size_t>(i - 1)];
+      const bool a_in = in_set[static_cast<size_t>(i)];
+      const bool b_in = in_set[static_cast<size_t>(e.parent)];
+      if (a_in != b_in) {
+        frontier.push_back({a_in ? e.parent : i, e.key});
+      }
+    }
+    ETLOPT_CHECK(!frontier.empty());
+    const auto [rel, key] =
+        frontier[static_cast<size_t>(rng.NextBounded(frontier.size()))];
+    JoinOptions join_options;
+    join_options.reject_link = rng.NextDouble() < options.reject_prob;
+    flow = b.Join(flow, tops[static_cast<size_t>(rel)], key, join_options);
+    in_set[static_cast<size_t>(rel)] = 1;
+  }
+  b.Sink(flow, "warehouse.random");
+
+  Result<Workflow> wf = std::move(b).Build();
+  ETLOPT_CHECK_MSG(wf.ok(), wf.status().ToString());
+  WorkloadSpec spec;
+  spec.name = "random_" + std::to_string(seed);
+  spec.workflow = std::move(wf).value();
+  spec.tables = std::move(tables);
+  return spec;
+}
+
+}  // namespace etlopt

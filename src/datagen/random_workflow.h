@@ -1,0 +1,33 @@
+#ifndef ETLOPT_DATAGEN_RANDOM_WORKFLOW_H_
+#define ETLOPT_DATAGEN_RANDOM_WORKFLOW_H_
+
+#include "datagen/workload_suite.h"
+
+namespace etlopt {
+
+struct RandomWorkflowOptions {
+  int min_rels = 2;
+  int max_rels = 5;
+  int64_t min_key_domain = 25;
+  int64_t max_key_domain = 120;
+  int64_t min_rows = 30;
+  int64_t max_rows = 180;
+  double filter_prob = 0.4;     // per input: prepend a payload filter
+  double transform_prob = 0.3;  // per input: in-place payload transform
+  double groupby_prob = 0.15;   // per input: aggregate chain op
+  double reject_prob = 0.15;    // per join: designed reject link
+  double key_filter_prob = 0.2; // per input: filter on a join key
+};
+
+// Generates a random—but always valid—workflow plus matching source tables:
+// a random join tree (keys shared through edges), random per-input operator
+// chains (filters, registry transforms, group-bys), occasional reject
+// links, and a random left-deep designed join order. Used by the fuzz sweep
+// that checks the exactness invariant far beyond the curated 30-workflow
+// suite.
+WorkloadSpec GenerateRandomWorkflow(uint64_t seed,
+                                    const RandomWorkflowOptions& options = {});
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_DATAGEN_RANDOM_WORKFLOW_H_

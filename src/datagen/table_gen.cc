@@ -1,0 +1,87 @@
+#include "datagen/table_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace etlopt {
+
+Table GenerateTable(const AttrCatalog& catalog, const TableSpec& spec,
+                    Rng& rng, double row_scale) {
+  ETLOPT_CHECK(row_scale > 0.0 && row_scale <= 1.0);
+  const int64_t rows = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(spec.rows * row_scale)));
+
+  std::vector<AttrId> attrs;
+  attrs.reserve(spec.columns.size());
+  for (const ColumnSpec& col : spec.columns) attrs.push_back(col.attr);
+  Table table{Schema(attrs)};
+  table.Reserve(static_cast<size_t>(rows));
+
+  // Per-column samplers (Zipf CDFs are built once).
+  struct Sampler {
+    const ColumnSpec* spec;
+    int64_t domain;
+    int64_t match_upto;
+    std::unique_ptr<ZipfDistribution> zipf;
+  };
+  std::vector<Sampler> samplers;
+  for (const ColumnSpec& col : spec.columns) {
+    Sampler s;
+    s.spec = &col;
+    s.domain = catalog.domain_size(col.attr);
+    s.match_upto = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(col.match_upto * row_scale)));
+    switch (col.gen) {
+      case ColumnGen::kSequential:
+        ETLOPT_CHECK_MSG(rows <= s.domain,
+                         "sequential key exceeds attribute domain");
+        break;
+      case ColumnGen::kZipf:
+        s.zipf = std::make_unique<ZipfDistribution>(s.domain, col.zipf_skew);
+        break;
+      case ColumnGen::kUniform:
+        break;
+      case ColumnGen::kFkZipf:
+        ETLOPT_CHECK_MSG(s.match_upto <= s.domain,
+                         "FK match range exceeds attribute domain");
+        s.zipf =
+            std::make_unique<ZipfDistribution>(s.match_upto, col.zipf_skew);
+        break;
+    }
+    samplers.push_back(std::move(s));
+  }
+
+  for (int64_t r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    row.reserve(samplers.size());
+    for (Sampler& s : samplers) {
+      Value v = 0;
+      switch (s.spec->gen) {
+        case ColumnGen::kSequential:
+          v = r + 1;
+          break;
+        case ColumnGen::kZipf:
+          v = s.zipf->Sample(rng);
+          break;
+        case ColumnGen::kUniform:
+          v = rng.NextInRange(1, s.domain);
+          break;
+        case ColumnGen::kFkZipf: {
+          if (s.match_upto < s.domain &&
+              rng.NextDouble() < s.spec->miss_rate) {
+            v = rng.NextInRange(s.match_upto + 1, s.domain);  // dangling
+          } else {
+            v = s.zipf->Sample(rng);
+          }
+          break;
+        }
+      }
+      row.push_back(v);
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace etlopt

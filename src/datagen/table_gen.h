@@ -1,0 +1,45 @@
+#ifndef ETLOPT_DATAGEN_TABLE_GEN_H_
+#define ETLOPT_DATAGEN_TABLE_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+#include "util/random.h"
+
+namespace etlopt {
+
+// How a column's values are drawn. All values stay within the attribute's
+// catalog domain {1..domain_size} so the Section 5.4 memory costing holds.
+enum class ColumnGen {
+  kSequential,  // primary key: 1..rows (rows must be <= domain)
+  kZipf,        // Zipf(skew) over the full domain (the paper's high skew)
+  kUniform,     // uniform over the full domain
+  kFkZipf,      // foreign key: Zipf over [1..match_upto] with probability
+                // (1-miss_rate); uniform over (match_upto..domain] otherwise
+                // (non-matching rows feed the reject links)
+};
+
+struct ColumnSpec {
+  AttrId attr = kInvalidAttr;
+  ColumnGen gen = ColumnGen::kZipf;
+  double zipf_skew = 1.2;
+  int64_t match_upto = 0;   // kFkZipf: the referenced dimension's row count
+  double miss_rate = 0.0;   // kFkZipf: fraction of dangling references
+};
+
+struct TableSpec {
+  std::string name;
+  int64_t rows = 0;
+  std::vector<ColumnSpec> columns;
+};
+
+// Generates a table deterministically from `rng`. `row_scale` in (0,1]
+// shrinks row counts (and kSequential/kFkZipf key ranges) proportionally so
+// tests can run the same workloads at reduced scale.
+Table GenerateTable(const AttrCatalog& catalog, const TableSpec& spec,
+                    Rng& rng, double row_scale = 1.0);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_DATAGEN_TABLE_GEN_H_

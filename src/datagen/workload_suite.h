@@ -1,0 +1,57 @@
+#ifndef ETLOPT_DATAGEN_WORKLOAD_SUITE_H_
+#define ETLOPT_DATAGEN_WORKLOAD_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/table_gen.h"
+#include "engine/executor.h"
+#include "etl/workflow.h"
+
+namespace etlopt {
+
+// One benchmark workload: a designed workflow plus the generation specs of
+// its source tables.
+struct WorkloadSpec {
+  std::string name;
+  Workflow workflow;
+  std::vector<TableSpec> tables;
+};
+
+// The 30 representative workflows of Section 7, motivated by (a draft of)
+// TPC-DI: star/snowflake/chain joins from 1 to 8 inputs, filters,
+// transformations (in-place, derived-attribute, black-box aggregate UDFs),
+// group-bys, reject links, and materialized intermediates. Indexed 1..30 to
+// match the paper's figures; anchors:
+//   wf3  — union-division reduces memory by ~60x (Figure 11),
+//   wf16 — ~70,000 memory units (Figure 11),
+//   wf21 — 8-way join, minimum 41 executions for trivial-CSS-only coverage
+//          (Figure 12),
+//   wf23 — union-division CSS exists but is ~2x costlier and is not chosen,
+//   wf30 — 6-way join, minimum 14 executions.
+std::vector<WorkloadSpec> BuildSuite();
+
+// Builds one workflow of the suite (index 1..30).
+WorkloadSpec BuildWorkload(int index);
+
+// Generates all source tables of a workload. `row_scale` shrinks the data
+// for tests (1.0 = the paper-scale cardinalities).
+SourceMap GenerateSources(const WorkloadSpec& spec, uint64_t seed,
+                          double row_scale = 1.0);
+
+// Summary of the generated tables' data characteristics (the Section 7
+// table): cardinalities and unique values per attribute column.
+struct DataCharacteristics {
+  int64_t card_max = 0, card_min = 0;
+  double card_mean = 0.0, card_median = 0.0;
+  int64_t uv_max = 0, uv_min = 0;
+  double uv_mean = 0.0, uv_median = 0.0;
+  int num_tables = 0;
+  int num_columns = 0;
+};
+
+DataCharacteristics SummarizeSuiteData(uint64_t seed, double row_scale = 1.0);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_DATAGEN_WORKLOAD_SUITE_H_

@@ -1,0 +1,261 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace etlopt {
+
+Executor::Executor(const Workflow* workflow) : wf_(workflow) {
+  ETLOPT_CHECK(wf_ != nullptr);
+}
+
+Table HashJoin(const Table& left, const Table& right, AttrId attr,
+               Table* rejects) {
+  const int lkey = left.schema().IndexOf(attr);
+  const int rkey = right.schema().IndexOf(attr);
+  ETLOPT_CHECK_MSG(lkey >= 0 && rkey >= 0, "join key missing from an input");
+
+  // Output schema: left attrs then right attrs minus the key (mirrors
+  // Workflow::Finalize).
+  std::vector<AttrId> out_attrs = left.schema().attrs();
+  std::vector<int> right_cols;
+  for (int i = 0; i < right.schema().size(); ++i) {
+    const AttrId a = right.schema().attrs()[static_cast<size_t>(i)];
+    if (a != attr) {
+      out_attrs.push_back(a);
+      right_cols.push_back(i);
+    }
+  }
+  Table out{Schema(out_attrs)};
+
+  std::unordered_map<Value, std::vector<int64_t>> build;
+  build.reserve(static_cast<size_t>(right.num_rows()));
+  for (int64_t r = 0; r < right.num_rows(); ++r) {
+    build[right.at(r, rkey)].push_back(r);
+  }
+
+  for (int64_t l = 0; l < left.num_rows(); ++l) {
+    const auto it = build.find(left.at(l, lkey));
+    if (it == build.end()) {
+      if (rejects != nullptr) {
+        rejects->AddRow(left.rows()[static_cast<size_t>(l)]);
+      }
+      continue;
+    }
+    for (int64_t r : it->second) {
+      std::vector<Value> row = left.rows()[static_cast<size_t>(l)];
+      row.reserve(out_attrs.size());
+      for (int c : right_cols) {
+        row.push_back(right.at(r, c));
+      }
+      out.AddRow(std::move(row));
+    }
+  }
+  return out;
+}
+
+Table SortMergeJoin(const Table& left, const Table& right, AttrId attr,
+                    Table* rejects) {
+  const int lkey = left.schema().IndexOf(attr);
+  const int rkey = right.schema().IndexOf(attr);
+  ETLOPT_CHECK_MSG(lkey >= 0 && rkey >= 0, "join key missing from an input");
+
+  std::vector<AttrId> out_attrs = left.schema().attrs();
+  std::vector<int> right_cols;
+  for (int i = 0; i < right.schema().size(); ++i) {
+    const AttrId a = right.schema().attrs()[static_cast<size_t>(i)];
+    if (a != attr) {
+      out_attrs.push_back(a);
+      right_cols.push_back(i);
+    }
+  }
+  Table out{Schema(out_attrs)};
+
+  // Sort row indices of both sides by the key.
+  std::vector<int64_t> lidx(static_cast<size_t>(left.num_rows()));
+  std::vector<int64_t> ridx(static_cast<size_t>(right.num_rows()));
+  std::iota(lidx.begin(), lidx.end(), 0);
+  std::iota(ridx.begin(), ridx.end(), 0);
+  std::sort(lidx.begin(), lidx.end(), [&](int64_t a, int64_t b) {
+    return left.at(a, lkey) < left.at(b, lkey);
+  });
+  std::sort(ridx.begin(), ridx.end(), [&](int64_t a, int64_t b) {
+    return right.at(a, rkey) < right.at(b, rkey);
+  });
+
+  size_t li = 0;
+  size_t ri = 0;
+  while (li < lidx.size()) {
+    const Value lv = left.at(lidx[li], lkey);
+    while (ri < ridx.size() && right.at(ridx[ri], rkey) < lv) ++ri;
+    // Group of right rows with this key.
+    size_t rend = ri;
+    while (rend < ridx.size() && right.at(ridx[rend], rkey) == lv) ++rend;
+    if (ri == rend) {
+      if (rejects != nullptr) {
+        rejects->AddRow(left.rows()[static_cast<size_t>(lidx[li])]);
+      }
+      ++li;
+      continue;
+    }
+    // All left rows with this key join with the right group.
+    while (li < lidx.size() && left.at(lidx[li], lkey) == lv) {
+      for (size_t r = ri; r < rend; ++r) {
+        std::vector<Value> row = left.rows()[static_cast<size_t>(lidx[li])];
+        row.reserve(out_attrs.size());
+        for (int col : right_cols) {
+          row.push_back(right.at(ridx[r], col));
+        }
+        out.AddRow(std::move(row));
+      }
+      ++li;
+    }
+    ri = rend;
+  }
+  return out;
+}
+
+Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {
+  ExecutionResult result;
+  for (const WorkflowNode& node : wf_->nodes()) {
+    const Schema& out_schema = wf_->output_schema(node.id);
+    Table out{out_schema};
+    auto input = [&](int i) -> const Table& {
+      return result.node_outputs.at(node.inputs[static_cast<size_t>(i)]);
+    };
+    switch (node.kind) {
+      case OpKind::kSource: {
+        auto it = sources.find(node.table_name);
+        if (it == sources.end()) {
+          return Status::NotFound("no source table bound for '" +
+                                  node.table_name + "'");
+        }
+        if (!(it->second.schema() == node.source_schema)) {
+          return Status::InvalidArgument("source '" + node.table_name +
+                                         "' schema mismatch");
+        }
+        out = it->second;
+        break;
+      }
+      case OpKind::kFilter: {
+        const Table& in = input(0);
+        const int col = in.schema().IndexOf(node.predicate.attr);
+        for (const auto& row : in.rows()) {
+          if (node.predicate.Matches(row[static_cast<size_t>(col)])) {
+            out.AddRow(row);
+          }
+        }
+        result.rows_processed += in.num_rows();
+        break;
+      }
+      case OpKind::kProject: {
+        const Table& in = input(0);
+        std::vector<int> cols;
+        for (AttrId a : node.keep) cols.push_back(in.schema().IndexOf(a));
+        for (const auto& row : in.rows()) {
+          std::vector<Value> projected;
+          projected.reserve(cols.size());
+          for (int c : cols) projected.push_back(row[static_cast<size_t>(c)]);
+          out.AddRow(std::move(projected));
+        }
+        result.rows_processed += in.num_rows();
+        break;
+      }
+      case OpKind::kTransform: {
+        const Table& in = input(0);
+        const TransformSpec& t = node.transform;
+        const int col = in.schema().IndexOf(t.input_attr);
+        if (t.is_aggregate) {
+          // Black-box aggregate UDF: emits one row per distinct transformed
+          // key value (a deterministic blocking reduction).
+          std::unordered_map<Value, bool> seen;
+          for (const auto& row : in.rows()) {
+            const Value v = t.fn(row[static_cast<size_t>(col)]);
+            if (seen.emplace(v, true).second) {
+              std::vector<Value> r = row;
+              r[static_cast<size_t>(col)] = v;
+              out.AddRow(std::move(r));
+            }
+          }
+        } else if (t.output_attr == t.input_attr) {
+          for (const auto& row : in.rows()) {
+            std::vector<Value> r = row;
+            r[static_cast<size_t>(col)] = t.fn(r[static_cast<size_t>(col)]);
+            out.AddRow(std::move(r));
+          }
+        } else {
+          for (const auto& row : in.rows()) {
+            std::vector<Value> r = row;
+            r.push_back(t.fn(r[static_cast<size_t>(col)]));
+            out.AddRow(std::move(r));
+          }
+        }
+        result.rows_processed += in.num_rows();
+        break;
+      }
+      case OpKind::kAggregate: {
+        const Table& in = input(0);
+        AttrMask group_mask = 0;
+        for (AttrId a : node.aggregate.group_by) group_mask |= AttrMask{1} << a;
+        std::vector<int> cols;
+        for (AttrId a : node.aggregate.group_by) {
+          cols.push_back(in.schema().IndexOf(a));
+        }
+        std::unordered_map<std::vector<Value>, int64_t, ValueVecHash> groups;
+        for (const auto& row : in.rows()) {
+          std::vector<Value> key;
+          key.reserve(cols.size());
+          for (int c : cols) key.push_back(row[static_cast<size_t>(c)]);
+          ++groups[std::move(key)];
+        }
+        const bool with_count = node.aggregate.count_attr != kInvalidAttr;
+        for (auto& [key, count] : groups) {
+          std::vector<Value> row = key;
+          if (with_count) row.push_back(count);
+          out.AddRow(std::move(row));
+        }
+        result.rows_processed += in.num_rows();
+        break;
+      }
+      case OpKind::kJoin: {
+        const Table& left = input(0);
+        const Table& right = input(1);
+        Table rejects{left.schema()};
+        out = node.join.algorithm == JoinAlgorithm::kSortMerge
+                  ? SortMergeJoin(left, right, node.join.attr, &rejects)
+                  : HashJoin(left, right, node.join.attr, &rejects);
+        result.rows_processed += left.num_rows() + right.num_rows();
+        result.join_rejects[node.id] = std::move(rejects);
+        // Right-side rejects: right rows whose key never occurs on the left.
+        {
+          const int lkey = left.schema().IndexOf(node.join.attr);
+          const int rkey = right.schema().IndexOf(node.join.attr);
+          std::unordered_map<Value, bool> left_keys;
+          for (int64_t l = 0; l < left.num_rows(); ++l) {
+            left_keys.emplace(left.at(l, lkey), true);
+          }
+          Table rrejects{right.schema()};
+          for (int64_t r = 0; r < right.num_rows(); ++r) {
+            if (left_keys.find(right.at(r, rkey)) == left_keys.end()) {
+              rrejects.AddRow(right.rows()[static_cast<size_t>(r)]);
+            }
+          }
+          result.join_rejects_right[node.id] = std::move(rrejects);
+        }
+        break;
+      }
+      case OpKind::kMaterialize:
+      case OpKind::kSink: {
+        out = input(0);
+        result.rows_processed += out.num_rows();
+        result.targets[node.target_name] = out;
+        break;
+      }
+    }
+    result.node_outputs[node.id] = std::move(out);
+  }
+  return result;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,60 @@
+#ifndef ETLOPT_ENGINE_EXECUTOR_H_
+#define ETLOPT_ENGINE_EXECUTOR_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "engine/table.h"
+#include "etl/workflow.h"
+#include "util/status.h"
+
+namespace etlopt {
+
+// Source bindings: table name -> data.
+using SourceMap = std::unordered_map<std::string, Table>;
+
+// Everything produced by one run of a workflow. `node_outputs` caches every
+// node's output so the instrumentation layer can observe any pipeline point
+// after the fact — semantically equivalent to the per-tuple handlers that
+// commercial engines expose (Section 3.2.5) while keeping the engine simple.
+struct ExecutionResult {
+  std::unordered_map<NodeId, Table> node_outputs;
+  // Rows that found no match, per join node and side (captured for every
+  // join so reject links — designed or instrumentation-added — are
+  // available).
+  std::unordered_map<NodeId, Table> join_rejects;        // left-side rejects
+  std::unordered_map<NodeId, Table> join_rejects_right;  // right-side rejects
+  // Materialize / Sink outputs, by target name.
+  std::unordered_map<std::string, Table> targets;
+  // Total tuples flowing through all operators: a machine-independent proxy
+  // for the run's work, used to compare initial vs optimized plans.
+  int64_t rows_processed = 0;
+};
+
+// Single-threaded row-at-a-time executor for ETL workflows.
+class Executor {
+ public:
+  explicit Executor(const Workflow* workflow);
+
+  Result<ExecutionResult> Execute(const SourceMap& sources) const;
+
+ private:
+  const Workflow* wf_;
+};
+
+// Executes a join of two tables on a shared attribute (hash join; build on
+// the right input). When `rejects` is non-null it receives the left rows
+// with no match. Exposed for the instrumentation side-joins of the
+// union-division statistics.
+Table HashJoin(const Table& left, const Table& right, AttrId attr,
+               Table* rejects);
+
+// Sort-merge implementation of the same join (identical output multiset,
+// different physical cost profile). The executor dispatches on
+// JoinSpec::algorithm; kAuto uses hash.
+Table SortMergeJoin(const Table& left, const Table& right, AttrId attr,
+                    Table* rejects);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ENGINE_EXECUTOR_H_

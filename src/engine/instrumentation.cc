@@ -1,0 +1,171 @@
+#include "engine/instrumentation.h"
+
+#include "planspace/observability.h"
+
+namespace etlopt {
+namespace {
+
+// The pipeline-point table for a Card/Distinct/Hist key.
+Result<const Table*> PointTable(const BlockContext& ctx,
+                                const ExecutionResult& exec,
+                                const StatKey& key) {
+  NodeId node = kInvalidNode;
+  if (key.is_chain_stage()) {
+    node = ctx.StageNode(LowestBit(key.rels), key.stage);
+  } else {
+    auto it = ctx.on_path().find(key.rels);
+    if (it == ctx.on_path().end()) {
+      return Status::InvalidArgument("SE not on-path: " + key.ToString());
+    }
+    node = it->second;
+  }
+  auto it = exec.node_outputs.find(node);
+  if (it == exec.node_outputs.end()) {
+    return Status::Internal("no cached output for node " +
+                            std::to_string(node));
+  }
+  return &it->second;
+}
+
+// Materializes reject(L wrt k) ⋈ R for a reject-join key.
+Result<Table> RejectSideJoin(const BlockContext& ctx,
+                             const ExecutionResult& exec, const StatKey& key) {
+  const RelMask l = key.reject_left;
+  const RelMask k_mask = RelMask{1} << key.reject_k;
+  const RelMask r = key.rels;
+
+  // The designed join of L with k.
+  auto join_it = ctx.on_path().find(l | k_mask);
+  if (join_it == ctx.on_path().end()) {
+    return Status::InvalidArgument("L⋈k not on-path for " + key.ToString());
+  }
+  const NodeId join_node = join_it->second;
+  const BlockJoin* bj = nullptr;
+  for (const BlockJoin& j : ctx.block().joins) {
+    if (j.node == join_node) {
+      bj = &j;
+      break;
+    }
+  }
+  if (bj == nullptr) return Status::Internal("designed join not found");
+
+  const Table* rejects = nullptr;
+  if (bj->left == l && bj->right == k_mask) {
+    auto it = exec.join_rejects.find(join_node);
+    if (it != exec.join_rejects.end()) rejects = &it->second;
+  } else if (bj->left == k_mask && bj->right == l) {
+    auto it = exec.join_rejects_right.find(join_node);
+    if (it != exec.join_rejects_right.end()) rejects = &it->second;
+  }
+  if (rejects == nullptr) {
+    return Status::Internal("reject rows unavailable for " + key.ToString());
+  }
+
+  // Side join with the on-path R table on the edge connecting L and R.
+  const int edge = ctx.graph().CrossingEdge(l, r);
+  if (edge < 0) {
+    return Status::InvalidArgument("no unique edge between L and R for " +
+                                   key.ToString());
+  }
+  const AttrId attr = ctx.graph().edges()[static_cast<size_t>(edge)].attr;
+  auto r_it = ctx.on_path().find(r);
+  if (r_it == ctx.on_path().end()) {
+    return Status::InvalidArgument("R not on-path for " + key.ToString());
+  }
+  const Table& r_table = exec.node_outputs.at(r_it->second);
+  return HashJoin(*rejects, r_table, attr, nullptr);
+}
+
+}  // namespace
+
+Result<StatStore> ObserveStatistics(const BlockContext& ctx,
+                                    const ExecutionResult& exec,
+                                    const std::vector<StatKey>& keys) {
+  StatStore store;
+  for (const StatKey& key : keys) {
+    if (!IsObservable(key, ctx)) {
+      return Status::InvalidArgument("statistic not observable: " +
+                                     key.ToString());
+    }
+    switch (key.kind) {
+      case StatKind::kCard: {
+        ETLOPT_ASSIGN_OR_RETURN(const Table* table,
+                                PointTable(ctx, exec, key));
+        store.Set(key, StatValue::Count(table->num_rows()));
+        break;
+      }
+      case StatKind::kDistinct: {
+        ETLOPT_ASSIGN_OR_RETURN(const Table* table,
+                                PointTable(ctx, exec, key));
+        store.Set(key, StatValue::Count(table->CountDistinct(key.attrs)));
+        break;
+      }
+      case StatKind::kHist: {
+        ETLOPT_ASSIGN_OR_RETURN(const Table* table,
+                                PointTable(ctx, exec, key));
+        store.Set(key, StatValue::Hist(table->BuildHistogram(key.attrs)));
+        break;
+      }
+      case StatKind::kRejectJoinCard: {
+        ETLOPT_ASSIGN_OR_RETURN(Table joined, RejectSideJoin(ctx, exec, key));
+        store.Set(key, StatValue::Count(joined.num_rows()));
+        break;
+      }
+      case StatKind::kRejectJoinHist: {
+        ETLOPT_ASSIGN_OR_RETURN(Table joined, RejectSideJoin(ctx, exec, key));
+        store.Set(key, StatValue::Hist(joined.BuildHistogram(key.attrs)));
+        break;
+      }
+    }
+  }
+  return store;
+}
+
+Result<Table> MaterializeSubexpression(const BlockContext& ctx, RelMask rels,
+                                       const ExecutionResult& exec) {
+  // Start from the lowest relation's top and join the remaining ones along
+  // designed edges (any connected order is equivalent).
+  std::vector<int> members = MaskToIndices(rels);
+  auto top_table = [&](int rel) -> Result<Table> {
+    const NodeId node = ctx.TopNode(rel);
+    auto it = exec.node_outputs.find(node);
+    if (it == exec.node_outputs.end()) {
+      return Status::Internal("no cached output for relation top");
+    }
+    return it->second;
+  };
+  ETLOPT_ASSIGN_OR_RETURN(Table acc, top_table(members[0]));
+  RelMask done = RelMask{1} << members[0];
+  while (done != rels) {
+    bool progressed = false;
+    for (int rel : members) {
+      const RelMask bit = RelMask{1} << rel;
+      if (done & bit) continue;
+      const int edge = ctx.graph().CrossingEdge(done, bit);
+      if (edge < 0) continue;
+      const AttrId attr = ctx.graph().edges()[static_cast<size_t>(edge)].attr;
+      ETLOPT_ASSIGN_OR_RETURN(Table next, top_table(rel));
+      acc = HashJoin(acc, next, attr, nullptr);
+      done |= bit;
+      progressed = true;
+    }
+    if (!progressed) {
+      return Status::InvalidArgument("SE is not connected");
+    }
+  }
+  return acc;
+}
+
+Result<std::unordered_map<RelMask, int64_t>> ComputeGroundTruthCards(
+    const BlockContext& ctx, const std::vector<RelMask>& subexpressions,
+    const ExecutionResult& exec) {
+  std::unordered_map<RelMask, int64_t> cards;
+  for (RelMask se : subexpressions) {
+    ETLOPT_ASSIGN_OR_RETURN(Table table,
+                            MaterializeSubexpression(ctx, se, exec));
+    cards[se] = table.num_rows();
+  }
+  return cards;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,37 @@
+#ifndef ETLOPT_ENGINE_INSTRUMENTATION_H_
+#define ETLOPT_ENGINE_INSTRUMENTATION_H_
+
+#include <vector>
+
+#include "engine/executor.h"
+#include "planspace/block.h"
+#include "stats/stat_key.h"
+#include "stats/stat_store.h"
+
+namespace etlopt {
+
+// Observes the requested (observable) statistics from a run of the initial
+// plan (steps 5-6 of the framework, Fig. 2). Every key must satisfy
+// IsObservable for this block. Counters and histograms read the cached
+// pipeline-point tables; reject-join statistics attach to the designed join
+// of L with k (adding the reject link the paper describes for Fig. 5) and
+// evaluate the small side-join against the on-path R table.
+Result<StatStore> ObserveStatistics(const BlockContext& ctx,
+                                    const ExecutionResult& exec,
+                                    const std::vector<StatKey>& keys);
+
+// Ground truth for testing and experiments: the exact cardinality of every
+// SE in the plan space, computed by directly evaluating each SE over the
+// block's chain-top tables.
+Result<std::unordered_map<RelMask, int64_t>> ComputeGroundTruthCards(
+    const BlockContext& ctx, const std::vector<RelMask>& subexpressions,
+    const ExecutionResult& exec);
+
+// Directly materializes one SE (join of the chain tops in `rels` along the
+// designed join edges). Exposed for property tests on histograms.
+Result<Table> MaterializeSubexpression(const BlockContext& ctx, RelMask rels,
+                                       const ExecutionResult& exec);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ENGINE_INSTRUMENTATION_H_

@@ -1,0 +1,48 @@
+#include "engine/table.h"
+
+#include <sstream>
+
+namespace etlopt {
+
+Histogram Table::BuildHistogram(AttrMask attrs) const {
+  ETLOPT_CHECK_MSG(schema_.ContainsAll(attrs),
+                   "histogram attributes must be in the table schema");
+  Histogram hist(attrs);
+  std::vector<int> cols;
+  for (int idx : MaskToIndices(attrs)) {
+    cols.push_back(schema_.IndexOf(static_cast<AttrId>(idx)));
+  }
+  std::vector<Value> key(cols.size());
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      key[i] = row[static_cast<size_t>(cols[i])];
+    }
+    hist.Add(key, 1);
+  }
+  return hist;
+}
+
+int64_t Table::CountDistinct(AttrMask attrs) const {
+  return BuildHistogram(attrs).NumBuckets();
+}
+
+std::string Table::ToString(const AttrCatalog& catalog, int64_t limit) const {
+  std::ostringstream out;
+  out << schema_.ToString(catalog) << " [" << num_rows() << " rows]\n";
+  int64_t shown = 0;
+  for (const auto& row : rows_) {
+    if (shown++ >= limit) {
+      out << "  ...\n";
+      break;
+    }
+    out << "  (";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out << ", ";
+      out << row[i];
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace etlopt

@@ -1,0 +1,50 @@
+#ifndef ETLOPT_ENGINE_TABLE_H_
+#define ETLOPT_ENGINE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "etl/schema.h"
+#include "stats/histogram.h"
+
+namespace etlopt {
+
+// An in-memory record-set: the engine's unit of data. Row layout follows the
+// schema's attribute order.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  void AddRow(std::vector<Value> row) {
+    ETLOPT_CHECK(static_cast<int>(row.size()) == schema_.size());
+    rows_.push_back(std::move(row));
+  }
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  const std::vector<std::vector<Value>>& rows() const { return rows_; }
+
+  Value at(int64_t row, int col) const {
+    return rows_[static_cast<size_t>(row)][static_cast<size_t>(col)];
+  }
+
+  // Builds the exact frequency histogram over `attrs` (all must be in the
+  // schema) — the engine-side collector of Section 3.2.5.
+  Histogram BuildHistogram(AttrMask attrs) const;
+
+  // Number of distinct value combinations of `attrs`.
+  int64_t CountDistinct(AttrMask attrs) const;
+
+  std::string ToString(const AttrCatalog& catalog, int64_t limit = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ENGINE_TABLE_H_

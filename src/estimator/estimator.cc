@@ -1,0 +1,173 @@
+#include "estimator/estimator.h"
+
+#include <deque>
+
+#include "opt/closure.h"
+
+namespace etlopt {
+
+Estimator::Estimator(const BlockContext* ctx, const CssCatalog* catalog)
+    : ctx_(ctx), catalog_(catalog) {
+  ETLOPT_CHECK(ctx_ != nullptr && catalog_ != nullptr);
+}
+
+Status Estimator::DeriveAll(const StatStore& observed) {
+  derived_ = observed;
+
+  // Closure with derivation choices gives an acyclic evaluation order:
+  // each stat's chosen CSS only references stats that became computable
+  // earlier.
+  const int n = catalog_->num_stats();
+  std::vector<char> obs_flags(static_cast<size_t>(n), 0);
+  for (int s = 0; s < n; ++s) {
+    if (observed.Contains(catalog_->stat(s))) {
+      obs_flags[static_cast<size_t>(s)] = 1;
+    }
+  }
+  std::vector<int> derivation;
+  const std::vector<char> computable =
+      ComputeClosure(*catalog_, obs_flags, &derivation);
+
+  // Evaluate in dependency order via a worklist: a stat is ready when all
+  // inputs of its chosen CSS have values.
+  std::deque<int> pending;
+  for (int s = 0; s < n; ++s) {
+    if (computable[static_cast<size_t>(s)] &&
+        !obs_flags[static_cast<size_t>(s)]) {
+      pending.push_back(s);
+    }
+  }
+  size_t stall = 0;
+  while (!pending.empty()) {
+    if (stall > pending.size()) {
+      return Status::Internal("cyclic derivation during estimation");
+    }
+    const int s = pending.front();
+    pending.pop_front();
+    const int css = derivation[static_cast<size_t>(s)];
+    ETLOPT_CHECK(css >= 0);
+    const CssEntry& entry = catalog_->entry(css);
+    bool ready = true;
+    for (const StatKey& in : entry.inputs) {
+      if (!derived_.Contains(in)) {
+        ready = false;
+        break;
+      }
+    }
+    if (!ready) {
+      pending.push_back(s);
+      ++stall;
+      continue;
+    }
+    stall = 0;
+    ETLOPT_ASSIGN_OR_RETURN(StatValue value, Evaluate(entry));
+    derived_.Set(entry.target, std::move(value));
+  }
+  return Status::OK();
+}
+
+Result<StatValue> Estimator::Evaluate(const CssEntry& entry) const {
+  auto count_in = [&](int i) -> Result<int64_t> {
+    return derived_.GetCount(entry.inputs[static_cast<size_t>(i)]);
+  };
+  auto hist_in = [&](int i) -> Result<Histogram> {
+    return derived_.GetHist(entry.inputs[static_cast<size_t>(i)]);
+  };
+
+  switch (entry.rule) {
+    case RuleId::kS1: {
+      const WorkflowNode& op = ctx_->workflow().node(entry.op_node);
+      ETLOPT_ASSIGN_OR_RETURN(Histogram h, hist_in(0));
+      return StatValue::Count(h.CountMatching(op.predicate));
+    }
+    case RuleId::kS2: {
+      const WorkflowNode& op = ctx_->workflow().node(entry.op_node);
+      ETLOPT_ASSIGN_OR_RETURN(Histogram h, hist_in(0));
+      return StatValue::Hist(
+          h.FilterThenMarginalize(op.predicate, entry.target.attrs));
+    }
+    case RuleId::kCopyCard:
+    case RuleId::kG1:
+    case RuleId::kFk: {
+      ETLOPT_ASSIGN_OR_RETURN(int64_t c, count_in(0));
+      return StatValue::Count(c);
+    }
+    case RuleId::kCopyHist: {
+      ETLOPT_ASSIGN_OR_RETURN(Histogram h, hist_in(0));
+      return StatValue::Hist(std::move(h));
+    }
+    case RuleId::kG2: {
+      ETLOPT_ASSIGN_OR_RETURN(Histogram h, hist_in(0));
+      return StatValue::Hist(
+          h.CollapseToDistinct().Marginalize(entry.target.attrs));
+    }
+    case RuleId::kJ1: {
+      ETLOPT_ASSIGN_OR_RETURN(Histogram a, hist_in(0));
+      ETLOPT_ASSIGN_OR_RETURN(Histogram b, hist_in(1));
+      return StatValue::Count(Histogram::DotProduct(a, b));
+    }
+    case RuleId::kJ2: {
+      ETLOPT_ASSIGN_OR_RETURN(Histogram x, hist_in(0));
+      ETLOPT_ASSIGN_OR_RETURN(Histogram y, hist_in(1));
+      Histogram combined = Histogram::MultiplyBy(x, y);
+      if (entry.marginalize) {
+        combined = combined.Marginalize(entry.target.attrs);
+      }
+      return StatValue::Hist(std::move(combined));
+    }
+    case RuleId::kJ4: {
+      // |e| = |H_{e∪k}^J / H_k^J| + |reject(L wrt k) ⋈ R|   (Eq. 1-3)
+      ETLOPT_ASSIGN_OR_RETURN(Histogram hek, hist_in(0));
+      ETLOPT_ASSIGN_OR_RETURN(Histogram hk, hist_in(1));
+      ETLOPT_ASSIGN_OR_RETURN(int64_t reject_card, count_in(2));
+      const Histogram matched = Histogram::DivideBy(hek, hk);
+      return StatValue::Count(matched.TotalCount() + reject_card);
+    }
+    case RuleId::kJ5: {
+      ETLOPT_ASSIGN_OR_RETURN(Histogram hek, hist_in(0));
+      ETLOPT_ASSIGN_OR_RETURN(Histogram hk, hist_in(1));
+      ETLOPT_ASSIGN_OR_RETURN(Histogram hreject, hist_in(2));
+      Histogram matched =
+          Histogram::DivideBy(hek, hk).Marginalize(entry.target.attrs);
+      matched.AddAll(hreject);
+      return StatValue::Hist(std::move(matched));
+    }
+    case RuleId::kI1: {
+      ETLOPT_ASSIGN_OR_RETURN(Histogram h, hist_in(0));
+      return StatValue::Count(h.TotalCount());
+    }
+    case RuleId::kI2: {
+      ETLOPT_ASSIGN_OR_RETURN(Histogram h, hist_in(0));
+      return StatValue::Hist(h.Marginalize(entry.target.attrs));
+    }
+    case RuleId::kD1: {
+      ETLOPT_ASSIGN_OR_RETURN(Histogram h, hist_in(0));
+      return StatValue::Count(h.NumBuckets());
+    }
+  }
+  return Status::Internal("unhandled rule");
+}
+
+Result<int64_t> Estimator::Cardinality(RelMask se) const {
+  return derived_.GetCount(StatKey::Card(se));
+}
+
+Result<int64_t> Estimator::Count(const StatKey& key) const {
+  return derived_.GetCount(key);
+}
+
+Result<Histogram> Estimator::Hist(const StatKey& key) const {
+  return derived_.GetHist(key);
+}
+
+Result<std::unordered_map<RelMask, int64_t>> Estimator::AllCardinalities(
+    const std::vector<RelMask>& subexpressions) const {
+  std::unordered_map<RelMask, int64_t> cards;
+  for (RelMask se : subexpressions) {
+    ETLOPT_ASSIGN_OR_RETURN(int64_t card, Cardinality(se));
+    cards[se] = card;
+  }
+  return cards;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,48 @@
+#ifndef ETLOPT_ESTIMATOR_ESTIMATOR_H_
+#define ETLOPT_ESTIMATOR_ESTIMATOR_H_
+
+#include <unordered_map>
+
+#include "css/css.h"
+#include "planspace/block.h"
+#include "stats/stat_store.h"
+
+namespace etlopt {
+
+// Evaluates the CSS derivation DAG: starting from the observed statistic
+// values, computes the value of every computable statistic using each rule's
+// evaluation semantics (dot product for J1, multiply-through for J2/J3,
+// union-division for J4/J5, predicate counting for S1, ...). With exact
+// histograms every derived value is exact (Section 3.1), which is the
+// library's central tested invariant.
+class Estimator {
+ public:
+  Estimator(const BlockContext* ctx, const CssCatalog* catalog);
+
+  // Derives everything derivable from `observed`. Fails if a rule's inputs
+  // are inconsistent (modeling errors).
+  Status DeriveAll(const StatStore& observed);
+
+  // Value lookups after DeriveAll.
+  bool Has(const StatKey& key) const { return derived_.Contains(key); }
+  Result<int64_t> Cardinality(RelMask se) const;
+  Result<int64_t> Count(const StatKey& key) const;
+  Result<Histogram> Hist(const StatKey& key) const;
+
+  // All SE cardinalities (for the join-order optimizer).
+  Result<std::unordered_map<RelMask, int64_t>> AllCardinalities(
+      const std::vector<RelMask>& subexpressions) const;
+
+  const StatStore& derived() const { return derived_; }
+
+ private:
+  Result<StatValue> Evaluate(const CssEntry& entry) const;
+
+  const BlockContext* ctx_;
+  const CssCatalog* catalog_;
+  StatStore derived_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ESTIMATOR_ESTIMATOR_H_

@@ -1,0 +1,44 @@
+#include "etl/attr_catalog.h"
+
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace etlopt {
+
+AttrId AttrCatalog::Register(const std::string& name, int64_t domain_size) {
+  ETLOPT_CHECK_MSG(domain_size >= 1, "attribute domain must be positive");
+  ETLOPT_CHECK_MSG(by_name_.find(name) == by_name_.end(),
+                   "duplicate attribute name: " + name);
+  ETLOPT_CHECK_MSG(size() < kMaxAttrs, "too many attributes in workflow");
+  const AttrId id = static_cast<AttrId>(attrs_.size());
+  attrs_.push_back(AttrInfo{name, domain_size});
+  by_name_[name] = id;
+  return id;
+}
+
+AttrId AttrCatalog::Lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidAttr : it->second;
+}
+
+int64_t AttrCatalog::DomainProduct(AttrMask mask) const {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  int64_t product = 1;
+  for (int idx : MaskToIndices(mask)) {
+    const int64_t d = domain_size(static_cast<AttrId>(idx));
+    if (product > kMax / d) return kMax;  // saturate
+    product *= d;
+  }
+  return product;
+}
+
+std::string AttrCatalog::MaskToString(AttrMask mask) const {
+  std::vector<std::string> names;
+  for (int idx : MaskToIndices(mask)) {
+    names.push_back(name(static_cast<AttrId>(idx)));
+  }
+  return "{" + Join(names, ",") + "}";
+}
+
+}  // namespace etlopt

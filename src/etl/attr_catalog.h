@@ -1,0 +1,60 @@
+#ifndef ETLOPT_ETL_ATTR_CATALOG_H_
+#define ETLOPT_ETL_ATTR_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "etl/types.h"
+#include "util/bitmask.h"
+#include "util/common.h"
+
+namespace etlopt {
+
+// Metadata for one attribute. `domain_size` is |a| in the paper: the number
+// of possible values of the attribute over all relations; values are drawn
+// from {1, ..., domain_size}. It drives the memory cost of histograms
+// (Section 5.4).
+struct AttrInfo {
+  std::string name;
+  int64_t domain_size = 0;
+};
+
+// Workflow-global attribute registry. At most 64 attributes per workflow so
+// attribute sets fit in an AttrMask.
+class AttrCatalog {
+ public:
+  static constexpr int kMaxAttrs = 64;
+
+  // Registers a new attribute; aborts on duplicates or overflow (these are
+  // programming errors in workflow construction).
+  AttrId Register(const std::string& name, int64_t domain_size);
+
+  // Returns kInvalidAttr when the name is unknown.
+  AttrId Lookup(const std::string& name) const;
+
+  const AttrInfo& info(AttrId id) const {
+    ETLOPT_CHECK(id >= 0 && id < size());
+    return attrs_[static_cast<size_t>(id)];
+  }
+
+  const std::string& name(AttrId id) const { return info(id).name; }
+  int64_t domain_size(AttrId id) const { return info(id).domain_size; }
+
+  int size() const { return static_cast<int>(attrs_.size()); }
+
+  // Product of domain sizes over the attributes in `mask` — the memory cost
+  // of a (multi-attribute) histogram per Section 5.4. Saturates at INT64_MAX.
+  int64_t DomainProduct(AttrMask mask) const;
+
+  // Renders a mask like "{cust_id,prod_id}".
+  std::string MaskToString(AttrMask mask) const;
+
+ private:
+  std::vector<AttrInfo> attrs_;
+  std::unordered_map<std::string, AttrId> by_name_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ETL_ATTR_CATALOG_H_

@@ -1,0 +1,46 @@
+#include "etl/predicate.h"
+
+namespace etlopt {
+
+bool Predicate::Matches(Value v) const {
+  switch (op) {
+    case CompareOp::kEq:
+      return v == constant;
+    case CompareOp::kNe:
+      return v != constant;
+    case CompareOp::kLt:
+      return v < constant;
+    case CompareOp::kLe:
+      return v <= constant;
+    case CompareOp::kGt:
+      return v > constant;
+    case CompareOp::kGe:
+      return v >= constant;
+  }
+  return false;
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string Predicate::ToString(const AttrCatalog& catalog) const {
+  return catalog.name(attr) + " " + CompareOpName(op) + " " +
+         std::to_string(constant);
+}
+
+}  // namespace etlopt

@@ -1,0 +1,30 @@
+#ifndef ETLOPT_ETL_PREDICATE_H_
+#define ETLOPT_ETL_PREDICATE_H_
+
+#include <string>
+
+#include "etl/attr_catalog.h"
+#include "etl/types.h"
+#include "util/common.h"
+
+namespace etlopt {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// A single-attribute comparison against a constant — the σ_a(T) form of the
+// paper's select operator. Selectivity is exactly computable from a histogram
+// on `attr` (rule S1).
+struct Predicate {
+  AttrId attr = kInvalidAttr;
+  CompareOp op = CompareOp::kEq;
+  Value constant = 0;
+
+  bool Matches(Value v) const;
+  std::string ToString(const AttrCatalog& catalog) const;
+};
+
+const char* CompareOpName(CompareOp op);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ETL_PREDICATE_H_

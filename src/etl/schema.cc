@@ -1,0 +1,32 @@
+#include "etl/schema.h"
+
+#include "util/common.h"
+#include "util/string_util.h"
+
+namespace etlopt {
+
+Schema::Schema(std::vector<AttrId> attrs) : attrs_(std::move(attrs)) {
+  for (AttrId a : attrs_) {
+    ETLOPT_CHECK_MSG(a >= 0 && a < AttrCatalog::kMaxAttrs,
+                     "attribute id out of range");
+    const AttrMask bit = AttrMask{1} << a;
+    ETLOPT_CHECK_MSG((mask_ & bit) == 0, "duplicate attribute in schema");
+    mask_ |= bit;
+  }
+}
+
+int Schema::IndexOf(AttrId attr) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString(const AttrCatalog& catalog) const {
+  std::vector<std::string> names;
+  names.reserve(attrs_.size());
+  for (AttrId a : attrs_) names.push_back(catalog.name(a));
+  return "(" + Join(names, ", ") + ")";
+}
+
+}  // namespace etlopt

@@ -1,0 +1,39 @@
+#ifndef ETLOPT_ETL_SCHEMA_H_
+#define ETLOPT_ETL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "etl/attr_catalog.h"
+#include "etl/types.h"
+#include "util/bitmask.h"
+
+namespace etlopt {
+
+// An ordered list of attributes; row layout follows this order.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttrId> attrs);
+
+  // Position of `attr` in rows, or -1 when absent.
+  int IndexOf(AttrId attr) const;
+  bool Contains(AttrId attr) const { return IndexOf(attr) >= 0; }
+  bool ContainsAll(AttrMask mask) const { return IsSubset(mask, mask_); }
+
+  AttrMask mask() const { return mask_; }
+  const std::vector<AttrId>& attrs() const { return attrs_; }
+  int size() const { return static_cast<int>(attrs_.size()); }
+
+  std::string ToString(const AttrCatalog& catalog) const;
+
+  bool operator==(const Schema& other) const { return attrs_ == other.attrs_; }
+
+ private:
+  std::vector<AttrId> attrs_;
+  AttrMask mask_ = 0;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ETL_SCHEMA_H_

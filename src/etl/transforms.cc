@@ -1,0 +1,57 @@
+#include "etl/transforms.h"
+
+namespace etlopt {
+namespace transforms {
+
+Value Identity(Value v) { return v; }
+Value PlusOne(Value v) { return v + 1; }
+Value Standardize(Value v) { return v * 2 + 1; }
+Value BucketizeBy10(Value v) { return v / 10 + 1; }
+Value Negate(Value v) { return -v; }
+Value Mod100(Value v) { return (v - 1) % 100 + 1; }
+
+}  // namespace transforms
+
+namespace {
+
+using TransformFn = Value (*)(Value);
+
+struct Entry {
+  const char* name;
+  TransformFn fn;
+};
+
+constexpr Entry kRegistry[] = {
+    {"identity", transforms::Identity},
+    {"plus_one", transforms::PlusOne},
+    {"standardize", transforms::Standardize},
+    {"bucketize10", transforms::BucketizeBy10},
+    {"negate", transforms::Negate},
+    {"mod100", transforms::Mod100},
+};
+
+}  // namespace
+
+std::string LookupTransformName(const std::function<Value(Value)>& fn) {
+  const TransformFn* target = fn.target<TransformFn>();
+  if (target == nullptr) return "";
+  for (const Entry& e : kRegistry) {
+    if (e.fn == *target) return e.name;
+  }
+  return "";
+}
+
+std::function<Value(Value)> LookupTransformByName(const std::string& name) {
+  for (const Entry& e : kRegistry) {
+    if (name == e.name) return e.fn;
+  }
+  return {};
+}
+
+std::vector<std::string> RegisteredTransformNames() {
+  std::vector<std::string> names;
+  for (const Entry& e : kRegistry) names.push_back(e.name);
+  return names;
+}
+
+}  // namespace etlopt

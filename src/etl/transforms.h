@@ -1,0 +1,40 @@
+#ifndef ETLOPT_ETL_TRANSFORMS_H_
+#define ETLOPT_ETL_TRANSFORMS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace etlopt {
+
+// A small registry of named per-row value transforms (the U(T,a) UDFs).
+// Workflows built from registry transforms are serializable: the writer can
+// recover the name from the stored function pointer, and the reader can
+// resolve names back to functions. Ad-hoc lambdas still work everywhere
+// except serialization.
+namespace transforms {
+
+Value Identity(Value v);
+Value PlusOne(Value v);
+Value Standardize(Value v);    // v*2 + 1 (a stand-in for normalization)
+Value BucketizeBy10(Value v);  // v/10 + 1 (coarse re-coding)
+Value Negate(Value v);
+Value Mod100(Value v);         // (v-1)%100 + 1
+
+}  // namespace transforms
+
+// Returns the registered name for `fn` when it wraps one of the registry's
+// function pointers; empty string otherwise.
+std::string LookupTransformName(const std::function<Value(Value)>& fn);
+
+// Resolves a registered name; returns an empty std::function when unknown.
+std::function<Value(Value)> LookupTransformByName(const std::string& name);
+
+// All registered names (for diagnostics / CLI help).
+std::vector<std::string> RegisteredTransformNames();
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ETL_TRANSFORMS_H_

@@ -1,0 +1,21 @@
+#ifndef ETLOPT_ETL_TYPES_H_
+#define ETLOPT_ETL_TYPES_H_
+
+#include <cstdint>
+
+namespace etlopt {
+
+// Node identifier within a Workflow. Builders assign ids in topological
+// order, so `a.id < b.id` whenever a is an input (direct or transitive) of b.
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+// Attribute identifier within a workflow's AttrCatalog. Attribute identity is
+// global to the workflow: a join equates the same AttrId on both inputs
+// (surrogate-key style, as in the paper's Orders/Product/Customer example).
+using AttrId = int32_t;
+inline constexpr AttrId kInvalidAttr = -1;
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ETL_TYPES_H_

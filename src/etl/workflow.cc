@@ -1,0 +1,216 @@
+#include "etl/workflow.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace etlopt {
+namespace {
+
+// Computes the output schema of `node` from its input schemas, or an error.
+Result<Schema> ComputeSchema(const WorkflowNode& node,
+                             const std::vector<Schema>& inputs,
+                             const AttrCatalog& catalog) {
+  auto arity_error = [&](int want) {
+    return Status::InvalidArgument("node '" + node.name + "' (" +
+                                   OpKindName(node.kind) + ") expects " +
+                                   std::to_string(want) + " inputs, got " +
+                                   std::to_string(node.inputs.size()));
+  };
+  switch (node.kind) {
+    case OpKind::kSource: {
+      if (!inputs.empty()) return arity_error(0);
+      if (node.source_schema.size() == 0) {
+        return Status::InvalidArgument("source '" + node.name +
+                                       "' has empty schema");
+      }
+      return node.source_schema;
+    }
+    case OpKind::kFilter: {
+      if (inputs.size() != 1) return arity_error(1);
+      if (!inputs[0].Contains(node.predicate.attr)) {
+        return Status::InvalidArgument(
+            "filter '" + node.name + "' references attribute " +
+            catalog.name(node.predicate.attr) + " absent from its input");
+      }
+      return inputs[0];
+    }
+    case OpKind::kProject: {
+      if (inputs.size() != 1) return arity_error(1);
+      for (AttrId a : node.keep) {
+        if (!inputs[0].Contains(a)) {
+          return Status::InvalidArgument("project '" + node.name +
+                                         "' keeps unknown attribute " +
+                                         catalog.name(a));
+        }
+      }
+      return Schema(node.keep);
+    }
+    case OpKind::kTransform: {
+      if (inputs.size() != 1) return arity_error(1);
+      const TransformSpec& t = node.transform;
+      if (!inputs[0].Contains(t.input_attr)) {
+        return Status::InvalidArgument("transform '" + node.name +
+                                       "' input attribute " +
+                                       catalog.name(t.input_attr) +
+                                       " absent from its input");
+      }
+      if (t.output_attr == t.input_attr) return inputs[0];  // in-place
+      if (inputs[0].Contains(t.output_attr)) {
+        return Status::InvalidArgument(
+            "transform '" + node.name + "' derived attribute " +
+            catalog.name(t.output_attr) + " already present in input");
+      }
+      std::vector<AttrId> attrs = inputs[0].attrs();
+      attrs.push_back(t.output_attr);
+      return Schema(std::move(attrs));
+    }
+    case OpKind::kAggregate: {
+      if (inputs.size() != 1) return arity_error(1);
+      for (AttrId a : node.aggregate.group_by) {
+        if (!inputs[0].Contains(a)) {
+          return Status::InvalidArgument("aggregate '" + node.name +
+                                         "' groups by unknown attribute " +
+                                         catalog.name(a));
+        }
+      }
+      if (node.aggregate.group_by.empty()) {
+        return Status::InvalidArgument("aggregate '" + node.name +
+                                       "' has no group-by attributes");
+      }
+      std::vector<AttrId> attrs = node.aggregate.group_by;
+      if (node.aggregate.count_attr != kInvalidAttr) {
+        attrs.push_back(node.aggregate.count_attr);
+      }
+      return Schema(std::move(attrs));
+    }
+    case OpKind::kJoin: {
+      if (inputs.size() != 2) return arity_error(2);
+      const AttrId key = node.join.attr;
+      if (!inputs[0].Contains(key) || !inputs[1].Contains(key)) {
+        return Status::InvalidArgument("join '" + node.name + "' key " +
+                                       catalog.name(key) +
+                                       " must be present in both inputs");
+      }
+      const AttrMask overlap = inputs[0].mask() & inputs[1].mask();
+      if (overlap != (AttrMask{1} << key)) {
+        return Status::InvalidArgument(
+            "join '" + node.name +
+            "' inputs share non-key attributes: " +
+            catalog.MaskToString(overlap & ~(AttrMask{1} << key)));
+      }
+      std::vector<AttrId> attrs = inputs[0].attrs();
+      for (AttrId a : inputs[1].attrs()) {
+        if (a != key) attrs.push_back(a);
+      }
+      return Schema(std::move(attrs));
+    }
+    case OpKind::kMaterialize:
+    case OpKind::kSink: {
+      if (inputs.size() != 1) return arity_error(1);
+      return inputs[0];
+    }
+  }
+  return Status::Internal("unhandled operator kind");
+}
+
+}  // namespace
+
+Status Workflow::Finalize() {
+  schemas_.clear();
+  consumers_.assign(nodes_.size(), {});
+  sink_ = kInvalidNode;
+  for (const WorkflowNode& node : nodes_) {
+    // Topological-id invariant and consumer index.
+    std::vector<Schema> input_schemas;
+    for (NodeId in : node.inputs) {
+      if (in < 0 || in >= node.id) {
+        return Status::InvalidArgument(
+            "node '" + node.name + "' input id " + std::to_string(in) +
+            " violates topological ordering");
+      }
+      input_schemas.push_back(schemas_[static_cast<size_t>(in)]);
+      consumers_[static_cast<size_t>(in)].push_back(node.id);
+    }
+    Result<Schema> schema = ComputeSchema(node, input_schemas, catalog_);
+    if (!schema.ok()) return schema.status();
+    schemas_.push_back(std::move(schema).value());
+    if (node.kind == OpKind::kSink) {
+      if (sink_ != kInvalidNode) {
+        return Status::InvalidArgument("workflow has multiple sinks");
+      }
+      sink_ = node.id;
+    }
+  }
+  if (sink_ == kInvalidNode) {
+    return Status::InvalidArgument("workflow has no sink");
+  }
+  return Status::OK();
+}
+
+Status Workflow::Validate() const {
+  Workflow copy = *this;
+  return copy.Finalize();
+}
+
+std::string Workflow::ToString() const {
+  std::ostringstream out;
+  out << "Workflow '" << name_ << "' (" << num_nodes() << " nodes)\n";
+  for (const WorkflowNode& node : nodes_) {
+    out << "  [" << node.id << "] " << OpKindName(node.kind) << " '"
+        << node.name << "'";
+    if (!node.inputs.empty()) {
+      std::vector<std::string> ins;
+      for (NodeId in : node.inputs) ins.push_back(std::to_string(in));
+      out << " <- (" << Join(ins, ", ") << ")";
+    }
+    switch (node.kind) {
+      case OpKind::kFilter:
+        out << " where " << node.predicate.ToString(catalog_);
+        break;
+      case OpKind::kJoin:
+        out << " on " << catalog_.name(node.join.attr);
+        if (node.join.left_reject_link) out << " [reject-link]";
+        if (node.join.fk_lookup) out << " [fk-lookup]";
+        break;
+      case OpKind::kTransform:
+        out << " " << catalog_.name(node.transform.input_attr) << "->"
+            << catalog_.name(node.transform.output_attr);
+        if (node.transform.is_aggregate) out << " [aggregate-udf]";
+        break;
+      case OpKind::kAggregate: {
+        std::vector<std::string> gs;
+        for (AttrId a : node.aggregate.group_by) gs.push_back(catalog_.name(a));
+        out << " by (" << Join(gs, ", ") << ")";
+        break;
+      }
+      default:
+        break;
+    }
+    out << " :: " << output_schema(node.id).ToString(catalog_) << "\n";
+  }
+  return out.str();
+}
+
+std::string Workflow::ToDot() const {
+  std::ostringstream out;
+  out << "digraph \"" << name_ << "\" {\n  rankdir=LR;\n";
+  for (const WorkflowNode& node : nodes_) {
+    out << "  n" << node.id << " [label=\"" << OpKindName(node.kind) << "\\n"
+        << node.name << "\"";
+    if (node.kind == OpKind::kSource) out << ", shape=box";
+    if (node.kind == OpKind::kSink) out << ", shape=doublecircle";
+    out << "];\n";
+    for (NodeId in : node.inputs) {
+      out << "  n" << in << " -> n" << node.id << ";\n";
+    }
+    if (node.kind == OpKind::kJoin && node.join.left_reject_link) {
+      out << "  n" << node.id << "_rej [label=\"rejects\", shape=note];\n";
+      out << "  n" << node.id << " -> n" << node.id << "_rej [style=dashed];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace etlopt

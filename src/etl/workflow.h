@@ -1,0 +1,72 @@
+#ifndef ETLOPT_ETL_WORKFLOW_H_
+#define ETLOPT_ETL_WORKFLOW_H_
+
+#include <string>
+#include <vector>
+
+#include "etl/attr_catalog.h"
+#include "etl/operator.h"
+#include "util/status.h"
+
+namespace etlopt {
+
+// A validated ETL workflow: a DAG of operators with node ids in topological
+// order, a workflow-global attribute catalog, and a per-node output schema.
+// Construct via WorkflowBuilder.
+class Workflow {
+ public:
+  const std::string& name() const { return name_; }
+  const AttrCatalog& catalog() const { return catalog_; }
+  AttrCatalog& mutable_catalog() { return catalog_; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const WorkflowNode& node(NodeId id) const {
+    ETLOPT_CHECK(id >= 0 && id < num_nodes());
+    return nodes_[static_cast<size_t>(id)];
+  }
+  const std::vector<WorkflowNode>& nodes() const { return nodes_; }
+
+  // Output schema of a node (what flows on its outgoing edge).
+  const Schema& output_schema(NodeId id) const {
+    ETLOPT_CHECK(id >= 0 && id < num_nodes());
+    return schemas_[static_cast<size_t>(id)];
+  }
+
+  // Nodes that consume node `id` as an input (in id order).
+  const std::vector<NodeId>& consumers(NodeId id) const {
+    ETLOPT_CHECK(id >= 0 && id < num_nodes());
+    return consumers_[static_cast<size_t>(id)];
+  }
+
+  // The unique sink node.
+  NodeId sink() const { return sink_; }
+
+  // Structural + schema validation; run by the builder, re-runnable after
+  // manual edits (e.g. by the plan rewriter).
+  Status Validate() const;
+
+  // Human-readable multi-line rendering of the DAG.
+  std::string ToString() const;
+
+  // Graphviz DOT rendering (for documentation and debugging).
+  std::string ToDot() const;
+
+ private:
+  friend class WorkflowBuilder;
+  friend class PlanRewriter;
+
+  // Computes per-node output schemas and the consumer index; returns an
+  // error when payloads are inconsistent with input schemas.
+  Status Finalize();
+
+  std::string name_;
+  AttrCatalog catalog_;
+  std::vector<WorkflowNode> nodes_;
+  std::vector<Schema> schemas_;
+  std::vector<std::vector<NodeId>> consumers_;
+  NodeId sink_ = kInvalidNode;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ETL_WORKFLOW_H_

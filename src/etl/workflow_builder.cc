@@ -1,0 +1,147 @@
+#include "etl/workflow_builder.h"
+
+namespace etlopt {
+
+WorkflowBuilder::WorkflowBuilder(std::string name) {
+  wf_.name_ = std::move(name);
+}
+
+AttrId WorkflowBuilder::DeclareAttr(const std::string& name,
+                                    int64_t domain_size) {
+  return wf_.catalog_.Register(name, domain_size);
+}
+
+NodeId WorkflowBuilder::Add(WorkflowNode node) {
+  node.id = static_cast<NodeId>(wf_.nodes_.size());
+  wf_.nodes_.push_back(std::move(node));
+  return wf_.nodes_.back().id;
+}
+
+std::string WorkflowBuilder::AutoName(const char* prefix) {
+  return std::string(prefix) + "_" + std::to_string(name_counter_++);
+}
+
+NodeId WorkflowBuilder::Source(const std::string& table_name,
+                               std::vector<AttrId> attrs) {
+  WorkflowNode node;
+  node.kind = OpKind::kSource;
+  node.name = table_name;
+  node.table_name = table_name;
+  node.source_schema = Schema(std::move(attrs));
+  return Add(std::move(node));
+}
+
+NodeId WorkflowBuilder::Filter(NodeId input, Predicate predicate,
+                               std::string name) {
+  WorkflowNode node;
+  node.kind = OpKind::kFilter;
+  node.name = name.empty() ? AutoName("filter") : std::move(name);
+  node.inputs = {input};
+  node.predicate = predicate;
+  return Add(std::move(node));
+}
+
+NodeId WorkflowBuilder::Project(NodeId input, std::vector<AttrId> keep,
+                                std::string name) {
+  WorkflowNode node;
+  node.kind = OpKind::kProject;
+  node.name = name.empty() ? AutoName("project") : std::move(name);
+  node.inputs = {input};
+  node.keep = std::move(keep);
+  return Add(std::move(node));
+}
+
+NodeId WorkflowBuilder::Transform(NodeId input, AttrId attr,
+                                  std::function<Value(Value)> fn,
+                                  std::string name) {
+  WorkflowNode node;
+  node.kind = OpKind::kTransform;
+  node.name = name.empty() ? AutoName("transform") : std::move(name);
+  node.inputs = {input};
+  node.transform.input_attr = attr;
+  node.transform.output_attr = attr;
+  node.transform.fn = std::move(fn);
+  return Add(std::move(node));
+}
+
+NodeId WorkflowBuilder::DeriveAttr(NodeId input, AttrId from, AttrId derived,
+                                   std::function<Value(Value)> fn,
+                                   std::string name) {
+  WorkflowNode node;
+  node.kind = OpKind::kTransform;
+  node.name = name.empty() ? AutoName("derive") : std::move(name);
+  node.inputs = {input};
+  node.transform.input_attr = from;
+  node.transform.output_attr = derived;
+  node.transform.fn = std::move(fn);
+  return Add(std::move(node));
+}
+
+NodeId WorkflowBuilder::AggregateUdf(NodeId input, AttrId attr,
+                                     std::function<Value(Value)> fn,
+                                     std::string name) {
+  WorkflowNode node;
+  node.kind = OpKind::kTransform;
+  node.name = name.empty() ? AutoName("agg_udf") : std::move(name);
+  node.inputs = {input};
+  node.transform.input_attr = attr;
+  node.transform.output_attr = attr;
+  node.transform.fn = std::move(fn);
+  node.transform.is_aggregate = true;
+  return Add(std::move(node));
+}
+
+NodeId WorkflowBuilder::Aggregate(NodeId input, std::vector<AttrId> group_by,
+                                  AttrId count_attr, std::string name) {
+  WorkflowNode node;
+  node.kind = OpKind::kAggregate;
+  node.name = name.empty() ? AutoName("groupby") : std::move(name);
+  node.inputs = {input};
+  node.aggregate.group_by = std::move(group_by);
+  node.aggregate.count_attr = count_attr;
+  return Add(std::move(node));
+}
+
+NodeId WorkflowBuilder::Join(NodeId left, NodeId right, AttrId attr,
+                             JoinOptions options, std::string name) {
+  WorkflowNode node;
+  node.kind = OpKind::kJoin;
+  node.name = name.empty() ? AutoName("join") : std::move(name);
+  node.inputs = {left, right};
+  node.join.attr = attr;
+  node.join.left_reject_link = options.reject_link;
+  node.join.fk_lookup = options.fk_lookup;
+  return Add(std::move(node));
+}
+
+void WorkflowBuilder::SetJoinAlgorithm(NodeId join, JoinAlgorithm algorithm) {
+  ETLOPT_CHECK(join >= 0 && join < static_cast<NodeId>(wf_.nodes_.size()));
+  ETLOPT_CHECK(wf_.nodes_[static_cast<size_t>(join)].kind == OpKind::kJoin);
+  wf_.nodes_[static_cast<size_t>(join)].join.algorithm = algorithm;
+}
+
+NodeId WorkflowBuilder::Materialize(NodeId input,
+                                    const std::string& target_name) {
+  WorkflowNode node;
+  node.kind = OpKind::kMaterialize;
+  node.name = "mat_" + target_name;
+  node.inputs = {input};
+  node.target_name = target_name;
+  return Add(std::move(node));
+}
+
+NodeId WorkflowBuilder::Sink(NodeId input, const std::string& target_name) {
+  WorkflowNode node;
+  node.kind = OpKind::kSink;
+  node.name = "sink_" + target_name;
+  node.inputs = {input};
+  node.target_name = target_name;
+  return Add(std::move(node));
+}
+
+Result<Workflow> WorkflowBuilder::Build() && {
+  ETLOPT_RETURN_IF_ERROR(wf_.Finalize());
+  return std::move(wf_);
+}
+
+}  // namespace etlopt

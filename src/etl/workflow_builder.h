@@ -1,0 +1,71 @@
+#ifndef ETLOPT_ETL_WORKFLOW_BUILDER_H_
+#define ETLOPT_ETL_WORKFLOW_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "etl/workflow.h"
+#include "util/status.h"
+
+namespace etlopt {
+
+// Options for join construction.
+struct JoinOptions {
+  bool reject_link = false;  // materialize left non-matching rows
+  bool fk_lookup = false;    // every left row matches exactly one right row
+};
+
+// Fluent construction of workflows. Node methods return the new node's id so
+// flows compose naturally:
+//
+//   WorkflowBuilder b("orders_load");
+//   AttrId cid = b.DeclareAttr("cust_id", 1000);
+//   ...
+//   NodeId orders = b.Source("Orders", {oid, cid, pid});
+//   NodeId joined = b.Join(orders, customers, cid);
+//   b.Sink(joined, "warehouse.orders");
+//   Result<Workflow> wf = std::move(b).Build();
+class WorkflowBuilder {
+ public:
+  explicit WorkflowBuilder(std::string name);
+
+  // ---- attribute catalog ----
+  AttrId DeclareAttr(const std::string& name, int64_t domain_size);
+
+  // ---- operators ----
+  NodeId Source(const std::string& table_name, std::vector<AttrId> attrs);
+  NodeId Filter(NodeId input, Predicate predicate, std::string name = "");
+  NodeId Project(NodeId input, std::vector<AttrId> keep,
+                 std::string name = "");
+  // In-place transform of `attr` (U(T, a) with b == a).
+  NodeId Transform(NodeId input, AttrId attr, std::function<Value(Value)> fn,
+                   std::string name = "");
+  // Derived-attribute transform: appends `derived` computed from `from`.
+  NodeId DeriveAttr(NodeId input, AttrId from, AttrId derived,
+                    std::function<Value(Value)> fn, std::string name = "");
+  // Black-box aggregate UDF over `attr` (blocking; ends a block).
+  NodeId AggregateUdf(NodeId input, AttrId attr,
+                      std::function<Value(Value)> fn, std::string name = "");
+  NodeId Aggregate(NodeId input, std::vector<AttrId> group_by,
+                   AttrId count_attr = kInvalidAttr, std::string name = "");
+  NodeId Join(NodeId left, NodeId right, AttrId attr,
+              JoinOptions options = {}, std::string name = "");
+  NodeId Materialize(NodeId input, const std::string& target_name);
+  // Overrides the physical join implementation of an already-added join.
+  void SetJoinAlgorithm(NodeId join, JoinAlgorithm algorithm);
+  NodeId Sink(NodeId input, const std::string& target_name);
+
+  // Validates and finalizes. The builder is consumed.
+  Result<Workflow> Build() &&;
+
+ private:
+  NodeId Add(WorkflowNode node);
+  std::string AutoName(const char* prefix);
+
+  Workflow wf_;
+  int name_counter_ = 0;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ETL_WORKFLOW_BUILDER_H_

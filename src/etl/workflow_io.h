@@ -1,0 +1,48 @@
+#ifndef ETLOPT_ETL_WORKFLOW_IO_H_
+#define ETLOPT_ETL_WORKFLOW_IO_H_
+
+#include <string>
+
+#include "etl/workflow.h"
+
+namespace etlopt {
+
+// Plain-text workflow serialization. The paper's prototype consumed
+// workflows exported from the ETL designer (DataStage XML); this is our
+// equivalent exchange format — line-oriented, diff-friendly, hand-editable:
+//
+//   workflow orders_load
+//   attr prod_id 400
+//   attr cust_id 120
+//   node 0 source Orders cols prod_id cust_id
+//   node 1 source Product cols prod_id
+//   node 2 source Customer cols cust_id
+//   node 3 join 0 1 on prod_id
+//   node 4 join 3 2 on cust_id reject fk
+//   node 5 filter 4 where cust_id le 30
+//   node 6 project 5 cols prod_id cust_id
+//   node 7 transform 6 attr cust_id fn standardize
+//   node 8 derive 7 from cust_id to cust_tier fn bucketize10
+//   node 9 aggudf 8 attr prod_id fn mod100
+//   node 10 aggregate 9 group prod_id cust_tier count cnt
+//   node 11 materialize 10 target staging.orders
+//   node 12 sink 11 target warehouse.orders
+//
+// Comparison operators: eq ne lt le gt ge. Transform functions must come
+// from the registry in etl/transforms.h; workflows containing ad-hoc
+// lambdas serialize with an error naming the offending node.
+std::string WriteWorkflowText(const Workflow& workflow, Status* status);
+
+// Convenience: aborts on non-serializable workflows.
+std::string WriteWorkflowTextOrDie(const Workflow& workflow);
+
+// Parses the format above; returns a validated workflow.
+Result<Workflow> ParseWorkflowText(const std::string& text);
+
+// File helpers.
+Status SaveWorkflow(const Workflow& workflow, const std::string& path);
+Result<Workflow> LoadWorkflow(const std::string& path);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ETL_WORKFLOW_IO_H_

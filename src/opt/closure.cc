@@ -1,0 +1,69 @@
+#include "opt/closure.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/common.h"
+
+namespace etlopt {
+
+std::vector<char> ComputeClosure(const CssCatalog& catalog,
+                                 const std::vector<char>& observed,
+                                 std::vector<int>* derivation) {
+  const int n = catalog.num_stats();
+  ETLOPT_CHECK(static_cast<int>(observed.size()) == n);
+  std::vector<char> computable = observed;
+  if (derivation != nullptr) derivation->assign(static_cast<size_t>(n), -1);
+
+  // Counting-based fixpoint: each CSS fires once all its inputs are
+  // computable; firing makes its target computable.
+  const int m = catalog.num_css();
+  std::vector<int> missing(static_cast<size_t>(m), 0);
+  std::vector<std::vector<int>> css_waiting_on(static_cast<size_t>(n));
+  std::deque<int> ready;  // newly computable stats
+
+  for (int s = 0; s < n; ++s) {
+    if (computable[static_cast<size_t>(s)]) ready.push_back(s);
+  }
+  for (int c = 0; c < m; ++c) {
+    int need = 0;
+    std::vector<int> inputs = catalog.css_inputs(c);
+    std::sort(inputs.begin(), inputs.end());
+    inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+    for (int input : inputs) {
+      if (!computable[static_cast<size_t>(input)]) {
+        ++need;
+        css_waiting_on[static_cast<size_t>(input)].push_back(c);
+      }
+    }
+    missing[static_cast<size_t>(c)] = need;
+    if (need == 0) {
+      const int target = catalog.css_target(c);
+      if (!computable[static_cast<size_t>(target)]) {
+        computable[static_cast<size_t>(target)] = 1;
+        if (derivation != nullptr) (*derivation)[static_cast<size_t>(target)] = c;
+        ready.push_back(target);
+      }
+    }
+  }
+
+  while (!ready.empty()) {
+    const int s = ready.front();
+    ready.pop_front();
+    for (int c : css_waiting_on[static_cast<size_t>(s)]) {
+      if (--missing[static_cast<size_t>(c)] == 0) {
+        const int target = catalog.css_target(c);
+        if (!computable[static_cast<size_t>(target)]) {
+          computable[static_cast<size_t>(target)] = 1;
+          if (derivation != nullptr) {
+            (*derivation)[static_cast<size_t>(target)] = c;
+          }
+          ready.push_back(target);
+        }
+      }
+    }
+  }
+  return computable;
+}
+
+}  // namespace etlopt

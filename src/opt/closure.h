@@ -1,0 +1,22 @@
+#ifndef ETLOPT_OPT_CLOSURE_H_
+#define ETLOPT_OPT_CLOSURE_H_
+
+#include <vector>
+
+#include "css/css.h"
+
+namespace etlopt {
+
+// Monotone computability closure (Section 5.1): a statistic is computable
+// when it is observed or some CSS of it has all members computable. Returns
+// one flag per stat index. When `derivation` is non-null it receives, per
+// stat, the index of the CSS that first fired for it (-1 when the stat is
+// directly observed or not computable) — the estimator evaluates along this
+// acyclic derivation.
+std::vector<char> ComputeClosure(const CssCatalog& catalog,
+                                 const std::vector<char>& observed,
+                                 std::vector<int>* derivation = nullptr);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_OPT_CLOSURE_H_

@@ -1,0 +1,104 @@
+#include "opt/exec_cover.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/common.h"
+
+namespace etlopt {
+namespace {
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+ExecCoverResult ComputeExecutionCover(const BlockContext& ctx,
+                                      const PlanSpace& plan_space,
+                                      const std::vector<RelMask>* universe) {
+  ExecCoverResult result;
+  const int n = ctx.num_rels();
+  const RelMask full = ctx.full_mask();
+
+  // Universe of SEs that need covering.
+  std::unordered_set<RelMask> uncovered;
+  if (universe != nullptr) {
+    for (RelMask se : *universe) {
+      if (!IsSingleton(se) && se != full) uncovered.insert(se);
+    }
+  } else {
+    for (RelMask se : plan_space.subexpressions()) {
+      if (!IsSingleton(se) && se != full) uncovered.insert(se);
+    }
+  }
+
+  if (n >= 3) {
+    result.formula_lower_bound =
+        CeilDiv((int64_t{1} << n) - (n + 2), n - 2);
+    if (result.formula_lower_bound < 1) result.formula_lower_bound = 1;
+    result.semantic_lower_bound =
+        uncovered.empty()
+            ? 1
+            : CeilDiv(static_cast<int64_t>(uncovered.size()), n - 2);
+  }
+
+  if (uncovered.empty()) {
+    result.executions = 1;  // the single plan covers everything needed
+    return result;
+  }
+
+  // Greedy: each round builds the full join tree that maximizes newly
+  // covered SEs, via DP over connected subsets.
+  result.executions = 0;
+  while (!uncovered.empty()) {
+    struct Choice {
+      int gain = 0;
+      RelMask left = 0;  // 0 marks a leaf
+      RelMask right = 0;
+    };
+    std::unordered_map<RelMask, Choice> best;
+    for (RelMask se : plan_space.subexpressions()) {
+      Choice choice;
+      if (!IsSingleton(se)) {
+        for (const PlanAlt& plan : plan_space.plans(se)) {
+          const int gain = best.at(plan.left).gain + best.at(plan.right).gain;
+          if (choice.left == 0 || gain > choice.gain) {
+            choice.gain = gain;
+            choice.left = plan.left;
+            choice.right = plan.right;
+          }
+        }
+        if (se != full && uncovered.count(se)) choice.gain += 1;
+      }
+      best[se] = choice;
+    }
+
+    // Extract the chosen tree's internal masks (and the tree itself, so a
+    // driver can actually execute this re-ordered plan).
+    std::vector<RelMask> newly;
+    ExecCoverResult::CoverTree tree;
+    std::vector<RelMask> stack = {full};
+    while (!stack.empty()) {
+      const RelMask se = stack.back();
+      stack.pop_back();
+      if (IsSingleton(se)) continue;
+      if (se != full && uncovered.erase(se) > 0) newly.push_back(se);
+      const Choice& choice = best.at(se);
+      if (choice.left != 0) {
+        tree.splits[se] = {choice.left, choice.right};
+        stack.push_back(choice.left);
+        stack.push_back(choice.right);
+      }
+    }
+    result.per_run_tree.push_back(std::move(tree));
+    ++result.executions;
+    const bool progressed = !newly.empty();
+    result.per_run_covered.push_back(std::move(newly));
+    // Every uncovered SE is an internal node of some full tree (the join
+    // graph is connected within the block), so a round must progress.
+    ETLOPT_CHECK_MSG(progressed || uncovered.empty(),
+                     "execution cover made no progress");
+  }
+  return result;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,45 @@
+#ifndef ETLOPT_OPT_EXEC_COVER_H_
+#define ETLOPT_OPT_EXEC_COVER_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "planspace/plan_space.h"
+
+namespace etlopt {
+
+// The Section 7.3 baseline: observing only trivial CSSs (plain cardinality
+// counters) and re-executing the flow with re-ordered plans until every SE
+// has been on-path at least once — the pay-as-you-go strategy of
+// [Chaudhuri et al. 2008] that the paper compares against in Figure 12.
+struct ExecCoverResult {
+  // The paper's lower bound ⌈(2ⁿ − (n+2)) / (n−2)⌉ (n ≥ 3; 1 otherwise),
+  // which ignores query semantics.
+  int64_t formula_lower_bound = 1;
+  // Semantics-aware bound ⌈|coverable SEs| / (n−2)⌉ over the actual E
+  // (cross products excluded).
+  int64_t semantic_lower_bound = 1;
+  // Executions used by the greedy tree cover (the "one possible solution"
+  // upper bound of the paper).
+  int executions = 1;
+  // Newly covered SEs per execution.
+  std::vector<std::vector<RelMask>> per_run_covered;
+  // The full join tree of each execution: split per internal SE (the plan a
+  // driver can rewrite the workflow to, making those SEs on-path).
+  struct CoverTree {
+    std::unordered_map<RelMask, std::pair<RelMask, RelMask>> splits;
+  };
+  std::vector<CoverTree> per_run_tree;
+};
+
+// Covers all SEs of the block with full join trees. When `universe` is
+// non-null, only those SEs need covering (used by the memory-budget mode of
+// Section 6.1); otherwise all non-singleton, non-full SEs.
+ExecCoverResult ComputeExecutionCover(
+    const BlockContext& ctx, const PlanSpace& plan_space,
+    const std::vector<RelMask>* universe = nullptr);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_OPT_EXEC_COVER_H_

@@ -1,0 +1,29 @@
+#ifndef ETLOPT_OPT_ILP_SELECTOR_H_
+#define ETLOPT_OPT_ILP_SELECTOR_H_
+
+#include "opt/selection.h"
+
+namespace etlopt {
+
+struct IlpSelectorOptions {
+  // Instances whose LP tableau would exceed roughly this many cells fall
+  // back to the greedy heuristic (flagged in SelectionResult::method) — the
+  // paper itself notes greedy heuristics as the fallback when the LP grows
+  // (Section 5.3).
+  int64_t max_tableau_cells = 4000000;
+  double time_limit_seconds = 3.0;
+  int max_nodes = 3000;
+};
+
+// The 0-1 integer program of Section 5.2: variables x (observe), y
+// (computable), z (CSS covered), objective min Σ c_i x_i. Integer candidates
+// are verified against the monotone-closure semantics (see DESIGN.md §5 for
+// why the y/z constraint system alone can admit circular support when
+// union-division rules are present) and cut when circular. Warm-started with
+// the greedy solution.
+SelectionResult SelectIlp(const SelectionProblem& problem,
+                          const IlpSelectorOptions& options = {});
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_OPT_ILP_SELECTOR_H_

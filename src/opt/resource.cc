@@ -1,0 +1,32 @@
+#include "opt/resource.h"
+
+#include "opt/greedy_selector.h"
+
+namespace etlopt {
+
+BudgetedSelection SelectWithBudget(const SelectionProblem& problem,
+                                   const BlockContext& ctx,
+                                   const PlanSpace& plan_space,
+                                   double memory_budget) {
+  BudgetedSelection out;
+  std::vector<int> uncovered;
+  out.first_run =
+      SelectGreedyWithBudget(problem, memory_budget, &uncovered);
+  out.memory_used = out.first_run.total_cost;
+
+  // Deferred SEs: required Card statistics still uncovered. They will be
+  // observed via their trivial CSS (a counter) in later runs whose plan puts
+  // them on-path.
+  for (int s : uncovered) {
+    const StatKey& key = problem.catalog->stat(s);
+    if (key.kind == StatKind::kCard && !key.is_chain_stage()) {
+      out.deferred.push_back(key.rels);
+    }
+  }
+  if (!out.deferred.empty()) {
+    out.reorder_plan = ComputeExecutionCover(ctx, plan_space, &out.deferred);
+  }
+  return out;
+}
+
+}  // namespace etlopt

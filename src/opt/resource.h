@@ -1,0 +1,33 @@
+#ifndef ETLOPT_OPT_RESOURCE_H_
+#define ETLOPT_OPT_RESOURCE_H_
+
+#include "opt/exec_cover.h"
+#include "opt/selection.h"
+
+namespace etlopt {
+
+// Section 6.1: statistics selection under a memory budget. The first run
+// observes the affordable statistics; SE cardinalities left uncovered are
+// picked up through trivial CSSs (plain counters) across additional runs
+// with re-ordered plans — the mix of trivial and non-trivial CSSs the paper
+// describes as the natural generalization of pay-as-you-go.
+struct BudgetedSelection {
+  SelectionResult first_run;
+  double memory_used = 0.0;
+  std::vector<RelMask> deferred;  // SEs whose |e| is left to later runs
+  // Extra executions (beyond the first) needed to cover `deferred` by plan
+  // re-ordering, and what each one covers.
+  ExecCoverResult reorder_plan;
+  int total_executions() const {
+    return 1 + (deferred.empty() ? 0 : reorder_plan.executions);
+  }
+};
+
+BudgetedSelection SelectWithBudget(const SelectionProblem& problem,
+                                   const BlockContext& ctx,
+                                   const PlanSpace& plan_space,
+                                   double memory_budget);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_OPT_RESOURCE_H_

@@ -1,0 +1,33 @@
+#ifndef ETLOPT_OPTIMIZER_REWRITE_H_
+#define ETLOPT_OPTIMIZER_REWRITE_H_
+
+#include <vector>
+
+#include "optimizer/join_optimizer.h"
+#include "planspace/block.h"
+
+namespace etlopt {
+
+// Rewrites a workflow so each listed block uses its optimized join order.
+// Chains, boundaries, and all other nodes are preserved; only the join trees
+// inside the blocks change. The rewritten workflow computes the same final
+// result (joins are associative/commutative within a block by construction).
+class PlanRewriter {
+ public:
+  struct BlockPlan {
+    const Block* block = nullptr;
+    const OptimizedPlan* plan = nullptr;
+  };
+
+  // When `se_nodes` is non-null it receives, per BlockPlan (same order), the
+  // mapping from each emitted join SE mask to the node producing it in the
+  // rewritten workflow — the instrumentation points a multi-run driver needs
+  // (Section 6.1's trivial-CSS observation in re-ordered plans).
+  static Result<Workflow> Apply(
+      const Workflow& original, const std::vector<BlockPlan>& plans,
+      std::vector<std::unordered_map<RelMask, NodeId>>* se_nodes = nullptr);
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_OPTIMIZER_REWRITE_H_

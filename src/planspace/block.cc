@@ -1,0 +1,300 @@
+#include "planspace/block.h"
+
+#include <algorithm>
+
+namespace etlopt {
+namespace {
+
+bool IsUnary(OpKind kind) {
+  return kind == OpKind::kFilter || kind == OpKind::kProject ||
+         kind == OpKind::kTransform || kind == OpKind::kAggregate;
+}
+
+// Seal decisions (block boundary placed after the node). See PartitionBlocks
+// docs in the header.
+std::vector<bool> ComputeSeals(const Workflow& wf) {
+  const int n = wf.num_nodes();
+  std::vector<bool> sealed(static_cast<size_t>(n), false);
+  for (const WorkflowNode& node : wf.nodes()) {
+    bool seal = false;
+    switch (node.kind) {
+      case OpKind::kMaterialize:
+        seal = true;  // explicitly materialized intermediate result
+        break;
+      case OpKind::kTransform:
+        // Black-box aggregate UDFs are block boundaries (Section 3.2.1);
+        // known-semantics group-bys (kAggregate) instead stay pinned in
+        // input chains, where the G1/G2 rules apply.
+        if (node.transform.is_aggregate) seal = true;
+        break;
+      case OpKind::kJoin:
+        if (node.join.left_reject_link) seal = true;  // designed reject link
+        break;
+      default:
+        break;
+    }
+    // Fan-out forces materialization of the intermediate result.
+    if (wf.consumers(node.id).size() > 1) seal = true;
+    // A join feeding a unary operator is pinned: the unary op becomes a
+    // chain op of the next block over this join's output. This also covers
+    // the Fig. 3 derived-join-attribute UDF boundary.
+    if (node.kind == OpKind::kJoin) {
+      for (NodeId c : wf.consumers(node.id)) {
+        if (IsUnary(wf.node(c).kind)) seal = true;
+      }
+    }
+    sealed[static_cast<size_t>(node.id)] = seal;
+  }
+  // A designed reject link materializes the non-matching rows of the join's
+  // *designed* left input, so that input must be produced exactly as
+  // designed: seal any join feeding a reject-link join. The reject join then
+  // forms a single-join (unreorderable) block of its own.
+  for (const WorkflowNode& node : wf.nodes()) {
+    if (node.kind == OpKind::kJoin && node.join.left_reject_link) {
+      for (NodeId in : node.inputs) {
+        if (wf.node(in).kind == OpKind::kJoin) {
+          sealed[static_cast<size_t>(in)] = true;
+        }
+      }
+    }
+  }
+  return sealed;
+}
+
+// Walks down from `top` collecting the maximal run of unsealed unary ops;
+// returns the base node and fills `chain` in application order.
+NodeId ResolveChain(const Workflow& wf, const std::vector<bool>& sealed,
+                    NodeId top, std::vector<NodeId>* chain) {
+  std::vector<NodeId> rev;
+  NodeId cur = top;
+  while (IsUnary(wf.node(cur).kind) && !sealed[static_cast<size_t>(cur)]) {
+    rev.push_back(cur);
+    cur = wf.node(cur).inputs[0];
+  }
+  chain->assign(rev.rbegin(), rev.rend());
+  return cur;
+}
+
+}  // namespace
+
+std::vector<Block> PartitionBlocks(const Workflow& wf) {
+  const std::vector<bool> sealed = ComputeSeals(wf);
+
+  // Group joins into blocks: a join merges with an input join when that
+  // input join is unsealed (no boundary between them).
+  const int n = wf.num_nodes();
+  std::vector<int> block_of(static_cast<size_t>(n), -1);
+  std::vector<Block> blocks;
+
+  // covered[node] = relation mask of a join output within its block.
+  std::vector<RelMask> covered(static_cast<size_t>(n), 0);
+
+  // Maps (block index, base node, chain signature) are handled by scanning
+  // the block inputs directly — blocks are small.
+  auto find_or_add_input = [&](Block& block, NodeId base,
+                               const std::vector<NodeId>& chain) -> int {
+    for (size_t i = 0; i < block.inputs.size(); ++i) {
+      if (block.inputs[i].base == base && block.inputs[i].chain == chain) {
+        return static_cast<int>(i);
+      }
+    }
+    block.inputs.push_back(BlockInput{base, chain});
+    return static_cast<int>(block.inputs.size()) - 1;
+  };
+
+  for (const WorkflowNode& node : wf.nodes()) {
+    if (node.kind != OpKind::kJoin) continue;
+
+    // Resolve each side: an unsealed join joins within the same block;
+    // anything else resolves to a chain over a base.
+    struct Side {
+      bool is_join = false;
+      NodeId join_node = kInvalidNode;
+      NodeId base = kInvalidNode;
+      std::vector<NodeId> chain;
+    };
+    Side sides[2];
+    for (int s = 0; s < 2; ++s) {
+      const NodeId in = node.inputs[static_cast<size_t>(s)];
+      if (wf.node(in).kind == OpKind::kJoin &&
+          !sealed[static_cast<size_t>(in)]) {
+        sides[s].is_join = true;
+        sides[s].join_node = in;
+      } else {
+        sides[s].base = ResolveChain(wf, sealed, in, &sides[s].chain);
+      }
+    }
+
+    // Determine this join's block.
+    int bid = -1;
+    for (int s = 0; s < 2; ++s) {
+      if (sides[s].is_join) {
+        const int b = block_of[static_cast<size_t>(sides[s].join_node)];
+        ETLOPT_CHECK(b >= 0);
+        ETLOPT_CHECK_MSG(bid < 0 || bid == b,
+                         "join inputs belong to different blocks");
+        bid = b;
+      }
+    }
+    if (bid < 0) {
+      bid = static_cast<int>(blocks.size());
+      blocks.push_back(Block{});
+      blocks.back().id = bid;
+    }
+    Block& block = blocks[static_cast<size_t>(bid)];
+    block_of[static_cast<size_t>(node.id)] = bid;
+
+    RelMask masks[2];
+    for (int s = 0; s < 2; ++s) {
+      if (sides[s].is_join) {
+        masks[s] = covered[static_cast<size_t>(sides[s].join_node)];
+      } else {
+        const int rel = find_or_add_input(block, sides[s].base,
+                                          sides[s].chain);
+        masks[s] = RelMask{1} << rel;
+      }
+    }
+    covered[static_cast<size_t>(node.id)] = masks[0] | masks[1];
+
+    BlockJoin bj;
+    bj.node = node.id;
+    bj.left = masks[0];
+    bj.right = masks[1];
+    bj.attr = node.join.attr;
+    bj.fk_lookup = node.join.fk_lookup;
+    bj.reject_link = node.join.left_reject_link;
+    block.joins.push_back(bj);
+    block.output = node.id;
+  }
+
+  // Joinless blocks: maximal chains whose top feeds no join (they feed
+  // sink/materialize or a sealed boundary only). Identify tops: nodes that
+  // are sources or unsealed unary ops whose consumers contain no join and no
+  // unsealed unary continuation.
+  for (const WorkflowNode& node : wf.nodes()) {
+    const bool chain_member =
+        node.kind == OpKind::kSource ||
+        (IsUnary(node.kind) && !sealed[static_cast<size_t>(node.id)]);
+    if (!chain_member) continue;
+    bool is_top = true;
+    for (NodeId c : wf.consumers(node.id)) {
+      const OpKind ck = wf.node(c).kind;
+      if (ck == OpKind::kJoin) {
+        is_top = false;  // belongs to a join block's input chain
+        break;
+      }
+      if (IsUnary(ck) && !sealed[static_cast<size_t>(c)] &&
+          wf.consumers(node.id).size() == 1) {
+        is_top = false;  // chain continues upward
+        break;
+      }
+    }
+    if (!is_top) continue;
+    Block block;
+    block.id = static_cast<int>(blocks.size());
+    BlockInput input;
+    input.base = ResolveChain(wf, sealed, node.id, &input.chain);
+    block.inputs.push_back(std::move(input));
+    block.output = node.id;
+    blocks.push_back(std::move(block));
+  }
+
+  std::sort(blocks.begin(), blocks.end(),
+            [](const Block& a, const Block& b) { return a.id < b.id; });
+  return blocks;
+}
+
+Result<BlockContext> BlockContext::Build(const Workflow* workflow,
+                                         Block block) {
+  ETLOPT_CHECK(workflow != nullptr);
+  BlockContext ctx;
+  ctx.wf_ = workflow;
+  const int n = block.num_rels();
+  if (n < 1) return Status::InvalidArgument("block has no inputs");
+  if (n > 16) return Status::InvalidArgument("block exceeds 16 inputs");
+  ctx.graph_ = JoinGraph(n);
+
+  // Singletons are always on-path.
+  for (int r = 0; r < n; ++r) {
+    ctx.on_path_[RelMask{1} << r] =
+        block.inputs[static_cast<size_t>(r)].top();
+  }
+
+  for (const BlockJoin& j : block.joins) {
+    ctx.on_path_[j.left | j.right] = j.node;
+    if (IsSingleton(j.right)) ctx.next_partner_[j.left] = {j.right, j.attr};
+    if (IsSingleton(j.left)) ctx.next_partner_[j.right] = {j.left, j.attr};
+
+    // Join-graph edge endpoints: the lowest relation on each side whose top
+    // schema carries the join attribute.
+    auto endpoint = [&](RelMask side) -> int {
+      for (int rel : MaskToIndices(side)) {
+        const NodeId top = block.inputs[static_cast<size_t>(rel)].top();
+        if (workflow->output_schema(top).Contains(j.attr)) return rel;
+      }
+      return -1;
+    };
+    const int ea = endpoint(j.left);
+    const int eb = endpoint(j.right);
+    if (ea < 0 || eb < 0) {
+      return Status::Internal("join attribute not found on either side");
+    }
+    JoinEdge edge;
+    edge.a = ea;
+    edge.b = eb;
+    edge.attr = j.attr;
+    edge.join_node = j.node;
+    // The designed right side of an fk-lookup join is the dimension side
+    // only when it is a single relation.
+    if (j.fk_lookup && IsSingleton(j.right)) edge.fk_dim = eb;
+    ctx.graph_.AddEdge(edge);
+  }
+  if (!ctx.graph_.IsForest()) {
+    return Status::Unimplemented(
+        "cyclic join graphs are not supported (block join graph must be a "
+        "tree/forest)");
+  }
+  ctx.block_ = std::move(block);
+  return ctx;
+}
+
+AttrMask BlockContext::SchemaMask(RelMask rels) const {
+  AttrMask mask = 0;
+  for (int rel : MaskToIndices(rels)) {
+    mask |= wf_->output_schema(TopNode(rel)).mask();
+  }
+  return mask;
+}
+
+AttrMask BlockContext::StageSchemaMask(int rel, int stage) const {
+  return wf_->output_schema(StageNode(rel, stage)).mask();
+}
+
+NodeId BlockContext::StageNode(int rel, int stage) const {
+  const BlockInput& input = block_.inputs[static_cast<size_t>(rel)];
+  ETLOPT_CHECK(stage >= 0 && stage <= input.num_inner_stages());
+  if (stage == 0) return input.base;
+  return input.chain[static_cast<size_t>(stage - 1)];
+}
+
+NodeId BlockContext::TopNode(int rel) const {
+  return block_.inputs[static_cast<size_t>(rel)].top();
+}
+
+NodeId BlockContext::TopOpNode(int rel) const {
+  const BlockInput& input = block_.inputs[static_cast<size_t>(rel)];
+  return input.chain.empty() ? kInvalidNode : input.chain.back();
+}
+
+RelMask BlockContext::InitialNextPartner(RelMask rels, AttrId* attr) const {
+  auto it = next_partner_.find(rels);
+  if (it == next_partner_.end()) return 0;
+  if (attr != nullptr) *attr = it->second.attr;
+  return it->second.rel;
+}
+
+std::string BlockContext::RelLabel(int rel) const {
+  return wf_->node(block_.inputs[static_cast<size_t>(rel)].base).name;
+}
+
+}  // namespace etlopt

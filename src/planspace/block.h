@@ -1,0 +1,134 @@
+#ifndef ETLOPT_PLANSPACE_BLOCK_H_
+#define ETLOPT_PLANSPACE_BLOCK_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "etl/workflow.h"
+#include "planspace/join_graph.h"
+#include "util/status.h"
+
+namespace etlopt {
+
+// One input of an optimizable block: a base record-set (a source, or the
+// sealed output of an upstream block) with a chain of unary operators above
+// it. Chain operators are pinned to their input and never move during join
+// reordering; the chain's *top* is what joins see.
+struct BlockInput {
+  NodeId base = kInvalidNode;
+  std::vector<NodeId> chain;  // unary ops in application order
+
+  NodeId top() const { return chain.empty() ? base : chain.back(); }
+  // Number of inner stages (stage s output: s == 0 is the base output,
+  // s == chain.size() is the top, canonicalized as the singleton join SE).
+  int num_inner_stages() const { return static_cast<int>(chain.size()); }
+};
+
+// One designed join inside a block, in workflow order. left/right are the
+// relation masks the join combines in the *initial* plan.
+struct BlockJoin {
+  NodeId node = kInvalidNode;
+  RelMask left = 0;
+  RelMask right = 0;
+  AttrId attr = kInvalidAttr;
+  bool fk_lookup = false;
+  bool reject_link = false;
+};
+
+// An optimizable block (Section 3.2.1): joins may be reordered freely within
+// a block but never across its boundary.
+struct Block {
+  int id = 0;
+  std::vector<BlockInput> inputs;
+  std::vector<BlockJoin> joins;
+  NodeId output = kInvalidNode;  // the node whose result leaves the block
+
+  int num_rels() const { return static_cast<int>(inputs.size()); }
+  RelMask full_mask() const {
+    return num_rels() >= 32 ? ~RelMask{0}
+                            : (RelMask{1} << num_rels()) - 1;
+  }
+};
+
+// Splits a workflow into optimizable blocks. Boundaries (seals) are placed
+// after: materialize nodes, aggregate (group-by) nodes, black-box aggregate
+// UDFs, joins with designed reject links, joins feeding unary operators
+// (keeping all unary ops on input chains), nodes with multiple consumers,
+// and transforms whose derived attribute is a downstream join key applied to
+// multi-relation intermediates (the Fig. 3 pattern falls out of the
+// join-feeding-unary rule).
+std::vector<Block> PartitionBlocks(const Workflow& workflow);
+
+// Analysis bundle for one block: resolves relation indices, join graph, and
+// schema masks. All statistics machinery (plan space, CSS generation,
+// instrumentation) works through this view.
+class BlockContext {
+ public:
+  // Empty context; assign from Build's result before use.
+  BlockContext() : graph_(1) {}
+
+  static Result<BlockContext> Build(const Workflow* workflow, Block block);
+
+  const Workflow& workflow() const { return *wf_; }
+  const Block& block() const { return block_; }
+  const JoinGraph& graph() const { return graph_; }
+  const AttrCatalog& catalog() const { return wf_->catalog(); }
+
+  int num_rels() const { return block_.num_rels(); }
+  RelMask full_mask() const { return block_.full_mask(); }
+
+  // Attributes available on the join SE `rels` (union of top-stage schemas,
+  // join keys deduplicated naturally by masks).
+  AttrMask SchemaMask(RelMask rels) const;
+  // Attributes available at inner chain stage `stage` of input `rel`.
+  AttrMask StageSchemaMask(int rel, int stage) const;
+
+  // Workflow node producing inner chain stage `stage` of input `rel`
+  // (stage 0 -> base).
+  NodeId StageNode(int rel, int stage) const;
+  // Workflow node producing the chain top of input `rel`.
+  NodeId TopNode(int rel) const;
+  int NumInnerStages(int rel) const {
+    return block_.inputs[static_cast<size_t>(rel)].num_inner_stages();
+  }
+
+  // The chain operator applied between stage-1 (or base) and `stage`; i.e.
+  // the node producing stage `stage`, for stage >= 1. For the top, pass
+  // stage == NumInnerStages(rel) + ... — use TopOpNode instead.
+  // Chain op producing the *top* from the last inner stage (or base);
+  // kInvalidNode when the chain is empty.
+  NodeId TopOpNode(int rel) const;
+
+  // On-path join SEs of the initial (designed) plan: mask -> producing node.
+  // Contains all singletons and every designed join output.
+  const std::unordered_map<RelMask, NodeId>& on_path() const {
+    return on_path_;
+  }
+  bool IsOnPath(RelMask rels) const {
+    return on_path_.find(rels) != on_path_.end();
+  }
+
+  // In the initial plan, the single relation that SE `rels` is next joined
+  // with, or 0 when the next join partner is not a single relation (or
+  // `rels` is the full SE). When found and `attr` is non-null, receives the
+  // join attribute of that designed join. Used by the union-division rules.
+  RelMask InitialNextPartner(RelMask rels, AttrId* attr = nullptr) const;
+
+  std::string RelLabel(int rel) const;
+
+ private:
+  const Workflow* wf_ = nullptr;
+  Block block_;
+  JoinGraph graph_;
+  struct Partner {
+    RelMask rel = 0;
+    AttrId attr = kInvalidAttr;
+  };
+  std::unordered_map<RelMask, NodeId> on_path_;
+  std::unordered_map<RelMask, Partner> next_partner_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_PLANSPACE_BLOCK_H_

@@ -1,0 +1,37 @@
+#include "planspace/observability.h"
+
+namespace etlopt {
+
+bool IsObservable(const StatKey& key, const BlockContext& ctx) {
+  switch (key.kind) {
+    case StatKind::kCard:
+    case StatKind::kDistinct:
+    case StatKind::kHist: {
+      AttrMask available;
+      if (key.is_chain_stage()) {
+        // Chain stages flow in every plan.
+        const int rel = LowestBit(key.rels);
+        available = ctx.StageSchemaMask(rel, key.stage);
+      } else {
+        if (!ctx.IsOnPath(key.rels)) return false;
+        available = ctx.SchemaMask(key.rels);
+      }
+      if (key.kind == StatKind::kCard) return true;
+      return IsSubset(key.attrs, available);
+    }
+    case StatKind::kRejectJoinCard:
+    case StatKind::kRejectJoinHist: {
+      if (!ctx.IsOnPath(key.reject_left)) return false;
+      if (!ctx.IsOnPath(key.rels)) return false;
+      const RelMask partner = ctx.InitialNextPartner(key.reject_left);
+      if (partner != (RelMask{1} << key.reject_k)) return false;
+      if (key.kind == StatKind::kRejectJoinCard) return true;
+      const AttrMask available =
+          ctx.SchemaMask(key.reject_left) | ctx.SchemaMask(key.rels);
+      return IsSubset(key.attrs, available);
+    }
+  }
+  return false;
+}
+
+}  // namespace etlopt

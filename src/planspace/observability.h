@@ -1,0 +1,24 @@
+#ifndef ETLOPT_PLANSPACE_OBSERVABILITY_H_
+#define ETLOPT_PLANSPACE_OBSERVABILITY_H_
+
+#include "planspace/block.h"
+#include "stats/stat_key.h"
+
+namespace etlopt {
+
+// Whether `key` can be observed by instrumenting the block's *initial* plan
+// (Section 3.1, "observable statistic"):
+//   - chain-stage statistics are always observable (every chain stage is a
+//     pipeline point of every plan);
+//   - join-SE statistics require the SE to be on the initial plan's path;
+//   - histogram/distinct statistics additionally require their attributes to
+//     be present in the schema at that point;
+//   - reject-join statistics (union-division inputs) require the L side to
+//     be on-path with its next designed join against exactly the relation k
+//     (so a reject link can be attached there, Fig. 5) and the R side to be
+//     on-path so the side-join can be evaluated.
+bool IsObservable(const StatKey& key, const BlockContext& ctx);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_PLANSPACE_OBSERVABILITY_H_

@@ -1,0 +1,93 @@
+#include "planspace/plan_space.h"
+
+namespace etlopt {
+
+Result<PlanSpace> PlanSpace::Build(const BlockContext& ctx,
+                                   PlanSpaceOptions options) {
+  PlanSpace ps;
+  const JoinGraph& graph = ctx.graph();
+  ps.ses_ = graph.ConnectedSubsets();
+
+  for (RelMask se : ps.ses_) {
+    ps.plans_[se];  // ensure an entry exists (empty for singletons)
+    if (!IsSingleton(se)) {
+      // The join graph is a tree, so each internal edge of the SE's subtree
+      // induces exactly one split into two connected halves.
+      for (size_t ei = 0; ei < graph.edges().size(); ++ei) {
+        const JoinEdge& e = graph.edges()[ei];
+        const RelMask bit_a = RelMask{1} << e.a;
+        const RelMask bit_b = RelMask{1} << e.b;
+        if ((se & bit_a) == 0 || (se & bit_b) == 0) continue;
+
+        // Component of e.a within se after removing this edge.
+        RelMask comp = bit_a;
+        RelMask frontier = comp;
+        while (frontier != 0) {
+          RelMask next = 0;
+          for (int rel : MaskToIndices(frontier)) {
+            for (int ei2 : graph.edges_of(rel)) {
+              if (ei2 == static_cast<int>(ei)) continue;
+              const JoinEdge& e2 = graph.edges()[static_cast<size_t>(ei2)];
+              const int other = e2.a == rel ? e2.b : e2.a;
+              const RelMask bit = RelMask{1} << other;
+              if ((se & bit) != 0 && (comp & bit) == 0) next |= bit;
+            }
+          }
+          comp |= next;
+          frontier = next;
+        }
+        const RelMask left = comp;
+        const RelMask right = se & ~comp;
+        if (right == 0) continue;  // edge internal to one side (unreachable
+                                   // for a tree, kept for safety)
+
+        auto add = [&](RelMask l, RelMask r) {
+          if (options.left_deep_only && !IsSingleton(r)) return;
+          PlanAlt alt;
+          alt.left = l;
+          alt.right = r;
+          alt.attr = e.attr;
+          alt.edge = static_cast<int>(ei);
+          if (e.fk_dim >= 0) {
+            const RelMask dim_bit = RelMask{1} << e.fk_dim;
+            if (r == dim_bit) {
+              alt.fk_dim_side = e.fk_dim;
+            } else if (l == dim_bit) {
+              // Normalized below by the symmetric add; only mark when the
+              // dimension stands alone on one side.
+              alt.fk_dim_side = e.fk_dim;
+            }
+          }
+          ps.plans_[se].push_back(alt);
+          ++ps.num_plans_;
+        };
+        // Both orientations are the same logical plan; the optimizer's DP
+        // treats (A,B) as one plan. We record it once with a canonical
+        // orientation (lower lowest-bit side first) unless left-deep mode
+        // requires the singleton on the right.
+        if (options.left_deep_only) {
+          if (IsSingleton(right)) {
+            add(left, right);
+          } else if (IsSingleton(left)) {
+            add(right, left);
+          }
+        } else {
+          if (LowestBit(left) < LowestBit(right)) {
+            add(left, right);
+          } else {
+            add(right, left);
+          }
+        }
+      }
+    }
+  }
+  return ps;
+}
+
+const std::vector<PlanAlt>& PlanSpace::plans(RelMask rels) const {
+  static const std::vector<PlanAlt> kEmpty;
+  auto it = plans_.find(rels);
+  return it == plans_.end() ? kEmpty : it->second;
+}
+
+}  // namespace etlopt

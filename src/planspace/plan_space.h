@@ -1,0 +1,61 @@
+#ifndef ETLOPT_PLANSPACE_PLAN_SPACE_H_
+#define ETLOPT_PLANSPACE_PLAN_SPACE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "planspace/block.h"
+#include "util/status.h"
+
+namespace etlopt {
+
+// One alternative plan for a join SE (Definition 1): evaluate `left ⋈ right`
+// on `attr`. `fk_dim_side` is the relation index of the dimension side when
+// the crossing edge is a declared foreign-key lookup and that dimension is
+// alone on its side (enabling the FK cardinality shortcut), else -1.
+struct PlanAlt {
+  RelMask left = 0;
+  RelMask right = 0;
+  AttrId attr = kInvalidAttr;
+  int edge = -1;          // index into JoinGraph::edges()
+  int fk_dim_side = -1;
+};
+
+struct PlanSpaceOptions {
+  // Restrict to left-deep trees (right side a single relation). The default
+  // explores bushy plans like a DP optimizer would.
+  bool left_deep_only = false;
+};
+
+// The set E of all sub-expressions over all plans the optimizer would
+// generate for one block, together with the plan set P_e for each SE
+// (Section 3.2.2 / Section 4). Cross products are never generated: SEs are
+// connected subsets of the join graph, and since the graph is a tree each
+// SE split corresponds to removing one subtree edge.
+class PlanSpace {
+ public:
+  static Result<PlanSpace> Build(const BlockContext& ctx,
+                                 PlanSpaceOptions options = {});
+
+  // All SEs, singletons first, full SE last (sorted by popcount then value).
+  const std::vector<RelMask>& subexpressions() const { return ses_; }
+
+  bool IsSe(RelMask rels) const {
+    return plans_.find(rels) != plans_.end();
+  }
+
+  // Plans for a (multi-relation) SE; empty for singletons.
+  const std::vector<PlanAlt>& plans(RelMask rels) const;
+
+  int num_ses() const { return static_cast<int>(ses_.size()); }
+  int num_plans() const { return num_plans_; }
+
+ private:
+  std::vector<RelMask> ses_;
+  std::unordered_map<RelMask, std::vector<PlanAlt>> plans_;
+  int num_plans_ = 0;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_PLANSPACE_PLAN_SPACE_H_

@@ -1,0 +1,94 @@
+#include "stats/approx_histogram.h"
+
+#include <algorithm>
+
+namespace etlopt {
+
+ApproxHistogram::ApproxHistogram(AttrId attr, int64_t domain_size,
+                                 int64_t bucket_width)
+    : attr_(attr), domain_(domain_size), width_(bucket_width) {
+  ETLOPT_CHECK(domain_size >= 1 && bucket_width >= 1);
+  const int64_t n = (domain_size + bucket_width - 1) / bucket_width;
+  buckets_.assign(static_cast<size_t>(n), 0);
+}
+
+ApproxHistogram ApproxHistogram::FromTable(const Table& table, AttrId attr,
+                                           int64_t domain_size,
+                                           int64_t bucket_width) {
+  ApproxHistogram h(attr, domain_size, bucket_width);
+  const int col = table.schema().IndexOf(attr);
+  ETLOPT_CHECK_MSG(col >= 0, "attribute not in table schema");
+  for (const auto& row : table.rows()) {
+    h.Add(row[static_cast<size_t>(col)]);
+  }
+  return h;
+}
+
+void ApproxHistogram::Add(Value v, int64_t count) {
+  ETLOPT_CHECK_MSG(v >= 1 && v <= domain_, "value outside attribute domain");
+  buckets_[static_cast<size_t>((v - 1) / width_)] += count;
+  total_ += count;
+}
+
+int64_t ApproxHistogram::ValuesInBucket(int64_t bucket) const {
+  const int64_t lo = 1 + bucket * width_;
+  const int64_t hi = std::min(domain_, (bucket + 1) * width_);
+  return hi - lo + 1;
+}
+
+double ApproxHistogram::EstimateJoinCardinality(const ApproxHistogram& a,
+                                                const ApproxHistogram& b) {
+  ETLOPT_CHECK_MSG(a.attr_ == b.attr_ && a.domain_ == b.domain_ &&
+                       a.width_ == b.width_,
+                   "join estimate requires aligned histograms");
+  double total = 0.0;
+  for (int64_t i = 0; i < a.num_buckets(); ++i) {
+    const int64_t fa = a.buckets_[static_cast<size_t>(i)];
+    const int64_t fb = b.buckets_[static_cast<size_t>(i)];
+    if (fa == 0 || fb == 0) continue;
+    total += static_cast<double>(fa) * static_cast<double>(fb) /
+             static_cast<double>(a.ValuesInBucket(i));
+  }
+  return total;
+}
+
+double ApproxHistogram::EstimateSelectCount(const Predicate& pred) const {
+  ETLOPT_CHECK_MSG(pred.attr == attr_, "predicate attribute mismatch");
+  double total = 0.0;
+  for (int64_t i = 0; i < num_buckets(); ++i) {
+    const int64_t count = buckets_[static_cast<size_t>(i)];
+    if (count == 0) continue;
+    const int64_t lo = 1 + i * width_;
+    const int64_t hi = std::min(domain_, (i + 1) * width_);
+    // Number of integer values in [lo, hi] satisfying the predicate.
+    int64_t satisfying = 0;
+    switch (pred.op) {
+      case CompareOp::kEq:
+        satisfying = (pred.constant >= lo && pred.constant <= hi) ? 1 : 0;
+        break;
+      case CompareOp::kNe:
+        satisfying = (hi - lo + 1) -
+                     ((pred.constant >= lo && pred.constant <= hi) ? 1 : 0);
+        break;
+      case CompareOp::kLt:
+        satisfying = std::clamp<int64_t>(pred.constant - lo, 0, hi - lo + 1);
+        break;
+      case CompareOp::kLe:
+        satisfying =
+            std::clamp<int64_t>(pred.constant - lo + 1, 0, hi - lo + 1);
+        break;
+      case CompareOp::kGt:
+        satisfying = std::clamp<int64_t>(hi - pred.constant, 0, hi - lo + 1);
+        break;
+      case CompareOp::kGe:
+        satisfying =
+            std::clamp<int64_t>(hi - pred.constant + 1, 0, hi - lo + 1);
+        break;
+    }
+    total += static_cast<double>(count) * static_cast<double>(satisfying) /
+             static_cast<double>(hi - lo + 1);
+  }
+  return total;
+}
+
+}  // namespace etlopt

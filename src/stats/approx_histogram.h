@@ -1,0 +1,65 @@
+#ifndef ETLOPT_STATS_APPROX_HISTOGRAM_H_
+#define ETLOPT_STATS_APPROX_HISTOGRAM_H_
+
+#include <vector>
+
+#include "engine/table.h"
+#include "etl/predicate.h"
+
+namespace etlopt {
+
+// Section 8.1 / 8.2 extension: equi-width bucketized frequency histograms.
+// The paper scopes its main results to exact histograms and leaves
+// "estimation errors introduced because of approximate statistics" to
+// future work; this class provides the natural first step: buckets of
+// `bucket_width` consecutive domain values share one frequency counter, so
+// memory shrinks by ~width while estimates pick up error under the
+// uniform-frequency-within-bucket assumption.
+//
+// bucket_width == 1 degenerates to the exact histogram: every estimate is
+// then exact (tested), which anchors the error model.
+class ApproxHistogram {
+ public:
+  // Domain values are {1..domain_size}; bucket b covers
+  // [1 + b*width, min(domain, (b+1)*width)].
+  ApproxHistogram(AttrId attr, int64_t domain_size, int64_t bucket_width);
+
+  static ApproxHistogram FromTable(const Table& table, AttrId attr,
+                                   int64_t domain_size, int64_t bucket_width);
+
+  void Add(Value v, int64_t count = 1);
+
+  AttrId attr() const { return attr_; }
+  int64_t bucket_width() const { return width_; }
+  int64_t num_buckets() const { return static_cast<int64_t>(buckets_.size()); }
+  // Memory units under the Section 5.4 model: one integer per bucket.
+  int64_t MemoryUnits() const { return num_buckets(); }
+  int64_t TotalCount() const { return total_; }
+  int64_t BucketCount(int64_t bucket) const {
+    return buckets_[static_cast<size_t>(bucket)];
+  }
+
+  // J1 under bucketization: E[|T1 ⋈ T2|] = Σ_b f1(b)·f2(b) / |values in b|
+  // (uniform spread of frequencies over the bucket's values). Exact for
+  // width 1. Both sides must share attr/domain/width.
+  static double EstimateJoinCardinality(const ApproxHistogram& a,
+                                        const ApproxHistogram& b);
+
+  // S1 under bucketization: full buckets count exactly; the boundary bucket
+  // contributes pro-rata to the overlapped value range.
+  double EstimateSelectCount(const Predicate& pred) const;
+
+ private:
+  // Number of domain values covered by bucket b (the last may be short).
+  int64_t ValuesInBucket(int64_t bucket) const;
+
+  AttrId attr_ = kInvalidAttr;
+  int64_t domain_ = 0;
+  int64_t width_ = 1;
+  std::vector<int64_t> buckets_;
+  int64_t total_ = 0;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_STATS_APPROX_HISTOGRAM_H_

@@ -1,0 +1,62 @@
+#include "stats/cost_model.h"
+
+#include "util/common.h"
+
+namespace etlopt {
+
+CostModel::CostModel(const AttrCatalog* catalog, CostModelOptions options)
+    : catalog_(catalog), options_(options) {
+  ETLOPT_CHECK(catalog_ != nullptr);
+}
+
+void CostModel::SetSeSize(RelMask rels, int64_t rows) {
+  sizes_[SizeKey{rels, kTopStage}] = rows;
+}
+
+void CostModel::SetChainSize(int rel, int16_t stage, int64_t rows) {
+  sizes_[SizeKey{RelMask{1} << rel, stage}] = rows;
+}
+
+int64_t CostModel::SeSize(RelMask rels, int16_t stage) const {
+  auto it = sizes_.find(SizeKey{rels, stage});
+  if (it != sizes_.end()) return it->second;
+  return options_.default_se_size;
+}
+
+double CostModel::MemoryCost(const StatKey& key) const {
+  switch (key.kind) {
+    case StatKind::kCard:
+    case StatKind::kRejectJoinCard:
+      return 1.0;  // one counter
+    case StatKind::kDistinct:
+    case StatKind::kHist:
+    case StatKind::kRejectJoinHist:
+      return static_cast<double>(catalog_->DomainProduct(key.attrs));
+  }
+  return 0.0;
+}
+
+double CostModel::CpuCost(const StatKey& key) const {
+  if (key.is_reject()) {
+    // The side-join scans the rejected rows (bounded by |L|) and probes R.
+    const int64_t left = SeSize(key.reject_left, kTopStage);
+    const int64_t right = SeSize(key.rels, kTopStage);
+    return static_cast<double>(left + right);
+  }
+  return static_cast<double>(SeSize(key.rels, key.stage));
+}
+
+double CostModel::Cost(const StatKey& key) const {
+  switch (options_.metric) {
+    case CostMetric::kMemory:
+      return MemoryCost(key);
+    case CostMetric::kCpu:
+      return CpuCost(key);
+    case CostMetric::kCombined:
+      return options_.memory_weight * MemoryCost(key) +
+             options_.cpu_weight * CpuCost(key);
+  }
+  return 0.0;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,70 @@
+#ifndef ETLOPT_STATS_COST_MODEL_H_
+#define ETLOPT_STATS_COST_MODEL_H_
+
+#include <unordered_map>
+
+#include "etl/attr_catalog.h"
+#include "stats/stat_key.h"
+
+namespace etlopt {
+
+// Which observation-cost metric drives statistics selection (Section 5.4).
+enum class CostMetric {
+  kMemory,    // units = integers held by the collector (the paper's figures)
+  kCpu,       // units = tuples inspected at the observation point
+  kCombined,  // weighted sum of both
+};
+
+struct CostModelOptions {
+  CostMetric metric = CostMetric::kMemory;
+  double memory_weight = 1.0;
+  double cpu_weight = 1.0;
+  // CPU cost of a statistic whose SE size is unknown (first run, no
+  // feedback yet): a coarse pessimistic default.
+  int64_t default_se_size = 100000;
+};
+
+// Implements the paper's Section 5.4 cost table:
+//   |T| -> 1,  |a_T| -> |a|,  H^a -> |a|,  H^{a,b} -> |a|*|b|
+// using the conservative "number of all possible values" for histogram
+// memory (the true distinct count is unknown before observing). CPU cost is
+// proportional to the tuples flowing past the observation point; SE sizes
+// come from previous runs via SetSeSize (the paper's feedback loop breaking
+// the circular dependency).
+class CostModel {
+ public:
+  CostModel(const AttrCatalog* catalog, CostModelOptions options = {});
+
+  // Feedback from a previous run: number of rows of a join SE / chain stage.
+  void SetSeSize(RelMask rels, int64_t rows);
+  void SetChainSize(int rel, int16_t stage, int64_t rows);
+
+  double MemoryCost(const StatKey& key) const;
+  double CpuCost(const StatKey& key) const;
+  // The metric-selected cost used by the selectors.
+  double Cost(const StatKey& key) const;
+
+ private:
+  int64_t SeSize(RelMask rels, int16_t stage) const;
+
+  const AttrCatalog* catalog_;
+  CostModelOptions options_;
+  struct SizeKey {
+    RelMask rels;
+    int16_t stage;
+    bool operator==(const SizeKey& o) const {
+      return rels == o.rels && stage == o.stage;
+    }
+  };
+  struct SizeKeyHash {
+    size_t operator()(const SizeKey& k) const {
+      return (static_cast<size_t>(k.rels) << 16) ^
+             static_cast<size_t>(static_cast<uint16_t>(k.stage));
+    }
+  };
+  std::unordered_map<SizeKey, int64_t, SizeKeyHash> sizes_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_STATS_COST_MODEL_H_

@@ -1,0 +1,196 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace etlopt {
+namespace {
+
+// Positions (within `from` attr order) of the attributes in `sub_mask`.
+// Both attr lists are in increasing AttrId order, so projection positions
+// are computed by a linear merge.
+std::vector<int> ProjectionPositions(const std::vector<AttrId>& from,
+                                     AttrMask sub_mask) {
+  std::vector<int> positions;
+  for (size_t i = 0; i < from.size(); ++i) {
+    if ((sub_mask >> from[i]) & 1) positions.push_back(static_cast<int>(i));
+  }
+  return positions;
+}
+
+std::vector<Value> ProjectKey(const std::vector<Value>& key,
+                              const std::vector<int>& positions) {
+  std::vector<Value> out;
+  out.reserve(positions.size());
+  for (int p : positions) out.push_back(key[static_cast<size_t>(p)]);
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(AttrMask attrs) : attr_mask_(attrs) {
+  for (int idx : MaskToIndices(attrs)) {
+    attrs_.push_back(static_cast<AttrId>(idx));
+  }
+}
+
+void Histogram::Add(const std::vector<Value>& key, int64_t count) {
+  ETLOPT_CHECK(key.size() == attrs_.size());
+  if (count == 0) return;
+  buckets_[key] += count;
+  total_ += count;
+}
+
+void Histogram::Add1(Value v, int64_t count) {
+  ETLOPT_CHECK(attrs_.size() == 1);
+  if (count == 0) return;
+  buckets_[std::vector<Value>{v}] += count;
+  total_ += count;
+}
+
+int64_t Histogram::Get(const std::vector<Value>& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+int64_t Histogram::Get1(Value v) const { return Get(std::vector<Value>{v}); }
+
+int64_t Histogram::DotProduct(const Histogram& a, const Histogram& b) {
+  ETLOPT_CHECK_MSG(a.attr_mask_ == b.attr_mask_,
+                   "DotProduct requires equal attribute sets");
+  const Histogram& small = a.buckets_.size() <= b.buckets_.size() ? a : b;
+  const Histogram& large = a.buckets_.size() <= b.buckets_.size() ? b : a;
+  int64_t sum = 0;
+  for (const auto& [key, count] : small.buckets_) {
+    sum += count * large.Get(key);
+  }
+  return sum;
+}
+
+Histogram Histogram::MultiplyBy(const Histogram& a, const Histogram& b) {
+  ETLOPT_CHECK_MSG(IsSubset(b.attr_mask_, a.attr_mask_),
+                   "MultiplyBy requires b.attrs ⊆ a.attrs");
+  const std::vector<int> positions =
+      ProjectionPositions(a.attrs_, b.attr_mask_);
+  Histogram out(a.attr_mask_);
+  for (const auto& [key, count] : a.buckets_) {
+    const int64_t factor = b.Get(ProjectKey(key, positions));
+    if (factor != 0) out.Add(key, count * factor);
+  }
+  return out;
+}
+
+Histogram Histogram::DivideBy(const Histogram& a, const Histogram& b) {
+  ETLOPT_CHECK_MSG(IsSubset(b.attr_mask_, a.attr_mask_),
+                   "DivideBy requires b.attrs ⊆ a.attrs");
+  const std::vector<int> positions =
+      ProjectionPositions(a.attrs_, b.attr_mask_);
+  Histogram out(a.attr_mask_);
+  for (const auto& [key, count] : a.buckets_) {
+    const int64_t divisor = b.Get(ProjectKey(key, positions));
+    ETLOPT_CHECK_MSG(divisor > 0,
+                     "union-division: bucket present in numerator but not in "
+                     "divisor histogram");
+    ETLOPT_CHECK_MSG(count % divisor == 0,
+                     "union-division: non-exact division, modeling error");
+    out.Add(key, count / divisor);
+  }
+  return out;
+}
+
+Histogram Histogram::Marginalize(AttrMask keep) const {
+  ETLOPT_CHECK_MSG(IsSubset(keep, attr_mask_),
+                   "Marginalize target must be a subset of histogram attrs");
+  if (keep == attr_mask_) return *this;
+  const std::vector<int> positions = ProjectionPositions(attrs_, keep);
+  Histogram out(keep);
+  for (const auto& [key, count] : buckets_) {
+    out.Add(ProjectKey(key, positions), count);
+  }
+  return out;
+}
+
+int64_t Histogram::CountMatching(const Predicate& pred) const {
+  const int pos = [&] {
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      if (attrs_[i] == pred.attr) return static_cast<int>(i);
+    }
+    return -1;
+  }();
+  ETLOPT_CHECK_MSG(pos >= 0, "predicate attribute not in histogram");
+  int64_t sum = 0;
+  for (const auto& [key, count] : buckets_) {
+    if (pred.Matches(key[static_cast<size_t>(pos)])) sum += count;
+  }
+  return sum;
+}
+
+Histogram Histogram::FilterThenMarginalize(const Predicate& pred,
+                                           AttrMask keep) const {
+  const int pos = [&] {
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      if (attrs_[i] == pred.attr) return static_cast<int>(i);
+    }
+    return -1;
+  }();
+  ETLOPT_CHECK_MSG(pos >= 0, "predicate attribute not in histogram");
+  ETLOPT_CHECK(IsSubset(keep, attr_mask_));
+  const std::vector<int> positions = ProjectionPositions(attrs_, keep);
+  Histogram out(keep);
+  for (const auto& [key, count] : buckets_) {
+    if (pred.Matches(key[static_cast<size_t>(pos)])) {
+      out.Add(ProjectKey(key, positions), count);
+    }
+  }
+  return out;
+}
+
+Histogram Histogram::CollapseToDistinct() const {
+  Histogram out(attr_mask_);
+  for (const auto& [key, count] : buckets_) {
+    (void)count;
+    out.Add(key, 1);
+  }
+  return out;
+}
+
+void Histogram::AddAll(const Histogram& other) {
+  ETLOPT_CHECK_MSG(attr_mask_ == other.attr_mask_,
+                   "AddAll requires equal attribute sets");
+  for (const auto& [key, count] : other.buckets_) {
+    Add(key, count);
+  }
+}
+
+bool Histogram::operator==(const Histogram& other) const {
+  if (attr_mask_ != other.attr_mask_ || total_ != other.total_ ||
+      buckets_.size() != other.buckets_.size()) {
+    return false;
+  }
+  for (const auto& [key, count] : buckets_) {
+    if (other.Get(key) != count) return false;
+  }
+  return true;
+}
+
+std::string Histogram::ToString() const {
+  // Sorted rendering for stable test output.
+  std::vector<std::pair<std::vector<Value>, int64_t>> entries(buckets_.begin(),
+                                                              buckets_.end());
+  std::sort(entries.begin(), entries.end());
+  std::ostringstream out;
+  out << "H[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << "(";
+    for (size_t j = 0; j < entries[i].first.size(); ++j) {
+      if (j != 0) out << ",";
+      out << entries[i].first[j];
+    }
+    out << ")=" << entries[i].second;
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace etlopt

@@ -1,0 +1,111 @@
+#ifndef ETLOPT_STATS_HISTOGRAM_H_
+#define ETLOPT_STATS_HISTOGRAM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "etl/predicate.h"
+#include "etl/types.h"
+#include "util/bitmask.h"
+#include "util/common.h"
+
+namespace etlopt {
+
+// Hash for composite bucket keys.
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& v) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (Value x : v) {
+      h ^= static_cast<uint64_t>(x);
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Exact (multi-attribute) frequency histogram: one bucket per distinct value
+// combination of the attribute set, as scoped by Section 3.1 of the paper
+// ("we consider only histograms that can accurately estimate the
+// cardinalities"). Attributes are kept in increasing AttrId order; bucket
+// keys follow that order.
+//
+// The algebra below implements the paper's operators: dot product (J1),
+// bucket-wise multiply ⟨H1|H2⟩ and divide H1/H2 (union-division, Eq. 2-3),
+// marginalization (identity rule I2), join propagation (J2/J3), and
+// predicate filtering (S1/S2).
+class Histogram {
+ public:
+  using BucketMap = std::unordered_map<std::vector<Value>, int64_t, ValueVecHash>;
+
+  Histogram() = default;
+  explicit Histogram(AttrMask attrs);
+
+  AttrMask attr_mask() const { return attr_mask_; }
+  const std::vector<AttrId>& attrs() const { return attrs_; }
+  int arity() const { return static_cast<int>(attrs_.size()); }
+
+  // Adds `count` to the bucket for `key` (values aligned with attrs()).
+  void Add(const std::vector<Value>& key, int64_t count = 1);
+  // Single-attribute convenience.
+  void Add1(Value v, int64_t count = 1);
+
+  int64_t Get(const std::vector<Value>& key) const;
+  int64_t Get1(Value v) const;
+
+  // |H| in the paper: the sum of all bucket counts (equals |T|).
+  int64_t TotalCount() const { return total_; }
+  // Number of distinct value combinations (|a_T| when read as distinct).
+  int64_t NumBuckets() const { return static_cast<int64_t>(buckets_.size()); }
+
+  const BucketMap& buckets() const { return buckets_; }
+
+  // ---- algebra ----
+
+  // J1: sum over shared buckets of a[v] * b[v]. Requires equal attr sets.
+  static int64_t DotProduct(const Histogram& a, const Histogram& b);
+
+  // ⟨a|b⟩ generalized: scales each bucket of `a` by b's count on the
+  // projection of the bucket onto b's attributes. Requires b.attrs ⊆ a.attrs.
+  // Buckets scaled to zero are dropped.
+  static Histogram MultiplyBy(const Histogram& a, const Histogram& b);
+
+  // a / b bucket-wise on the projection (Eq. 2): each bucket of `a` is
+  // divided by b's count on the projected key. Requires b.attrs ⊆ a.attrs and
+  // a non-zero divisor for every bucket of `a` (guaranteed when `a` is the
+  // result of a join through b's relation). Division is exact on exact
+  // histograms; remainders indicate a modeling error and abort in debug.
+  static Histogram DivideBy(const Histogram& a, const Histogram& b);
+
+  // I2: aggregates buckets down to the attribute subset `keep`.
+  Histogram Marginalize(AttrMask keep) const;
+
+  // S1: number of tuples matching a predicate on one of the histogram's
+  // attributes.
+  int64_t CountMatching(const Predicate& pred) const;
+
+  // S2: buckets whose `pred.attr` component matches, then marginalized to
+  // `keep` (keep may or may not contain pred.attr).
+  Histogram FilterThenMarginalize(const Predicate& pred, AttrMask keep) const;
+
+  // G2 support: one row per distinct bucket (all counts become 1).
+  Histogram CollapseToDistinct() const;
+
+  // Merges `other` into this histogram (bucket-wise addition); used to union
+  // the matched and rejected parts in union-division (Eq. 1).
+  void AddAll(const Histogram& other);
+
+  bool operator==(const Histogram& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<AttrId> attrs_;  // increasing order
+  AttrMask attr_mask_ = 0;
+  BucketMap buckets_;
+  int64_t total_ = 0;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_STATS_HISTOGRAM_H_

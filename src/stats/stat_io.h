@@ -1,0 +1,34 @@
+#ifndef ETLOPT_STATS_STAT_IO_H_
+#define ETLOPT_STATS_STAT_IO_H_
+
+#include <string>
+
+#include "stats/stat_store.h"
+
+namespace etlopt {
+
+// Persistence for learned statistics. In the paper's deployment the
+// statistics observed in run N drive the optimization of run N+1, which may
+// be hours or days later in a different process — so a real engine must
+// write the collected StatStore somewhere durable. This is a line-oriented
+// text codec (same spirit as the workflow format):
+//
+//   stat card rels=5 stage=-1 value=19739
+//   stat distinct rels=1 stage=0 attrs=3 value=42
+//   stat hist rels=3 stage=-1 attrs=2 buckets=2
+//   bucket 7 = 13
+//   bucket 9 = 5
+//   stat rejcard rels=4 left=1 k=1 value=17
+//
+// Masks are decimal; histogram bucket keys list one value per attribute in
+// increasing AttrId order.
+std::string WriteStatStoreText(const StatStore& store);
+
+Result<StatStore> ParseStatStoreText(const std::string& text);
+
+Status SaveStatStore(const StatStore& store, const std::string& path);
+Result<StatStore> LoadStatStore(const std::string& path);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_STATS_STAT_IO_H_

@@ -1,0 +1,81 @@
+#include "stats/stat_key.h"
+
+#include <sstream>
+
+namespace etlopt {
+
+const char* StatKindName(StatKind kind) {
+  switch (kind) {
+    case StatKind::kCard:
+      return "Card";
+    case StatKind::kDistinct:
+      return "Distinct";
+    case StatKind::kHist:
+      return "Hist";
+    case StatKind::kRejectJoinCard:
+      return "RejectJoinCard";
+    case StatKind::kRejectJoinHist:
+      return "RejectJoinHist";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+std::string RelsToString(RelMask mask) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (int idx : MaskToIndices(mask)) {
+    if (!first) out << ",";
+    out << "R" << idx;
+    first = false;
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string AttrsToString(AttrMask mask, const AttrCatalog* catalog) {
+  if (catalog != nullptr) return catalog->MaskToString(mask);
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (int idx : MaskToIndices(mask)) {
+    if (!first) out << ",";
+    out << "a" << idx;
+    first = false;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string StatKey::ToString(const AttrCatalog* catalog) const {
+  std::ostringstream out;
+  std::string se = RelsToString(rels);
+  if (is_chain_stage()) se += "@s" + std::to_string(stage);
+  switch (kind) {
+    case StatKind::kCard:
+      out << "|" << se << "|";
+      break;
+    case StatKind::kDistinct:
+      out << "D" << se << "^" << AttrsToString(attrs, catalog);
+      break;
+    case StatKind::kHist:
+      out << "H" << se << "^" << AttrsToString(attrs, catalog);
+      break;
+    case StatKind::kRejectJoinCard:
+      out << "|rej(" << RelsToString(reject_left) << " wrt R"
+          << static_cast<int>(reject_k) << ") >< " << se << "|";
+      break;
+    case StatKind::kRejectJoinHist:
+      out << "Hrej(" << RelsToString(reject_left) << " wrt R"
+          << static_cast<int>(reject_k) << " >< " << se << ")^"
+          << AttrsToString(attrs, catalog);
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace etlopt

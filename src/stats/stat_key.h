@@ -1,0 +1,111 @@
+#ifndef ETLOPT_STATS_STAT_KEY_H_
+#define ETLOPT_STATS_STAT_KEY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "etl/attr_catalog.h"
+#include "util/bitmask.h"
+
+namespace etlopt {
+
+// The kinds of statistics the framework reasons about (Section 3.2.5 plus
+// the union-division reject statistics of Section 4.1.2).
+enum class StatKind : uint8_t {
+  kCard = 0,        // |T| — cardinality of a sub-expression
+  kDistinct,        // |a_T| — number of distinct values of an attribute set
+  kHist,            // H_T^a — (multi-)attribute frequency histogram
+  kRejectJoinCard,  // |reject(L wrt join with k) ⋈ R| — J4 input
+  kRejectJoinHist,  // H^b of the same reject join — J5 input
+};
+
+const char* StatKindName(StatKind kind);
+
+// Chain-stage marker: kTopStage denotes the top of an input's operator chain
+// (equivalently, the singleton join SE). Stages 0..k index intermediate
+// outputs along the chain, 0 being the base source output.
+inline constexpr int16_t kTopStage = -1;
+
+// Identity of a statistic over a sub-expression within one optimizable
+// block. Plain value type used as a hash key throughout CSS generation,
+// selection, and estimation.
+struct StatKey {
+  StatKind kind = StatKind::kCard;
+  RelMask rels = 0;     // the SE: join subset, or singleton for chain stats;
+                        // for reject stats this is the R side of the side-join
+  int16_t stage = kTopStage;  // only != kTopStage for single-input chain stats
+  AttrMask attrs = 0;   // kHist/kDistinct/kRejectJoinHist attribute set
+  RelMask reject_left = 0;  // reject stats: the L side whose rejects are used
+  uint8_t reject_k = 0;     // reject stats: the relation L was rejected against
+
+  // ---- factory helpers ----
+  static StatKey Card(RelMask rels) {
+    return StatKey{StatKind::kCard, rels, kTopStage, 0, 0, 0};
+  }
+  static StatKey CardStage(int rel, int16_t stage) {
+    return StatKey{StatKind::kCard, RelMask{1} << rel, stage, 0, 0, 0};
+  }
+  static StatKey Hist(RelMask rels, AttrMask attrs) {
+    return StatKey{StatKind::kHist, rels, kTopStage, attrs, 0, 0};
+  }
+  static StatKey HistStage(int rel, int16_t stage, AttrMask attrs) {
+    return StatKey{StatKind::kHist, RelMask{1} << rel, stage, attrs, 0, 0};
+  }
+  static StatKey Distinct(RelMask rels, AttrMask attrs) {
+    return StatKey{StatKind::kDistinct, rels, kTopStage, attrs, 0, 0};
+  }
+  static StatKey DistinctStage(int rel, int16_t stage, AttrMask attrs) {
+    return StatKey{StatKind::kDistinct, RelMask{1} << rel, stage, attrs, 0, 0};
+  }
+  static StatKey RejectJoinCard(RelMask left, int k, RelMask right) {
+    return StatKey{StatKind::kRejectJoinCard, right, kTopStage, 0, left,
+                   static_cast<uint8_t>(k)};
+  }
+  static StatKey RejectJoinHist(RelMask left, int k, RelMask right,
+                                AttrMask attrs) {
+    return StatKey{StatKind::kRejectJoinHist, right, kTopStage, attrs, left,
+                   static_cast<uint8_t>(k)};
+  }
+
+  bool is_reject() const {
+    return kind == StatKind::kRejectJoinCard ||
+           kind == StatKind::kRejectJoinHist;
+  }
+  bool is_count_like() const {
+    return kind == StatKind::kCard || kind == StatKind::kDistinct ||
+           kind == StatKind::kRejectJoinCard;
+  }
+  bool is_chain_stage() const { return stage != kTopStage; }
+
+  bool operator==(const StatKey& o) const {
+    return kind == o.kind && rels == o.rels && stage == o.stage &&
+           attrs == o.attrs && reject_left == o.reject_left &&
+           reject_k == o.reject_k;
+  }
+
+  // Rendering like "H{R0,R2}^{cust_id}" or "|R1@s0|". Pass the catalog for
+  // attribute names (may be null to print raw ids).
+  std::string ToString(const AttrCatalog* catalog = nullptr) const;
+};
+
+struct StatKeyHash {
+  size_t operator()(const StatKey& k) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    mix(static_cast<uint64_t>(k.kind));
+    mix(k.rels);
+    mix(static_cast<uint64_t>(static_cast<uint16_t>(k.stage)));
+    mix(k.attrs);
+    mix(k.reject_left);
+    mix(k.reject_k);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_STATS_STAT_KEY_H_

@@ -1,0 +1,1 @@
+#include "stats/stat_store.h"

@@ -1,0 +1,95 @@
+#ifndef ETLOPT_STATS_STAT_STORE_H_
+#define ETLOPT_STATS_STAT_STORE_H_
+
+#include <unordered_map>
+#include <utility>
+
+#include "stats/histogram.h"
+#include "stats/stat_key.h"
+#include "util/status.h"
+
+namespace etlopt {
+
+// The value of a statistic: a count (Card / Distinct / RejectJoinCard) or a
+// histogram (Hist / RejectJoinHist).
+class StatValue {
+ public:
+  StatValue() : is_count_(true), count_(0) {}
+  static StatValue Count(int64_t count) {
+    StatValue v;
+    v.is_count_ = true;
+    v.count_ = count;
+    return v;
+  }
+  static StatValue Hist(Histogram hist) {
+    StatValue v;
+    v.is_count_ = false;
+    v.hist_ = std::move(hist);
+    return v;
+  }
+
+  bool is_count() const { return is_count_; }
+  int64_t count() const {
+    ETLOPT_CHECK(is_count_);
+    return count_;
+  }
+  const Histogram& hist() const {
+    ETLOPT_CHECK(!is_count_);
+    return hist_;
+  }
+
+ private:
+  bool is_count_;
+  int64_t count_ = 0;
+  Histogram hist_;
+};
+
+// Observed and derived statistic values, keyed by StatKey. One store per
+// (block, run).
+class StatStore {
+ public:
+  void Set(const StatKey& key, StatValue value) {
+    values_[key] = std::move(value);
+  }
+
+  bool Contains(const StatKey& key) const {
+    return values_.find(key) != values_.end();
+  }
+
+  const StatValue* Find(const StatKey& key) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? nullptr : &it->second;
+  }
+
+  Result<int64_t> GetCount(const StatKey& key) const {
+    const StatValue* v = Find(key);
+    if (v == nullptr) return Status::NotFound(key.ToString());
+    if (!v->is_count()) {
+      return Status::Internal("statistic is not a count: " + key.ToString());
+    }
+    return v->count();
+  }
+
+  Result<Histogram> GetHist(const StatKey& key) const {
+    const StatValue* v = Find(key);
+    if (v == nullptr) return Status::NotFound(key.ToString());
+    if (v->is_count()) {
+      return Status::Internal("statistic is not a histogram: " +
+                              key.ToString());
+    }
+    return v->hist();
+  }
+
+  size_t size() const { return values_.size(); }
+
+  const std::unordered_map<StatKey, StatValue, StatKeyHash>& values() const {
+    return values_;
+  }
+
+ private:
+  std::unordered_map<StatKey, StatValue, StatKeyHash> values_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_STATS_STAT_STORE_H_

@@ -1,0 +1,56 @@
+#ifndef ETLOPT_UTIL_BITMASK_H_
+#define ETLOPT_UTIL_BITMASK_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace etlopt {
+
+// Relation subsets within an optimizable block (bit i = block input i).
+using RelMask = uint32_t;
+// Attribute subsets within a workflow's attribute catalog (bit = AttrId).
+using AttrMask = uint64_t;
+
+inline int PopCount(uint64_t mask) { return std::popcount(mask); }
+
+inline bool IsSubset(uint64_t sub, uint64_t super) {
+  return (sub & ~super) == 0;
+}
+
+inline bool IsSingleton(uint64_t mask) {
+  return mask != 0 && (mask & (mask - 1)) == 0;
+}
+
+// Index of the lowest set bit. Mask must be non-zero.
+inline int LowestBit(uint64_t mask) { return std::countr_zero(mask); }
+
+// Expands a mask to the list of set-bit indices, in increasing order.
+inline std::vector<int> MaskToIndices(uint64_t mask) {
+  std::vector<int> out;
+  while (mask != 0) {
+    out.push_back(std::countr_zero(mask));
+    mask &= mask - 1;
+  }
+  return out;
+}
+
+// Iterates all non-empty proper sub-masks of `mask` (classic subset-walk).
+// Usage: for (SubsetIterator it(m); !it.Done(); it.Next()) use it.subset();
+class SubsetIterator {
+ public:
+  explicit SubsetIterator(uint64_t mask)
+      : mask_(mask), subset_((mask - 1) & mask) {}
+
+  bool Done() const { return subset_ == 0; }
+  uint64_t subset() const { return subset_; }
+  void Next() { subset_ = (subset_ - 1) & mask_; }
+
+ private:
+  uint64_t mask_;
+  uint64_t subset_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_UTIL_BITMASK_H_

@@ -1,0 +1,36 @@
+#ifndef ETLOPT_UTIL_COMMON_H_
+#define ETLOPT_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+namespace etlopt {
+
+// Basic integral aliases used across the library.
+using Value = int64_t;  // Attribute values are integral (surrogate-key style).
+
+// CHECK-style assertion macros. Failures abort: they indicate programming
+// errors (broken invariants), not recoverable runtime conditions, which are
+// reported via Status instead.
+#define ETLOPT_CHECK(cond)                                                    \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::std::cerr << "CHECK failed at " << __FILE__ << ":" << __LINE__ << ": " \
+                  << #cond << ::std::endl;                                    \
+      ::std::abort();                                                         \
+    }                                                                         \
+  } while (false)
+
+#define ETLOPT_CHECK_MSG(cond, msg)                                           \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::std::cerr << "CHECK failed at " << __FILE__ << ":" << __LINE__ << ": " \
+                  << #cond << " — " << (msg) << ::std::endl;                  \
+      ::std::abort();                                                         \
+    }                                                                         \
+  } while (false)
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_UTIL_COMMON_H_

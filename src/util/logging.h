@@ -1,0 +1,42 @@
+#ifndef ETLOPT_UTIL_LOGGING_H_
+#define ETLOPT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace etlopt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define ETLOPT_LOG(level)                                                  \
+  ::etlopt::internal_logging::LogMessage(::etlopt::LogLevel::k##level,     \
+                                         __FILE__, __LINE__)               \
+      .stream()
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_UTIL_LOGGING_H_

@@ -1,0 +1,53 @@
+#ifndef ETLOPT_UTIL_RANDOM_H_
+#define ETLOPT_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace etlopt {
+
+// Deterministic, fast PRNG (splitmix64 + xoshiro256**). Seeded explicitly so
+// that data generation and experiments are reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t state_[4];
+};
+
+// Zipf(s) sampler over the domain {1, 2, ..., n}: P(k) ∝ 1 / k^s.
+// Uses a precomputed CDF with binary search; construction is O(n), sampling
+// O(log n). The paper generates its data characteristics from a Zipfian
+// distribution with high skew (Section 7).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int64_t n, double s);
+
+  int64_t Sample(Rng& rng) const;
+
+  int64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  int64_t n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_UTIL_RANDOM_H_

@@ -1,0 +1,127 @@
+#ifndef ETLOPT_UTIL_STATUS_H_
+#define ETLOPT_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/common.h"
+
+namespace etlopt {
+
+// Error codes for recoverable failures. Library code never throws; fallible
+// operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kInfeasible,  // e.g. an ILP with no feasible integral solution
+};
+
+// A lightweight status value in the style of absl::Status / arrow::Status.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable rendering, e.g. "InvalidArgument: bad join key".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value-or-error holder in the style of absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}         // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    ETLOPT_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    ETLOPT_CHECK_MSG(ok(), status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    ETLOPT_CHECK_MSG(ok(), status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    ETLOPT_CHECK_MSG(ok(), status_.ToString());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+// Propagates a non-OK Status from an expression.
+#define ETLOPT_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::etlopt::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#define ETLOPT_CONCAT_INNER(a, b) a##b
+#define ETLOPT_CONCAT(a, b) ETLOPT_CONCAT_INNER(a, b)
+
+#define ETLOPT_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                                 \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+// Assigns the value of a Result expression or propagates its Status.
+#define ETLOPT_ASSIGN_OR_RETURN(lhs, expr) \
+  ETLOPT_ASSIGN_OR_RETURN_IMPL(ETLOPT_CONCAT(_result_, __LINE__), lhs, expr)
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_UTIL_STATUS_H_

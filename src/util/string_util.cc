@@ -1,0 +1,42 @@
+#include "util/string_util.h"
+
+#include <cstdlib>
+
+namespace etlopt {
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string WithThousands(int64_t value) {
+  const bool neg = value < 0;
+  uint64_t v = neg ? -static_cast<uint64_t>(value) : static_cast<uint64_t>(value);
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (neg) out += '-';
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string PadLeft(const std::string& s, size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string PadRight(const std::string& s, size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace etlopt

@@ -1,0 +1,23 @@
+#ifndef ETLOPT_UTIL_STRING_UTIL_H_
+#define ETLOPT_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace etlopt {
+
+// Joins string pieces with a separator: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// Formats an integer with thousands separators: 1811197 -> "1,811,197".
+std::string WithThousands(int64_t value);
+
+// Left-pads / right-pads to a fixed width (for aligned table output).
+std::string PadLeft(const std::string& s, size_t width);
+std::string PadRight(const std::string& s, size_t width);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_UTIL_STRING_UTIL_H_

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "stats/cost_model.h"
+
+namespace etlopt {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = catalog_.Register("a", 100);
+    b_ = catalog_.Register("b", 7);
+  }
+  AttrCatalog catalog_;
+  AttrId a_ = kInvalidAttr;
+  AttrId b_ = kInvalidAttr;
+};
+
+TEST_F(CostModelTest, MemoryCostsMatchSection54Table) {
+  CostModel model(&catalog_, {});
+  // |T| -> 1 counter.
+  EXPECT_EQ(model.MemoryCost(StatKey::Card(0b1)), 1.0);
+  // |a_T| -> |a|.
+  EXPECT_EQ(model.MemoryCost(StatKey::Distinct(0b1, AttrMask{1} << a_)),
+            100.0);
+  // H^a -> |a|;  H^{a,b} -> |a||b|.
+  EXPECT_EQ(model.MemoryCost(StatKey::Hist(0b1, AttrMask{1} << a_)), 100.0);
+  EXPECT_EQ(model.MemoryCost(StatKey::Hist(
+                0b1, (AttrMask{1} << a_) | (AttrMask{1} << b_))),
+            700.0);
+  // Reject statistics: counter = 1; histogram = domain product.
+  EXPECT_EQ(model.MemoryCost(StatKey::RejectJoinCard(0b1, 1, 0b100)), 1.0);
+  EXPECT_EQ(model.MemoryCost(
+                StatKey::RejectJoinHist(0b1, 1, 0b100, AttrMask{1} << b_)),
+            7.0);
+}
+
+TEST_F(CostModelTest, CpuCostUsesFeedbackSizes) {
+  CostModelOptions options;
+  options.metric = CostMetric::kCpu;
+  options.default_se_size = 5000;
+  CostModel model(&catalog_, options);
+  // No feedback: coarse default.
+  EXPECT_EQ(model.Cost(StatKey::Card(0b11)), 5000.0);
+  // With feedback from a previous run.
+  model.SetSeSize(0b11, 1234);
+  EXPECT_EQ(model.Cost(StatKey::Card(0b11)), 1234.0);
+  // Chain stages are tracked separately.
+  model.SetChainSize(0, 0, 777);
+  EXPECT_EQ(model.Cost(StatKey::CardStage(0, 0)), 777.0);
+  EXPECT_EQ(model.Cost(StatKey::Card(0b01)), 5000.0);  // top unaffected
+}
+
+TEST_F(CostModelTest, CpuCostOfRejectStatsSumsBothSides) {
+  CostModelOptions options;
+  options.metric = CostMetric::kCpu;
+  CostModel model(&catalog_, options);
+  model.SetSeSize(0b001, 100);  // L
+  model.SetSeSize(0b100, 40);   // R
+  EXPECT_EQ(model.Cost(StatKey::RejectJoinCard(0b001, 1, 0b100)), 140.0);
+}
+
+TEST_F(CostModelTest, CombinedMetricWeighted) {
+  CostModelOptions options;
+  options.metric = CostMetric::kCombined;
+  options.memory_weight = 2.0;
+  options.cpu_weight = 0.5;
+  options.default_se_size = 100;
+  CostModel model(&catalog_, options);
+  const StatKey key = StatKey::Hist(0b1, AttrMask{1} << b_);
+  // 2*7 + 0.5*100 = 64.
+  EXPECT_EQ(model.Cost(key), 64.0);
+}
+
+}  // namespace
+}  // namespace etlopt

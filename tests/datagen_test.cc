@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/workload_suite.h"
+#include "planspace/block.h"
+
+namespace etlopt {
+namespace {
+
+TEST(TableGenTest, SequentialAndZipfColumns) {
+  AttrCatalog catalog;
+  const AttrId pk = catalog.Register("pk", 1000);
+  const AttrId z = catalog.Register("z", 50);
+  TableSpec spec;
+  spec.name = "T";
+  spec.rows = 500;
+  spec.columns = {ColumnSpec{pk, ColumnGen::kSequential, 0.0, 0, 0.0},
+                  ColumnSpec{z, ColumnGen::kZipf, 1.2, 0, 0.0}};
+  Rng rng(3);
+  const Table t = GenerateTable(catalog, spec, rng);
+  ASSERT_EQ(t.num_rows(), 500);
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(t.at(i, 0), i + 1);
+    EXPECT_GE(t.at(i, 1), 1);
+    EXPECT_LE(t.at(i, 1), 50);
+  }
+  // Zipf skew: value 1 is the most frequent.
+  const Histogram h = t.BuildHistogram(AttrMask{1} << z);
+  int64_t max_count = 0;
+  for (const auto& [key, count] : h.buckets()) {
+    (void)key;
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_EQ(h.Get1(1), max_count);
+}
+
+TEST(TableGenTest, FkZipfRespectsMatchRangeAndMisses) {
+  AttrCatalog catalog;
+  const AttrId fk = catalog.Register("fk", 100);
+  TableSpec spec;
+  spec.name = "F";
+  spec.rows = 2000;
+  spec.columns = {ColumnSpec{fk, ColumnGen::kFkZipf, 1.2, 80, 0.1}};
+  Rng rng(11);
+  const Table t = GenerateTable(catalog, spec, rng);
+  int64_t dangling = 0;
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    const Value v = t.at(i, 0);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+    if (v > 80) ++dangling;
+  }
+  // ~10% dangling with generous slack.
+  EXPECT_GT(dangling, 100);
+  EXPECT_LT(dangling, 350);
+}
+
+TEST(TableGenTest, RowScaleShrinksConsistently) {
+  AttrCatalog catalog;
+  const AttrId pk = catalog.Register("pk", 1000);
+  TableSpec spec;
+  spec.name = "T";
+  spec.rows = 1000;
+  spec.columns = {ColumnSpec{pk, ColumnGen::kSequential, 0.0, 0, 0.0}};
+  Rng rng(3);
+  const Table t = GenerateTable(catalog, spec, rng, 0.05);
+  EXPECT_EQ(t.num_rows(), 50);
+}
+
+TEST(SuiteTest, AllThirtyWorkflowsBuildAndValidate) {
+  const std::vector<WorkloadSpec> suite = BuildSuite();
+  ASSERT_EQ(suite.size(), 30u);
+  for (const WorkloadSpec& spec : suite) {
+    EXPECT_TRUE(spec.workflow.Validate().ok()) << spec.name;
+    EXPECT_FALSE(spec.tables.empty()) << spec.name;
+    // Every source node must have a table spec.
+    for (const WorkflowNode& node : spec.workflow.nodes()) {
+      if (node.kind != OpKind::kSource) continue;
+      const bool found =
+          std::any_of(spec.tables.begin(), spec.tables.end(),
+                      [&](const TableSpec& t) {
+                        return t.name == node.table_name;
+                      });
+      EXPECT_TRUE(found) << spec.name << " missing " << node.table_name;
+    }
+  }
+}
+
+TEST(SuiteTest, AllWorkflowsPartitionAndBuildContexts) {
+  for (int i = 1; i <= 30; ++i) {
+    const WorkloadSpec spec = BuildWorkload(i);
+    const std::vector<Block> blocks = PartitionBlocks(spec.workflow);
+    ASSERT_FALSE(blocks.empty()) << spec.name;
+    for (const Block& block : blocks) {
+      const Result<BlockContext> ctx =
+          BlockContext::Build(&spec.workflow, block);
+      EXPECT_TRUE(ctx.ok()) << spec.name << ": " << ctx.status().ToString();
+    }
+  }
+}
+
+TEST(SuiteTest, AnchorsHaveExpectedArity) {
+  // wf21 is the 8-way join; wf30 the 6-way (Figure 12 anchors).
+  auto max_rels = [](const WorkloadSpec& spec) {
+    int best = 0;
+    for (const Block& b : PartitionBlocks(spec.workflow)) {
+      best = std::max(best, b.num_rels());
+    }
+    return best;
+  };
+  EXPECT_EQ(max_rels(BuildWorkload(21)), 8);
+  EXPECT_EQ(max_rels(BuildWorkload(30)), 6);
+  EXPECT_EQ(max_rels(BuildWorkload(3)), 3);
+}
+
+TEST(SuiteTest, GeneratedSourcesExecute) {
+  // A few representative workloads run end-to-end at reduced scale.
+  for (int i : {1, 2, 3, 9, 10, 11, 17, 28}) {
+    const WorkloadSpec spec = BuildWorkload(i);
+    const SourceMap sources = GenerateSources(spec, 42, 0.01);
+    Executor executor(&spec.workflow);
+    const Result<ExecutionResult> result = executor.Execute(sources);
+    ASSERT_TRUE(result.ok()) << spec.name << ": "
+                             << result.status().ToString();
+    EXPECT_FALSE(result->targets.empty()) << spec.name;
+  }
+}
+
+TEST(SuiteTest, DataCharacteristicsShapeAtFullScale) {
+  // The Section 7 table shape: skewed cardinalities, UV spread over orders
+  // of magnitude. Checked at 10% scale to keep the test fast; scale-derived
+  // bounds are proportional.
+  const DataCharacteristics dc = SummarizeSuiteData(7, 0.1);
+  EXPECT_GT(dc.num_tables, 50);
+  EXPECT_GT(dc.card_max, 30000);   // ~417874 * 0.1
+  EXPECT_LT(dc.card_min, 1000);
+  EXPECT_GT(dc.card_mean, dc.card_median);  // right-skewed like the paper
+  EXPECT_GT(dc.uv_max, 10000);
+  EXPECT_LT(dc.uv_min, 300);
+}
+
+}  // namespace
+}  // namespace etlopt

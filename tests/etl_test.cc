@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "etl/workflow_builder.h"
+#include "test_util.h"
+
+namespace etlopt {
+namespace {
+
+TEST(AttrCatalogTest, RegisterAndLookup) {
+  AttrCatalog catalog;
+  const AttrId a = catalog.Register("cust_id", 1000);
+  const AttrId b = catalog.Register("prod_id", 50);
+  EXPECT_EQ(catalog.Lookup("cust_id"), a);
+  EXPECT_EQ(catalog.Lookup("prod_id"), b);
+  EXPECT_EQ(catalog.Lookup("nope"), kInvalidAttr);
+  EXPECT_EQ(catalog.domain_size(a), 1000);
+  EXPECT_EQ(catalog.name(b), "prod_id");
+}
+
+TEST(AttrCatalogTest, DomainProductSaturates) {
+  AttrCatalog catalog;
+  const AttrId a = catalog.Register("a", 1LL << 40);
+  const AttrId b = catalog.Register("b", 1LL << 40);
+  const AttrMask mask = (AttrMask{1} << a) | (AttrMask{1} << b);
+  EXPECT_EQ(catalog.DomainProduct(mask),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(catalog.DomainProduct(AttrMask{1} << a), 1LL << 40);
+  EXPECT_EQ(catalog.DomainProduct(0), 1);
+}
+
+TEST(SchemaTest, IndexAndMask) {
+  Schema s({2, 0, 5});
+  EXPECT_EQ(s.IndexOf(2), 0);
+  EXPECT_EQ(s.IndexOf(0), 1);
+  EXPECT_EQ(s.IndexOf(5), 2);
+  EXPECT_EQ(s.IndexOf(1), -1);
+  EXPECT_EQ(s.mask(), (AttrMask{1} << 2) | 1 | (AttrMask{1} << 5));
+  EXPECT_TRUE(s.ContainsAll(0b100101));
+  EXPECT_FALSE(s.ContainsAll(0b10));
+}
+
+TEST(PredicateTest, AllOperators) {
+  const Predicate eq{0, CompareOp::kEq, 5};
+  EXPECT_TRUE(eq.Matches(5));
+  EXPECT_FALSE(eq.Matches(4));
+  EXPECT_TRUE(Predicate({0, CompareOp::kNe, 5}).Matches(4));
+  EXPECT_TRUE(Predicate({0, CompareOp::kLt, 5}).Matches(4));
+  EXPECT_FALSE(Predicate({0, CompareOp::kLt, 5}).Matches(5));
+  EXPECT_TRUE(Predicate({0, CompareOp::kLe, 5}).Matches(5));
+  EXPECT_TRUE(Predicate({0, CompareOp::kGt, 5}).Matches(6));
+  EXPECT_TRUE(Predicate({0, CompareOp::kGe, 5}).Matches(5));
+}
+
+TEST(WorkflowBuilderTest, PaperExampleBuilds) {
+  auto ex = testing_util::MakePaperExample();
+  const Workflow& wf = ex.workflow;
+  EXPECT_EQ(wf.num_nodes(), 6);
+  EXPECT_EQ(wf.node(wf.sink()).kind, OpKind::kSink);
+  // Schema of the full join: prod_id, cust_id (deduplicated keys).
+  const Schema& out = wf.output_schema(wf.sink());
+  EXPECT_EQ(out.size(), 2);
+  EXPECT_TRUE(out.Contains(ex.prod_id));
+  EXPECT_TRUE(out.Contains(ex.cust_id));
+}
+
+TEST(WorkflowBuilderTest, SchemaPropagation) {
+  WorkflowBuilder b("t");
+  const AttrId a = b.DeclareAttr("a", 10);
+  const AttrId c = b.DeclareAttr("c", 10);
+  const AttrId d = b.DeclareAttr("d", 10);
+  const NodeId src = b.Source("S", {a, c});
+  const NodeId f = b.Filter(src, {a, CompareOp::kLt, 5});
+  const NodeId pr = b.Project(f, {a});
+  const NodeId t = b.DeriveAttr(pr, a, d, [](Value v) { return v + 1; });
+  const NodeId g = b.Aggregate(t, {d});
+  b.Sink(g, "out");
+  Result<Workflow> wf = std::move(b).Build();
+  ASSERT_TRUE(wf.ok()) << wf.status().ToString();
+  EXPECT_EQ(wf->output_schema(f).size(), 2);
+  EXPECT_EQ(wf->output_schema(pr).size(), 1);
+  EXPECT_EQ(wf->output_schema(t).size(), 2);  // a + derived d
+  EXPECT_EQ(wf->output_schema(g).size(), 1);  // group key d
+}
+
+TEST(WorkflowBuilderTest, RejectsMissingFilterAttr) {
+  WorkflowBuilder b("t");
+  const AttrId a = b.DeclareAttr("a", 10);
+  const AttrId z = b.DeclareAttr("z", 10);
+  const NodeId src = b.Source("S", {a});
+  b.Sink(b.Filter(src, {z, CompareOp::kEq, 1}), "out");
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(WorkflowBuilderTest, RejectsJoinWithoutSharedKey) {
+  WorkflowBuilder b("t");
+  const AttrId a = b.DeclareAttr("a", 10);
+  const AttrId c = b.DeclareAttr("c", 10);
+  const NodeId s1 = b.Source("S1", {a});
+  const NodeId s2 = b.Source("S2", {c});
+  b.Sink(b.Join(s1, s2, a), "out");
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(WorkflowBuilderTest, RejectsOverlappingNonKeyAttrs) {
+  WorkflowBuilder b("t");
+  const AttrId k = b.DeclareAttr("k", 10);
+  const AttrId x = b.DeclareAttr("x", 10);
+  const NodeId s1 = b.Source("S1", {k, x});
+  const NodeId s2 = b.Source("S2", {k, x});
+  b.Sink(b.Join(s1, s2, k), "out");
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(WorkflowBuilderTest, RejectsMultipleSinks) {
+  WorkflowBuilder b("t");
+  const AttrId a = b.DeclareAttr("a", 10);
+  const NodeId src = b.Source("S", {a});
+  b.Sink(src, "out1");
+  b.Sink(src, "out2");
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(WorkflowBuilderTest, RejectsNoSink) {
+  WorkflowBuilder b("t");
+  const AttrId a = b.DeclareAttr("a", 10);
+  b.Source("S", {a});
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(WorkflowTest, ToStringAndDotRender) {
+  auto ex = testing_util::MakePaperExample();
+  const std::string text = ex.workflow.ToString();
+  EXPECT_NE(text.find("Orders"), std::string::npos);
+  EXPECT_NE(text.find("Join"), std::string::npos);
+  const std::string dot = ex.workflow.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(WorkflowTest, ValidateIsIdempotent) {
+  auto ex = testing_util::MakePaperExample();
+  EXPECT_TRUE(ex.workflow.Validate().ok());
+  EXPECT_TRUE(ex.workflow.Validate().ok());
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/workload_suite.h"
+#include "opt/exec_cover.h"
+#include "test_util.h"
+
+namespace etlopt {
+namespace {
+
+// Builds a star workflow with `dims` dimensions for cover testing.
+BlockContext StarContext(int dims, Workflow* wf_out) {
+  WorkflowBuilder b("star");
+  std::vector<AttrId> keys;
+  for (int i = 0; i < dims; ++i) {
+    keys.push_back(b.DeclareAttr("k" + std::to_string(i), 100));
+  }
+  NodeId flow = b.Source("F", keys);
+  for (int i = 0; i < dims; ++i) {
+    flow = b.Join(flow, b.Source("D" + std::to_string(i), {keys[static_cast<size_t>(i)]}),
+                  keys[static_cast<size_t>(i)]);
+  }
+  b.Sink(flow, "out");
+  *wf_out = std::move(b).Build().value();
+  const std::vector<Block> blocks = PartitionBlocks(*wf_out);
+  return BlockContext::Build(wf_out, blocks[0]).value();
+}
+
+TEST(ExecCoverTest, FormulaMatchesPaperFiveWayExample) {
+  // Section 7.3: for a 5-relation join, ⌈(2^5 − 7) / 3⌉ = 9 executions.
+  Workflow wf;
+  const BlockContext ctx = StarContext(4, &wf);  // fact + 4 dims = 5 rels
+  const PlanSpace ps = PlanSpace::Build(ctx).value();
+  const ExecCoverResult result = ComputeExecutionCover(ctx, ps);
+  EXPECT_EQ(result.formula_lower_bound, 9);
+  EXPECT_GE(result.executions,
+            static_cast<int>(result.semantic_lower_bound));
+}
+
+TEST(ExecCoverTest, EightWayFormulaIs41) {
+  // The paper's workflow 21: 8-way join, minimum 41 executions.
+  Workflow wf;
+  const BlockContext ctx = StarContext(7, &wf);
+  const PlanSpace ps = PlanSpace::Build(ctx).value();
+  const ExecCoverResult result = ComputeExecutionCover(ctx, ps);
+  EXPECT_EQ(result.formula_lower_bound, 41);
+}
+
+TEST(ExecCoverTest, SixWayFormulaIs14) {
+  // The paper's workflow 30: 6-way join, minimum 14 executions.
+  Workflow wf;
+  const BlockContext ctx = StarContext(5, &wf);
+  const PlanSpace ps = PlanSpace::Build(ctx).value();
+  const ExecCoverResult result = ComputeExecutionCover(ctx, ps);
+  EXPECT_EQ(result.formula_lower_bound, 14);
+}
+
+TEST(ExecCoverTest, CoverActuallyCoversEverySe) {
+  Workflow wf;
+  const BlockContext ctx = StarContext(4, &wf);
+  const PlanSpace ps = PlanSpace::Build(ctx).value();
+  const ExecCoverResult result = ComputeExecutionCover(ctx, ps);
+  std::set<RelMask> covered;
+  for (const auto& run : result.per_run_covered) {
+    for (RelMask se : run) {
+      EXPECT_TRUE(covered.insert(se).second) << "SE covered twice";
+    }
+  }
+  int expected = 0;
+  for (RelMask se : ps.subexpressions()) {
+    if (!IsSingleton(se) && se != ctx.full_mask()) ++expected;
+  }
+  EXPECT_EQ(static_cast<int>(covered.size()), expected);
+  EXPECT_EQ(static_cast<int>(result.per_run_covered.size()),
+            result.executions);
+}
+
+TEST(ExecCoverTest, GreedyIsWithinSmallFactorOfSemanticBound) {
+  Workflow wf;
+  const BlockContext ctx = StarContext(5, &wf);
+  const PlanSpace ps = PlanSpace::Build(ctx).value();
+  const ExecCoverResult result = ComputeExecutionCover(ctx, ps);
+  EXPECT_GE(result.executions,
+            static_cast<int>(result.semantic_lower_bound));
+  EXPECT_LE(result.executions, 3 * result.semantic_lower_bound + 3);
+}
+
+TEST(ExecCoverTest, TwoWayJoinNeedsOneExecution) {
+  Workflow wf;
+  const BlockContext ctx = StarContext(1, &wf);
+  const PlanSpace ps = PlanSpace::Build(ctx).value();
+  const ExecCoverResult result = ComputeExecutionCover(ctx, ps);
+  EXPECT_EQ(result.executions, 1);
+  EXPECT_EQ(result.formula_lower_bound, 1);
+}
+
+TEST(ExecCoverTest, RestrictedUniverse) {
+  Workflow wf;
+  const BlockContext ctx = StarContext(4, &wf);
+  const PlanSpace ps = PlanSpace::Build(ctx).value();
+  // Only one SE to cover: a single run suffices.
+  std::vector<RelMask> universe{0b00011};
+  const ExecCoverResult result = ComputeExecutionCover(ctx, ps, &universe);
+  EXPECT_EQ(result.executions, 1);
+}
+
+TEST(ExecCoverSuiteTest, ChainTopologiesAlsoCovered) {
+  const WorkloadSpec spec = BuildWorkload(26);  // 6-table chain
+  const std::vector<Block> blocks = PartitionBlocks(spec.workflow);
+  ASSERT_FALSE(blocks.empty());
+  const BlockContext ctx =
+      BlockContext::Build(&spec.workflow, blocks[0]).value();
+  const PlanSpace ps = PlanSpace::Build(ctx).value();
+  const ExecCoverResult result = ComputeExecutionCover(ctx, ps);
+  std::set<RelMask> covered;
+  for (const auto& run : result.per_run_covered) {
+    covered.insert(run.begin(), run.end());
+  }
+  for (RelMask se : ps.subexpressions()) {
+    if (!IsSingleton(se) && se != ctx.full_mask()) {
+      EXPECT_TRUE(covered.count(se)) << "uncovered SE " << se;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace etlopt

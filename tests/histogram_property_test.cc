@@ -1,0 +1,127 @@
+// Parameterized property sweeps: the histogram algebra against brute-force
+// table operations, over random data. These pin down the *evaluation
+// semantics* of the rules (J1/J2/J3, S1/S2, G2, I1/I2) on real tables.
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "test_util.h"
+
+namespace etlopt {
+namespace {
+
+class HistogramAlgebraSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int64_t>> {
+ protected:
+  void SetUp() override {
+    seed_ = std::get<0>(GetParam());
+    domain_ = std::get<1>(GetParam());
+    a_ = catalog_.Register("a", domain_);
+    b_ = catalog_.Register("b", domain_ / 2 + 1);
+    c_ = catalog_.Register("c", 9);
+  }
+
+  AttrCatalog catalog_;
+  uint64_t seed_ = 0;
+  int64_t domain_ = 0;
+  AttrId a_ = kInvalidAttr, b_ = kInvalidAttr, c_ = kInvalidAttr;
+};
+
+TEST_P(HistogramAlgebraSweep, J1DotProductEqualsJoinCardinality) {
+  Rng rng(seed_);
+  const Table t1 =
+      testing_util::RandomTable(catalog_, {a_, b_}, 300, rng);
+  const Table t2 = testing_util::RandomTable(catalog_, {a_, c_}, 120, rng);
+  const Table joined = HashJoin(t1, t2, a_, nullptr);
+  const AttrMask ab = AttrMask{1} << a_;
+  EXPECT_EQ(Histogram::DotProduct(t1.BuildHistogram(ab),
+                                  t2.BuildHistogram(ab)),
+            joined.num_rows());
+}
+
+TEST_P(HistogramAlgebraSweep, J2MultiplyThroughJoinEqualsJoinHistogram) {
+  Rng rng(seed_);
+  const Table t1 =
+      testing_util::RandomTable(catalog_, {a_, b_}, 250, rng);
+  const Table t2 = testing_util::RandomTable(catalog_, {a_}, 90, rng);
+  const Table joined = HashJoin(t1, t2, a_, nullptr);
+  const AttrMask abit = AttrMask{1} << a_;
+  const AttrMask bbit = AttrMask{1} << b_;
+  // H^b_{T1⋈T2} = marginalize_a( H^{a,b}_{T1} × H^a_{T2} ).
+  const Histogram derived =
+      Histogram::MultiplyBy(t1.BuildHistogram(abit | bbit),
+                            t2.BuildHistogram(abit))
+          .Marginalize(bbit);
+  EXPECT_TRUE(derived == joined.BuildHistogram(bbit));
+  // J3 variant: the join attribute's own distribution on the result.
+  const Histogram j3 = Histogram::MultiplyBy(t1.BuildHistogram(abit),
+                                             t2.BuildHistogram(abit));
+  EXPECT_TRUE(j3 == joined.BuildHistogram(abit));
+}
+
+TEST_P(HistogramAlgebraSweep, S1S2MatchEngineFilter) {
+  Rng rng(seed_);
+  const Table t =
+      testing_util::RandomTable(catalog_, {a_, b_}, 400, rng);
+  const Predicate pred{a_, CompareOp::kLe, domain_ / 3};
+  // Brute force through the engine's row filter.
+  Table filtered{t.schema()};
+  for (const auto& row : t.rows()) {
+    if (pred.Matches(row[0])) filtered.AddRow(row);
+  }
+  const AttrMask abit = AttrMask{1} << a_;
+  const AttrMask bbit = AttrMask{1} << b_;
+  EXPECT_EQ(t.BuildHistogram(abit).CountMatching(pred),
+            filtered.num_rows());
+  EXPECT_TRUE(t.BuildHistogram(abit | bbit)
+                  .FilterThenMarginalize(pred, bbit) ==
+              filtered.BuildHistogram(bbit));
+}
+
+TEST_P(HistogramAlgebraSweep, G2CollapseEqualsGroupByDistribution) {
+  Rng rng(seed_);
+  const Table t =
+      testing_util::RandomTable(catalog_, {a_, c_}, 350, rng);
+  const AttrMask group = (AttrMask{1} << a_) | (AttrMask{1} << c_);
+  // Engine group-by (one row per group).
+  std::unordered_map<std::vector<Value>, bool, ValueVecHash> seen;
+  Table grouped{Schema({a_, c_})};
+  for (const auto& row : t.rows()) {
+    if (seen.emplace(row, true).second) grouped.AddRow(row);
+  }
+  const AttrMask cbit = AttrMask{1} << c_;
+  EXPECT_TRUE(t.BuildHistogram(group).CollapseToDistinct().Marginalize(
+                  cbit) == grouped.BuildHistogram(cbit));
+}
+
+TEST_P(HistogramAlgebraSweep, I1I2Identities) {
+  Rng rng(seed_);
+  const Table t =
+      testing_util::RandomTable(catalog_, {a_, b_, c_}, 500, rng);
+  const AttrMask all =
+      (AttrMask{1} << a_) | (AttrMask{1} << b_) | (AttrMask{1} << c_);
+  const Histogram fine = t.BuildHistogram(all);
+  // I1: total count equals |T| from any histogram.
+  EXPECT_EQ(fine.TotalCount(), t.num_rows());
+  // I2: marginalizing the fine histogram equals building the coarse one.
+  for (AttrMask keep :
+       {AttrMask{1} << a_, AttrMask{1} << c_,
+        (AttrMask{1} << a_) | (AttrMask{1} << c_)}) {
+    EXPECT_TRUE(fine.Marginalize(keep) == t.BuildHistogram(keep));
+  }
+  // Distinct equals bucket count.
+  EXPECT_EQ(fine.NumBuckets(), t.CountDistinct(all));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HistogramAlgebraSweep,
+    ::testing::Combine(::testing::Values(1u, 7u, 42u, 1337u),
+                       ::testing::Values(int64_t{5}, int64_t{40},
+                                         int64_t{500})),
+    [](const ::testing::TestParamInfo<std::tuple<uint64_t, int64_t>>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_dom" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace etlopt

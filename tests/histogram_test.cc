@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "stats/histogram.h"
+#include "util/random.h"
+
+namespace etlopt {
+namespace {
+
+Histogram H1(std::vector<std::pair<Value, int64_t>> buckets, int attr = 0) {
+  Histogram h(AttrMask{1} << attr);
+  for (auto& [v, c] : buckets) h.Add({v}, c);
+  return h;
+}
+
+TEST(HistogramTest, AddAndTotals) {
+  Histogram h = H1({{1, 3}, {2, 5}, {1, 2}});
+  EXPECT_EQ(h.TotalCount(), 10);
+  EXPECT_EQ(h.NumBuckets(), 2);
+  EXPECT_EQ(h.Get1(1), 5);
+  EXPECT_EQ(h.Get1(2), 5);
+  EXPECT_EQ(h.Get1(7), 0);
+}
+
+TEST(HistogramTest, DotProductIsJoinCardinality) {
+  // J1: |T1 ⋈ T2| on a = Σ_v f1(v)·f2(v).
+  Histogram a = H1({{1, 2}, {2, 3}, {5, 1}});
+  Histogram b = H1({{1, 4}, {2, 1}, {9, 7}});
+  EXPECT_EQ(Histogram::DotProduct(a, b), 2 * 4 + 3 * 1);
+  EXPECT_EQ(Histogram::DotProduct(b, a), 11);
+}
+
+TEST(HistogramTest, MultiplyByScalesBuckets) {
+  Histogram ab(0b11);  // attrs {0,1}
+  ab.Add({1, 10}, 2);
+  ab.Add({2, 20}, 3);
+  ab.Add({3, 30}, 4);
+  Histogram b = H1({{1, 5}, {2, 1}});  // attr 0
+  const Histogram scaled = Histogram::MultiplyBy(ab, b);
+  EXPECT_EQ(scaled.Get({1, 10}), 10);
+  EXPECT_EQ(scaled.Get({2, 20}), 3);
+  EXPECT_EQ(scaled.Get({3, 30}), 0);  // dropped: factor 0
+  EXPECT_EQ(scaled.NumBuckets(), 2);
+}
+
+TEST(HistogramTest, DivideByInvertsMultiplyBy) {
+  Histogram ab(0b11);
+  ab.Add({1, 10}, 2);
+  ab.Add({1, 11}, 7);
+  ab.Add({2, 20}, 3);
+  Histogram b = H1({{1, 5}, {2, 4}});
+  const Histogram scaled = Histogram::MultiplyBy(ab, b);
+  const Histogram back = Histogram::DivideBy(scaled, b);
+  EXPECT_TRUE(back == ab);
+}
+
+TEST(HistogramTest, MarginalizeAggregates) {
+  Histogram ab(0b11);
+  ab.Add({1, 10}, 2);
+  ab.Add({1, 11}, 3);
+  ab.Add({2, 10}, 4);
+  const Histogram a = ab.Marginalize(0b01);
+  EXPECT_EQ(a.Get1(1), 5);
+  EXPECT_EQ(a.Get1(2), 4);
+  const Histogram bb = ab.Marginalize(0b10);
+  EXPECT_EQ(bb.Get1(10), 6);
+  EXPECT_EQ(bb.Get1(11), 3);
+  // Marginalizing to the full set is the identity.
+  EXPECT_TRUE(ab.Marginalize(0b11) == ab);
+}
+
+TEST(HistogramTest, CountMatchingImplementsS1) {
+  Histogram h = H1({{1, 3}, {5, 7}, {9, 2}});
+  EXPECT_EQ(h.CountMatching({0, CompareOp::kLt, 6}), 10);
+  EXPECT_EQ(h.CountMatching({0, CompareOp::kEq, 5}), 7);
+  EXPECT_EQ(h.CountMatching({0, CompareOp::kGe, 10}), 0);
+}
+
+TEST(HistogramTest, FilterThenMarginalizeImplementsS2) {
+  Histogram ab(0b11);
+  ab.Add({1, 10}, 2);
+  ab.Add({2, 10}, 3);
+  ab.Add({5, 11}, 4);
+  // σ_{attr0 < 3}, distribution of attr1.
+  const Histogram out =
+      ab.FilterThenMarginalize({0, CompareOp::kLt, 3}, 0b10);
+  EXPECT_EQ(out.Get1(10), 5);
+  EXPECT_EQ(out.Get1(11), 0);
+  // Keeping the filter attribute works too (S2 with b == a).
+  const Histogram keep =
+      ab.FilterThenMarginalize({0, CompareOp::kLt, 3}, 0b01);
+  EXPECT_EQ(keep.Get1(1), 2);
+  EXPECT_EQ(keep.Get1(2), 3);
+  EXPECT_EQ(keep.Get1(5), 0);
+}
+
+TEST(HistogramTest, CollapseToDistinctImplementsG2) {
+  Histogram h = H1({{1, 5}, {2, 9}});
+  const Histogram collapsed = h.CollapseToDistinct();
+  EXPECT_EQ(collapsed.Get1(1), 1);
+  EXPECT_EQ(collapsed.Get1(2), 1);
+  EXPECT_EQ(collapsed.TotalCount(), 2);
+}
+
+TEST(HistogramTest, AddAllUnionsCounts) {
+  Histogram a = H1({{1, 2}, {2, 3}});
+  Histogram b = H1({{2, 4}, {3, 1}});
+  a.AddAll(b);
+  EXPECT_EQ(a.Get1(1), 2);
+  EXPECT_EQ(a.Get1(2), 7);
+  EXPECT_EQ(a.Get1(3), 1);
+}
+
+// Property: dot product on join attr equals the true join size for random
+// multisets (J1 exactness).
+TEST(HistogramProperty, DotProductMatchesBruteForceJoin) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Value> left, right;
+    for (int i = 0; i < 50; ++i) left.push_back(rng.NextInRange(1, 10));
+    for (int i = 0; i < 30; ++i) right.push_back(rng.NextInRange(1, 10));
+    Histogram hl(1), hr(1);
+    for (Value v : left) hl.Add1(v);
+    for (Value v : right) hr.Add1(v);
+    int64_t brute = 0;
+    for (Value l : left) {
+      for (Value r : right) {
+        if (l == r) ++brute;
+      }
+    }
+    EXPECT_EQ(Histogram::DotProduct(hl, hr), brute);
+  }
+}
+
+// Property: union-division identity (Eq. 1-3). Simulates T1 ⋈ T3 then the
+// histogram division recovering the matched part.
+TEST(HistogramProperty, UnionDivisionRecoversMatchedHistogram) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    // T'(J) — the matched part of T1 joined with T2, histogram on J.
+    Histogram t_prime(1);
+    for (int i = 0; i < 40; ++i) t_prime.Add1(rng.NextInRange(1, 8));
+    // T3's histogram on J; every J value of T' must occur in T3.
+    Histogram t3(1);
+    for (Value v = 1; v <= 8; ++v) {
+      t3.Add1(v, rng.NextInRange(1, 5));
+    }
+    const Histogram joined = Histogram::MultiplyBy(t_prime, t3);
+    const Histogram recovered = Histogram::DivideBy(joined, t3);
+    // Buckets of T' with J values present in T3 must be recovered exactly.
+    for (const auto& [key, count] : t_prime.buckets()) {
+      EXPECT_EQ(recovered.Get(key), count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace etlopt

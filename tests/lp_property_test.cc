@@ -1,0 +1,123 @@
+// Randomized property sweeps for the LP/ILP substrate: the bundled simplex
+// against brute-force enumeration on random 0-1 covering programs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "lp/ilp.h"
+#include "util/random.h"
+
+namespace etlopt {
+namespace {
+
+struct RandomCover {
+  LinearProgram lp;
+  std::vector<int> vars;
+  int num_vars = 0;
+  std::vector<std::vector<int>> sets;  // constraint -> vars with coeff 1
+  std::vector<double> costs;
+};
+
+// min c·x s.t. for each element e: Σ_{sets covering e} x >= 1, x binary.
+RandomCover MakeRandomCover(uint64_t seed, int num_vars, int num_elems) {
+  RandomCover rc;
+  Rng rng(seed);
+  rc.num_vars = num_vars;
+  for (int v = 0; v < num_vars; ++v) {
+    const double cost = static_cast<double>(rng.NextInRange(1, 20));
+    rc.costs.push_back(cost);
+    rc.vars.push_back(rc.lp.AddVariable(cost, 0.0, 1.0));
+  }
+  for (int e = 0; e < num_elems; ++e) {
+    LpConstraint c;
+    c.sense = ConstraintSense::kGreaterEqual;
+    c.rhs = 1.0;
+    std::vector<int> members;
+    for (int v = 0; v < num_vars; ++v) {
+      if (rng.NextDouble() < 0.4) {
+        c.terms.push_back({rc.vars[static_cast<size_t>(v)], 1.0});
+        members.push_back(v);
+      }
+    }
+    if (members.empty()) {
+      // Guarantee feasibility: add a random member.
+      const int v = static_cast<int>(rng.NextBounded(num_vars));
+      c.terms.push_back({rc.vars[static_cast<size_t>(v)], 1.0});
+      members.push_back(v);
+    }
+    rc.sets.push_back(members);
+    rc.lp.AddConstraint(std::move(c));
+  }
+  return rc;
+}
+
+double BruteForceOptimum(const RandomCover& rc) {
+  double best = 1e18;
+  for (uint32_t mask = 0; mask < (1u << rc.num_vars); ++mask) {
+    bool ok = true;
+    for (const auto& members : rc.sets) {
+      bool covered = false;
+      for (int v : members) {
+        if ((mask >> v) & 1) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    double cost = 0.0;
+    for (int v = 0; v < rc.num_vars; ++v) {
+      if ((mask >> v) & 1) cost += rc.costs[static_cast<size_t>(v)];
+    }
+    best = std::min(best, cost);
+  }
+  return best;
+}
+
+class IlpCoverSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IlpCoverSweep, MatchesBruteForce) {
+  const RandomCover rc = MakeRandomCover(GetParam(), 10, 12);
+  const double brute = BruteForceOptimum(rc);
+  const IlpSolution sol = SolveIlp(rc.lp, rc.vars);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_TRUE(sol.proven_optimal);
+  EXPECT_NEAR(sol.objective, brute, 1e-6);
+  // The reported assignment is integral and actually covers.
+  for (int v : rc.vars) {
+    const double x = sol.values[static_cast<size_t>(v)];
+    EXPECT_LT(std::fabs(x - std::round(x)), 1e-6);
+  }
+  for (const auto& members : rc.sets) {
+    double covered = 0.0;
+    for (int v : members) covered += sol.values[static_cast<size_t>(v)];
+    EXPECT_GE(covered, 1.0 - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpCoverSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u, 11u, 12u));
+
+// LP relaxation lower-bounds the integral optimum.
+class IlpRelaxationSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IlpRelaxationSweep, RelaxationBoundsIntegerOptimum) {
+  const RandomCover rc = MakeRandomCover(GetParam() + 100, 9, 10);
+  const LpSolution relax = SolveLp(rc.lp);
+  ASSERT_EQ(relax.status, LpStatus::kOptimal);
+  const double brute = BruteForceOptimum(rc);
+  EXPECT_LE(relax.objective, brute + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpRelaxationSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace etlopt

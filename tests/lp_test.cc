@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "lp/ilp.h"
+#include "lp/simplex.h"
+
+namespace etlopt {
+namespace {
+
+TEST(SimplexTest, SimpleMinimization) {
+  // min x + 2y  s.t. x + y >= 4, x <= 3, y <= 3, x,y >= 0.
+  LinearProgram lp;
+  const int x = lp.AddVariable(1.0, 0.0, 3.0);
+  const int y = lp.AddVariable(2.0, 0.0, 3.0);
+  lp.AddConstraint({{{x, 1.0}, {y, 1.0}}, ConstraintSense::kGreaterEqual, 4.0});
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-6);  // x=3, y=1
+  EXPECT_NEAR(sol.values[static_cast<size_t>(x)], 3.0, 1e-6);
+  EXPECT_NEAR(sol.values[static_cast<size_t>(y)], 1.0, 1e-6);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min 3a + b  s.t. a + b = 10, a >= 2.
+  LinearProgram lp;
+  const int a = lp.AddVariable(3.0, 2.0, LinearProgram::kInfinity);
+  const int b = lp.AddVariable(1.0);
+  lp.AddConstraint({{{a, 1.0}, {b, 1.0}}, ConstraintSense::kEqual, 10.0});
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0 * 2 + 8.0, 1e-6);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= 1 and x >= 3.
+  LinearProgram lp;
+  const int x = lp.AddVariable(1.0);
+  lp.AddConstraint({{{x, 1.0}}, ConstraintSense::kLessEqual, 1.0});
+  lp.AddConstraint({{{x, 1.0}}, ConstraintSense::kGreaterEqual, 3.0});
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // min -x with x unbounded above.
+  LinearProgram lp;
+  const int x = lp.AddVariable(-1.0);
+  lp.AddConstraint({{{x, 1.0}}, ConstraintSense::kGreaterEqual, 0.0});
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, FixedVariablesSubstituted) {
+  // y fixed at 2: min x + y s.t. x + y >= 5 -> x = 3.
+  LinearProgram lp;
+  const int x = lp.AddVariable(1.0);
+  const int y = lp.AddVariable(1.0, 2.0, 2.0);
+  lp.AddConstraint({{{x, 1.0}, {y, 1.0}}, ConstraintSense::kGreaterEqual, 5.0});
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[static_cast<size_t>(x)], 3.0, 1e-6);
+  EXPECT_NEAR(sol.values[static_cast<size_t>(y)], 2.0, 1e-6);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints (classic degeneracy trigger).
+  LinearProgram lp;
+  const int x = lp.AddVariable(1.0);
+  const int y = lp.AddVariable(1.0);
+  for (int i = 0; i < 6; ++i) {
+    lp.AddConstraint(
+        {{{x, 1.0}, {y, 1.0}}, ConstraintSense::kGreaterEqual, 2.0});
+  }
+  lp.AddConstraint({{{x, 1.0}}, ConstraintSense::kLessEqual, 2.0});
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-6);
+}
+
+TEST(IlpTest, BinaryCover) {
+  // Weighted set cover: elements {1,2,3}; sets A={1,2} c=3, B={2,3} c=4,
+  // C={1,3} c=2, D={2} c=1. Optimum: C + D = 3.
+  LinearProgram lp;
+  const int a = lp.AddVariable(3.0, 0.0, 1.0);
+  const int b = lp.AddVariable(4.0, 0.0, 1.0);
+  const int c = lp.AddVariable(2.0, 0.0, 1.0);
+  const int d = lp.AddVariable(1.0, 0.0, 1.0);
+  lp.AddConstraint({{{a, 1.0}, {c, 1.0}}, ConstraintSense::kGreaterEqual, 1.0});
+  lp.AddConstraint(
+      {{{a, 1.0}, {b, 1.0}, {d, 1.0}}, ConstraintSense::kGreaterEqual, 1.0});
+  lp.AddConstraint({{{b, 1.0}, {c, 1.0}}, ConstraintSense::kGreaterEqual, 1.0});
+  const IlpSolution sol = SolveIlp(lp, {a, b, c, d});
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_TRUE(sol.proven_optimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-6);
+  EXPECT_GT(sol.values[static_cast<size_t>(c)], 0.5);
+  EXPECT_GT(sol.values[static_cast<size_t>(d)], 0.5);
+}
+
+TEST(IlpTest, KnapsackLikeBranching) {
+  // min 5x + 4y + 3z s.t. 2x + 3y + z >= 4, binary. LP relaxation is
+  // fractional; ILP must branch. Optimum: y + z (cost 7) vs x + y (9) vs
+  // x + z (8) vs ... check 7.
+  LinearProgram lp;
+  const int x = lp.AddVariable(5.0, 0.0, 1.0);
+  const int y = lp.AddVariable(4.0, 0.0, 1.0);
+  const int z = lp.AddVariable(3.0, 0.0, 1.0);
+  lp.AddConstraint(
+      {{{x, 2.0}, {y, 3.0}, {z, 1.0}}, ConstraintSense::kGreaterEqual, 4.0});
+  const IlpSolution sol = SolveIlp(lp, {x, y, z});
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 7.0, 1e-6);
+}
+
+TEST(IlpTest, IncumbentFilterForcesAlternative) {
+  // Two equal-cost solutions; filter rejects the one with x=1.
+  LinearProgram lp;
+  const int x = lp.AddVariable(1.0, 0.0, 1.0);
+  const int y = lp.AddVariable(1.0, 0.0, 1.0);
+  lp.AddConstraint({{{x, 1.0}, {y, 1.0}}, ConstraintSense::kGreaterEqual, 1.0});
+  IlpOptions options;
+  options.incumbent_filter = [&](const std::vector<double>& v) {
+    return v[static_cast<size_t>(x)] < 0.5;  // only y-solutions allowed
+  };
+  const IlpSolution sol = SolveIlp(lp, {x, y}, options);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_LT(sol.values[static_cast<size_t>(x)], 0.5);
+  EXPECT_GT(sol.values[static_cast<size_t>(y)], 0.5);
+}
+
+TEST(IlpTest, WarmStartPrunes) {
+  LinearProgram lp;
+  const int x = lp.AddVariable(2.0, 0.0, 1.0);
+  const int y = lp.AddVariable(3.0, 0.0, 1.0);
+  lp.AddConstraint({{{x, 1.0}, {y, 1.0}}, ConstraintSense::kGreaterEqual, 1.0});
+  IlpOptions options;
+  options.initial_incumbent = {1.0, 1.0};  // cost 5, suboptimal
+  const IlpSolution sol = SolveIlp(lp, {x, y}, options);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-6);
+}
+
+TEST(IlpTest, InfeasibleIntegerProgram) {
+  LinearProgram lp;
+  const int x = lp.AddVariable(1.0, 0.0, 1.0);
+  lp.AddConstraint({{{x, 1.0}}, ConstraintSense::kGreaterEqual, 2.0});
+  const IlpSolution sol = SolveIlp(lp, {x});
+  EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "planspace/observability.h"
+#include "planspace/plan_space.h"
+#include "test_util.h"
+
+namespace etlopt {
+namespace {
+
+TEST(JoinGraphTest, ConnectivityAndSubsets) {
+  JoinGraph g(4);  // star: 0-1, 0-2, 0-3
+  g.AddEdge({0, 1, 0, -1, kInvalidNode});
+  g.AddEdge({0, 2, 1, -1, kInvalidNode});
+  g.AddEdge({0, 3, 2, -1, kInvalidNode});
+  EXPECT_TRUE(g.IsForest());
+  EXPECT_TRUE(g.IsConnected(0b0011));
+  EXPECT_FALSE(g.IsConnected(0b0110));  // dims only: cross product
+  EXPECT_TRUE(g.IsConnected(0b1111));
+  // Star with n=4: connected subsets = 4 singletons + subsets containing
+  // the hub: C(3,1)+C(3,2)+C(3,3) = 7 -> total 11.
+  EXPECT_EQ(g.ConnectedSubsets().size(), 11u);
+}
+
+TEST(JoinGraphTest, CrossingEdge) {
+  JoinGraph g(3);  // chain 0-1-2
+  g.AddEdge({0, 1, 5, -1, kInvalidNode});
+  g.AddEdge({1, 2, 6, -1, kInvalidNode});
+  EXPECT_EQ(g.CrossingEdge(0b001, 0b010), 0);
+  EXPECT_EQ(g.CrossingEdge(0b011, 0b100), 1);
+  EXPECT_EQ(g.CrossingEdge(0b001, 0b100), -1);  // no direct edge
+}
+
+TEST(JoinGraphTest, DetectsCycle) {
+  JoinGraph g(3);
+  g.AddEdge({0, 1, 0, -1, kInvalidNode});
+  g.AddEdge({1, 2, 1, -1, kInvalidNode});
+  g.AddEdge({2, 0, 2, -1, kInvalidNode});
+  EXPECT_FALSE(g.IsForest());
+}
+
+TEST(BlockTest, PaperExampleIsOneBlock) {
+  auto ex = testing_util::MakePaperExample();
+  const std::vector<Block> blocks = PartitionBlocks(ex.workflow);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].num_rels(), 3);
+  EXPECT_EQ(blocks[0].joins.size(), 2u);
+}
+
+TEST(BlockTest, RejectLinkSealsJoin) {
+  // (A ⋈rej B) ⋈ C: the reject join is pinned -> two blocks.
+  WorkflowBuilder b("rej");
+  const AttrId k1 = b.DeclareAttr("k1", 10);
+  const AttrId k2 = b.DeclareAttr("k2", 10);
+  const NodeId a = b.Source("A", {k1, k2});
+  const NodeId bb = b.Source("B", {k1});
+  const NodeId c = b.Source("C", {k2});
+  JoinOptions reject;
+  reject.reject_link = true;
+  const NodeId j1 = b.Join(a, bb, k1, reject);
+  const NodeId j2 = b.Join(j1, c, k2);
+  b.Sink(j2, "out");
+  Workflow wf = std::move(b).Build().value();
+  const std::vector<Block> blocks = PartitionBlocks(wf);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].joins.size(), 1u);
+  EXPECT_TRUE(blocks[0].joins[0].reject_link);
+  EXPECT_EQ(blocks[1].joins.size(), 1u);
+}
+
+TEST(BlockTest, MaterializeSeals) {
+  WorkflowBuilder b("mat");
+  const AttrId k1 = b.DeclareAttr("k1", 10);
+  const AttrId k2 = b.DeclareAttr("k2", 10);
+  const NodeId a = b.Source("A", {k1, k2});
+  const NodeId bb = b.Source("B", {k1});
+  const NodeId c = b.Source("C", {k2});
+  const NodeId j1 = b.Join(a, bb, k1);
+  const NodeId m = b.Materialize(j1, "staging");
+  const NodeId j2 = b.Join(m, c, k2);
+  b.Sink(j2, "out");
+  Workflow wf = std::move(b).Build().value();
+  const std::vector<Block> blocks = PartitionBlocks(wf);
+  ASSERT_EQ(blocks.size(), 2u);
+}
+
+TEST(BlockTest, ChainOpsStayInInputChains) {
+  WorkflowBuilder b("chain");
+  const AttrId k = b.DeclareAttr("k", 10);
+  const AttrId x = b.DeclareAttr("x", 10);
+  const NodeId a = b.Source("A", {k, x});
+  const NodeId f = b.Filter(a, {x, CompareOp::kLt, 5});
+  const NodeId t = b.Transform(f, x, [](Value v) { return v + 1; });
+  const NodeId d = b.Source("D", {k});
+  const NodeId j = b.Join(t, d, k);
+  b.Sink(j, "out");
+  Workflow wf = std::move(b).Build().value();
+  const std::vector<Block> blocks = PartitionBlocks(wf);
+  ASSERT_EQ(blocks.size(), 1u);
+  ASSERT_EQ(blocks[0].inputs.size(), 2u);
+  // Input 0: base A with chain [filter, transform].
+  EXPECT_EQ(blocks[0].inputs[0].base, a);
+  EXPECT_EQ(blocks[0].inputs[0].chain.size(), 2u);
+  EXPECT_EQ(blocks[0].inputs[0].top(), t);
+  EXPECT_TRUE(blocks[0].inputs[1].chain.empty());
+}
+
+TEST(BlockTest, JoinFeedingUnarySeals) {
+  // join -> filter -> join: the first join is sealed; the filter becomes a
+  // chain op of the second block.
+  WorkflowBuilder b("jf");
+  const AttrId k1 = b.DeclareAttr("k1", 10);
+  const AttrId k2 = b.DeclareAttr("k2", 10);
+  const NodeId a = b.Source("A", {k1, k2});
+  const NodeId bb = b.Source("B", {k1});
+  const NodeId c = b.Source("C", {k2});
+  const NodeId j1 = b.Join(a, bb, k1);
+  const NodeId f = b.Filter(j1, {k2, CompareOp::kLt, 5});
+  const NodeId j2 = b.Join(f, c, k2);
+  b.Sink(j2, "out");
+  Workflow wf = std::move(b).Build().value();
+  const std::vector<Block> blocks = PartitionBlocks(wf);
+  ASSERT_EQ(blocks.size(), 2u);
+  // Second block's first input chains the filter over the sealed join.
+  const Block& second = blocks[1];
+  bool found = false;
+  for (const BlockInput& in : second.inputs) {
+    if (in.base == j1) {
+      EXPECT_EQ(in.chain, std::vector<NodeId>{f});
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BlockTest, JoinlessChainFormsBlock) {
+  WorkflowBuilder b("lin");
+  const AttrId x = b.DeclareAttr("x", 10);
+  const NodeId a = b.Source("A", {x});
+  const NodeId f = b.Filter(a, {x, CompareOp::kLt, 5});
+  b.Sink(f, "out");
+  Workflow wf = std::move(b).Build().value();
+  const std::vector<Block> blocks = PartitionBlocks(wf);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].num_rels(), 1);
+  EXPECT_TRUE(blocks[0].joins.empty());
+  EXPECT_EQ(blocks[0].inputs[0].chain.size(), 1u);
+}
+
+TEST(PlanSpaceTest, PaperExampleSes) {
+  auto ex = testing_util::MakePaperExample();
+  const std::vector<Block> blocks = PartitionBlocks(ex.workflow);
+  const BlockContext ctx =
+      BlockContext::Build(&ex.workflow, blocks[0]).value();
+  const PlanSpace ps = PlanSpace::Build(ctx).value();
+  // E = {O, P, C, OP, OC, OPC} — PC is a cross product and excluded
+  // (Section 4.3).
+  EXPECT_EQ(ps.num_ses(), 6);
+  // OPC has two plans: (OP,C) and (OC,P).
+  EXPECT_EQ(ps.plans(ctx.full_mask()).size(), 2u);
+}
+
+TEST(PlanSpaceTest, LeftDeepOnlyRestricts) {
+  auto ex = testing_util::MakePaperExample();
+  const std::vector<Block> blocks = PartitionBlocks(ex.workflow);
+  const BlockContext ctx =
+      BlockContext::Build(&ex.workflow, blocks[0]).value();
+  PlanSpaceOptions options;
+  options.left_deep_only = true;
+  const PlanSpace ps = PlanSpace::Build(ctx, options).value();
+  for (RelMask se : ps.subexpressions()) {
+    for (const PlanAlt& plan : ps.plans(se)) {
+      EXPECT_TRUE(IsSingleton(plan.right));
+    }
+  }
+}
+
+TEST(ObservabilityTest, OnPathAndChainStages) {
+  auto ex = testing_util::MakePaperExample();
+  const std::vector<Block> blocks = PartitionBlocks(ex.workflow);
+  const BlockContext ctx =
+      BlockContext::Build(&ex.workflow, blocks[0]).value();
+  // Initial plan: (O ⋈ P) ⋈ C with rels O=0, P=1, C=2.
+  EXPECT_TRUE(IsObservable(StatKey::Card(0b001), ctx));
+  EXPECT_TRUE(IsObservable(StatKey::Card(0b011), ctx));   // O⋈P on-path
+  EXPECT_FALSE(IsObservable(StatKey::Card(0b101), ctx));  // O⋈C not on-path
+  EXPECT_TRUE(IsObservable(StatKey::Card(0b111), ctx));
+  // Histograms need the attribute in scope.
+  const AttrMask prod_bit = AttrMask{1} << ex.prod_id;
+  const AttrMask cust_bit = AttrMask{1} << ex.cust_id;
+  EXPECT_TRUE(IsObservable(StatKey::Hist(0b001, prod_bit | cust_bit), ctx));
+  EXPECT_FALSE(IsObservable(StatKey::Hist(0b010, cust_bit), ctx));
+}
+
+TEST(ObservabilityTest, RejectStats) {
+  auto ex = testing_util::MakePaperExample();
+  const std::vector<Block> blocks = PartitionBlocks(ex.workflow);
+  const BlockContext ctx =
+      BlockContext::Build(&ex.workflow, blocks[0]).value();
+  // O's next designed partner is P (rel 1): reject(O wrt P) ⋈ C observable.
+  EXPECT_TRUE(IsObservable(StatKey::RejectJoinCard(0b001, 1, 0b100), ctx));
+  // reject(O wrt C) is not: O's next partner is P, not C.
+  EXPECT_FALSE(IsObservable(StatKey::RejectJoinCard(0b001, 2, 0b010), ctx));
+}
+
+TEST(BlockContextTest, SchemasAndPartners) {
+  auto ex = testing_util::MakePaperExample();
+  const std::vector<Block> blocks = PartitionBlocks(ex.workflow);
+  const BlockContext ctx =
+      BlockContext::Build(&ex.workflow, blocks[0]).value();
+  const AttrMask prod_bit = AttrMask{1} << ex.prod_id;
+  const AttrMask cust_bit = AttrMask{1} << ex.cust_id;
+  EXPECT_EQ(ctx.SchemaMask(0b001), prod_bit | cust_bit);
+  EXPECT_EQ(ctx.SchemaMask(0b010), prod_bit);
+  EXPECT_EQ(ctx.SchemaMask(0b111), prod_bit | cust_bit);
+  AttrId attr = kInvalidAttr;
+  EXPECT_EQ(ctx.InitialNextPartner(0b001, &attr), 0b010u);
+  EXPECT_EQ(attr, ex.prod_id);
+  EXPECT_EQ(ctx.InitialNextPartner(0b011, &attr), 0b100u);
+  EXPECT_EQ(attr, ex.cust_id);
+  // P's first designed join is against O (both sides are singletons).
+  EXPECT_EQ(ctx.InitialNextPartner(0b010), 0b001u);
+  // The full SE has no next partner.
+  EXPECT_EQ(ctx.InitialNextPartner(0b111), 0u);
+}
+
+}  // namespace
+}  // namespace etlopt

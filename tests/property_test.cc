@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "datagen/workload_suite.h"
+
+namespace etlopt {
+namespace {
+
+// The library's central invariant, swept over the whole 30-workflow suite:
+// with exact histograms, every SE cardinality estimated from the *selected*
+// statistics equals the ground truth obtained by evaluating the SE directly
+// (Section 3.1 scoping; rules of Section 4 are exact).
+class ExactnessSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(ExactnessSweep, SelectedStatisticsYieldExactCardinalities) {
+  const int index = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  const WorkloadSpec spec = BuildWorkload(index);
+  const SourceMap sources = GenerateSources(spec, seed, 0.005);
+
+  Pipeline pipeline;
+  const Result<CycleOutcome> cycle =
+      pipeline.RunCycle(spec.workflow, sources);
+  ASSERT_TRUE(cycle.ok()) << spec.name << ": " << cycle.status().ToString();
+
+  for (size_t b = 0; b < cycle->analysis->blocks.size(); ++b) {
+    const BlockAnalysis& ba = *cycle->analysis->blocks[b];
+    const auto truth =
+        ComputeGroundTruthCards(ba.ctx, ba.plan_space.subexpressions(),
+                                cycle->run.exec)
+            .value();
+    for (const auto& [se, card] : cycle->opt.block_cards[b]) {
+      ASSERT_EQ(card, truth.at(se))
+          << spec.name << " block " << b << " SE mask " << se;
+    }
+  }
+  // And optimization can only improve the estimated cost.
+  EXPECT_LE(cycle->opt.optimized_cost, cycle->opt.initial_cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ExactnessSweep,
+    ::testing::Combine(::testing::Range(1, 31), ::testing::Values(11u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, uint64_t>>& info) {
+      return "wf" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// A second sweep at a different seed for a few structurally interesting
+// workloads (reject links, boundaries, aggregates, snowflakes).
+INSTANTIATE_TEST_SUITE_P(
+    SeedVariation, ExactnessSweep,
+    ::testing::Combine(::testing::Values(2, 3, 9, 10, 11, 12, 17, 25, 28,
+                                         29, 30),
+                       ::testing::Values(101u, 202u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, uint64_t>>& info) {
+      return "wf" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Union-division disabled must remain exact (fewer CSS alternatives, same
+// semantics).
+class NoUdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoUdSweep, ExactWithoutUnionDivision) {
+  const WorkloadSpec spec = BuildWorkload(GetParam());
+  const SourceMap sources = GenerateSources(spec, 31, 0.005);
+  PipelineOptions options;
+  options.css.enable_union_division = false;
+  Pipeline pipeline(options);
+  const Result<CycleOutcome> cycle =
+      pipeline.RunCycle(spec.workflow, sources);
+  ASSERT_TRUE(cycle.ok()) << spec.name << ": " << cycle.status().ToString();
+  for (size_t b = 0; b < cycle->analysis->blocks.size(); ++b) {
+    const BlockAnalysis& ba = *cycle->analysis->blocks[b];
+    const auto truth =
+        ComputeGroundTruthCards(ba.ctx, ba.plan_space.subexpressions(),
+                                cycle->run.exec)
+            .value();
+    for (const auto& [se, card] : cycle->opt.block_cards[b]) {
+      ASSERT_EQ(card, truth.at(se)) << spec.name << " SE " << se;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Selected, NoUdSweep,
+                         ::testing::Values(3, 5, 8, 12, 22, 24, 30));
+
+}  // namespace
+}  // namespace etlopt

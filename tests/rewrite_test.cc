@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "datagen/workload_suite.h"
+#include "test_util.h"
+
+namespace etlopt {
+namespace {
+
+TEST(RewriteTest, EmptyPlanListIsPassthrough) {
+  auto ex = testing_util::MakePaperExample();
+  const Workflow copy = PlanRewriter::Apply(ex.workflow, {}).value();
+  EXPECT_EQ(copy.num_nodes(), ex.workflow.num_nodes());
+  EXPECT_TRUE(copy.Validate().ok());
+  // Same structure (modulo name suffix).
+  for (NodeId i = 0; i < copy.num_nodes(); ++i) {
+    EXPECT_EQ(copy.node(i).kind, ex.workflow.node(i).kind);
+    EXPECT_EQ(copy.node(i).inputs, ex.workflow.node(i).inputs);
+  }
+}
+
+TEST(RewriteTest, MultiBlockWorkflowRewritesOnlyEligibleBlocks) {
+  // wf29: a pinned reject-link join feeding a reorderable 3-way block.
+  const WorkloadSpec spec = BuildWorkload(29);
+  const SourceMap sources = GenerateSources(spec, 17, 0.01);
+  Pipeline pipeline;
+  const CycleOutcome cycle =
+      pipeline.RunCycle(spec.workflow, sources).value();
+  const Workflow& optimized = cycle.opt.optimized;
+  EXPECT_TRUE(optimized.Validate().ok());
+
+  // The reject-link join must survive the rewrite verbatim.
+  int reject_joins = 0;
+  for (const WorkflowNode& node : optimized.nodes()) {
+    if (node.kind == OpKind::kJoin && node.join.left_reject_link) {
+      ++reject_joins;
+    }
+  }
+  EXPECT_EQ(reject_joins, 1);
+
+  // Semantics preserved.
+  const ExecutionResult again =
+      Executor(&optimized).Execute(sources).value();
+  for (const auto& [target, table] : cycle.run.exec.targets) {
+    EXPECT_EQ(table.num_rows(), again.targets.at(target).num_rows())
+        << target;
+  }
+}
+
+TEST(RewriteTest, MaterializeTargetsSurviveRewrite) {
+  const WorkloadSpec spec = BuildWorkload(28);  // StagedLoad
+  const SourceMap sources = GenerateSources(spec, 17, 0.01);
+  Pipeline pipeline;
+  const CycleOutcome cycle =
+      pipeline.RunCycle(spec.workflow, sources).value();
+  const ExecutionResult again =
+      Executor(&cycle.opt.optimized).Execute(sources).value();
+  // The staging materialization must still be produced, identically.
+  ASSERT_TRUE(again.targets.count("staging.quotes"));
+  EXPECT_EQ(again.targets.at("staging.quotes").num_rows(),
+            cycle.run.exec.targets.at("staging.quotes").num_rows());
+}
+
+TEST(RewriteTest, RewrittenWorkflowIsReanalyzable) {
+  // Design-once-run-repeatedly: the optimized workflow must itself pass
+  // through the full pipeline (blocks, CSS, selection) for the next cycle.
+  auto ex = testing_util::MakePaperExample();
+  Pipeline pipeline;
+  const CycleOutcome first =
+      pipeline.RunCycle(ex.workflow, ex.sources).value();
+  const Result<CycleOutcome> second =
+      pipeline.RunCycle(first.opt.optimized, ex.sources);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // A fixpoint: re-optimizing the optimized plan cannot make it worse.
+  EXPECT_LE(second->opt.optimized_cost, first.opt.optimized_cost + 1e-9);
+}
+
+TEST(RewriteTest, SnowflakeRewriteKeepsChains) {
+  const WorkloadSpec spec = BuildWorkload(12);  // Snowflake5
+  const SourceMap sources = GenerateSources(spec, 23, 0.01);
+  Pipeline pipeline;
+  const CycleOutcome cycle =
+      pipeline.RunCycle(spec.workflow, sources).value();
+  const Workflow& optimized = cycle.opt.optimized;
+  // Same number of sources and sinks; same set of source tables.
+  int sources_before = 0, sources_after = 0;
+  for (const WorkflowNode& n : spec.workflow.nodes()) {
+    if (n.kind == OpKind::kSource) ++sources_before;
+  }
+  for (const WorkflowNode& n : optimized.nodes()) {
+    if (n.kind == OpKind::kSource) ++sources_after;
+  }
+  EXPECT_EQ(sources_before, sources_after);
+  const ExecutionResult again =
+      Executor(&optimized).Execute(sources).value();
+  EXPECT_EQ(again.targets.begin()->second.num_rows(),
+            cycle.run.exec.targets.begin()->second.num_rows());
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "css/generator.h"
+#include "opt/closure.h"
+#include "opt/greedy_selector.h"
+#include "opt/ilp_selector.h"
+#include "opt/resource.h"
+#include "test_util.h"
+
+namespace etlopt {
+namespace {
+
+// Hand-built catalog for closure unit tests:
+//   s0, s1, s2 are leaves; s3 <- {s0, s1}; s4 <- {s3, s2}; s5 <- {s4} | {s0}.
+CssCatalog TinyCatalog(std::vector<StatKey>* keys) {
+  CssCatalog catalog;
+  keys->clear();
+  for (int i = 0; i < 6; ++i) {
+    keys->push_back(StatKey::Card(RelMask{1} << i));
+    catalog.AddStat(keys->back());
+  }
+  auto add = [&](int target, std::vector<int> inputs) {
+    CssEntry e;
+    e.rule = RuleId::kJ1;
+    e.target = (*keys)[static_cast<size_t>(target)];
+    for (int i : inputs) e.inputs.push_back((*keys)[static_cast<size_t>(i)]);
+    catalog.AddCss(std::move(e));
+  };
+  add(3, {0, 1});
+  add(4, {3, 2});
+  add(5, {4});
+  add(5, {0});
+  return catalog;
+}
+
+TEST(ClosureTest, FixpointPropagates) {
+  std::vector<StatKey> keys;
+  const CssCatalog catalog = TinyCatalog(&keys);
+  std::vector<char> observed(6, 0);
+  observed[0] = observed[1] = observed[2] = 1;
+  const std::vector<char> computable = ComputeClosure(catalog, observed);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(computable[static_cast<size_t>(i)]);
+}
+
+TEST(ClosureTest, MissingInputBlocksDerivation) {
+  std::vector<StatKey> keys;
+  const CssCatalog catalog = TinyCatalog(&keys);
+  std::vector<char> observed(6, 0);
+  observed[1] = observed[2] = 1;  // s0 missing
+  const std::vector<char> computable = ComputeClosure(catalog, observed);
+  EXPECT_FALSE(computable[3]);
+  EXPECT_FALSE(computable[4]);
+  EXPECT_FALSE(computable[5]);
+}
+
+TEST(ClosureTest, AlternativeCssSuffices) {
+  std::vector<StatKey> keys;
+  const CssCatalog catalog = TinyCatalog(&keys);
+  std::vector<char> observed(6, 0);
+  observed[0] = 1;  // s5 <- {s0} fires
+  const std::vector<char> computable = ComputeClosure(catalog, observed);
+  EXPECT_TRUE(computable[5]);
+  EXPECT_FALSE(computable[4]);
+}
+
+TEST(ClosureTest, DerivationIsAcyclic) {
+  std::vector<StatKey> keys;
+  const CssCatalog catalog = TinyCatalog(&keys);
+  std::vector<char> observed(6, 0);
+  observed[0] = observed[1] = observed[2] = 1;
+  std::vector<int> derivation;
+  ComputeClosure(catalog, observed, &derivation);
+  EXPECT_EQ(derivation[0], -1);  // observed
+  EXPECT_GE(derivation[3], 0);
+  EXPECT_GE(derivation[4], 0);
+  EXPECT_GE(derivation[5], 0);
+}
+
+class PaperSelection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = testing_util::MakePaperExample();
+    const std::vector<Block> blocks = PartitionBlocks(ex_.workflow);
+    ctx_ = BlockContext::Build(&ex_.workflow, blocks[0]).value();
+    ps_ = PlanSpace::Build(ctx_).value();
+    catalog_ = GenerateCss(ctx_, ps_, {});
+    CostModel cost_model(&ex_.workflow.catalog(), {});
+    problem_ = BuildSelectionProblem(ctx_, ps_, catalog_, cost_model);
+  }
+
+  testing_util::PaperExample ex_;
+  BlockContext ctx_;
+  PlanSpace ps_;
+  CssCatalog catalog_;
+  SelectionProblem problem_;
+};
+
+TEST_F(PaperSelection, GreedyCoversAllRequired) {
+  const SelectionResult result = SelectGreedy(problem_);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(SelectionCovers(problem_, result.observed));
+  EXPECT_GT(result.total_cost, 0.0);
+}
+
+TEST_F(PaperSelection, GreedyObservesOnlyObservableStats) {
+  const SelectionResult result = SelectGreedy(problem_);
+  for (int s : result.observed) {
+    EXPECT_TRUE(problem_.observable[static_cast<size_t>(s)])
+        << catalog_.stat(s).ToString(&ex_.workflow.catalog());
+  }
+}
+
+TEST_F(PaperSelection, GreedyHasNoRedundantObservation) {
+  const SelectionResult result = SelectGreedy(problem_);
+  for (size_t drop = 0; drop < result.observed.size(); ++drop) {
+    std::vector<int> reduced;
+    for (size_t i = 0; i < result.observed.size(); ++i) {
+      if (i != drop) reduced.push_back(result.observed[i]);
+    }
+    EXPECT_FALSE(SelectionCovers(problem_, reduced))
+        << "redundant: "
+        << catalog_.stat(result.observed[drop])
+               .ToString(&ex_.workflow.catalog());
+  }
+}
+
+TEST_F(PaperSelection, IlpMatchesExhaustiveOptimum) {
+  const SelectionResult ilp = SelectIlp(problem_);
+  ASSERT_TRUE(ilp.feasible);
+  EXPECT_TRUE(SelectionCovers(problem_, ilp.observed));
+
+  const SelectionResult brute = SelectExhaustive(problem_, 26);
+  if (brute.feasible) {
+    EXPECT_NEAR(ilp.total_cost, brute.total_cost, 1e-6) << ilp.method;
+  }
+  // Greedy is never better than the ILP optimum.
+  const SelectionResult greedy = SelectGreedy(problem_);
+  EXPECT_GE(greedy.total_cost + 1e-9, ilp.total_cost);
+}
+
+TEST_F(PaperSelection, CheapOnPathCountersArePreferred) {
+  // The cardinalities of on-path SEs (O, P, C, OP, OPC) cost 1 each; the
+  // only genuinely expensive need is |OC|. The optimal solution should not
+  // cost more than a couple of histograms.
+  const SelectionResult result = SelectIlp(problem_);
+  const AttrCatalog& catalog = ex_.workflow.catalog();
+  const double cust_dom =
+      static_cast<double>(catalog.domain_size(ex_.cust_id));
+  const double prod_dom =
+      static_cast<double>(catalog.domain_size(ex_.prod_id));
+  EXPECT_LE(result.total_cost,
+            5.0 + 2.0 * std::max(cust_dom, prod_dom) + 2.0 * cust_dom);
+}
+
+TEST_F(PaperSelection, SourceStatsReduceCost) {
+  const SelectionResult base = SelectGreedy(problem_);
+  // Make every base-relation histogram free (Section 6.2).
+  SelectionOptions options;
+  for (int s = 0; s < catalog_.num_stats(); ++s) {
+    const StatKey& key = catalog_.stat(s);
+    if (key.kind == StatKind::kHist && IsSingleton(key.rels) &&
+        !key.is_chain_stage()) {
+      options.free_source_stats.push_back(key);
+    }
+  }
+  CostModel cost_model(&ex_.workflow.catalog(), {});
+  const SelectionProblem with_free =
+      BuildSelectionProblem(ctx_, ps_, catalog_, cost_model, options);
+  const SelectionResult freed = SelectGreedy(with_free);
+  ASSERT_TRUE(freed.feasible);
+  EXPECT_LT(freed.total_cost, base.total_cost);
+}
+
+TEST_F(PaperSelection, BudgetedSelectionDefersToReorderedRuns) {
+  // A budget of 6 units only allows counters: |OC| cannot be covered in the
+  // first run and must come from a re-ordered execution.
+  const BudgetedSelection budgeted =
+      SelectWithBudget(problem_, ctx_, ps_, 6.0);
+  EXPECT_FALSE(budgeted.first_run.feasible);
+  EXPECT_LE(budgeted.memory_used, 6.0);
+  ASSERT_FALSE(budgeted.deferred.empty());
+  EXPECT_EQ(budgeted.deferred[0], 0b101u);  // OC
+  EXPECT_GE(budgeted.total_executions(), 2);
+}
+
+TEST_F(PaperSelection, LargeBudgetBehavesLikeUnbudgeted) {
+  const BudgetedSelection budgeted =
+      SelectWithBudget(problem_, ctx_, ps_, 1e12);
+  EXPECT_TRUE(budgeted.first_run.feasible);
+  EXPECT_TRUE(budgeted.deferred.empty());
+  EXPECT_EQ(budgeted.total_executions(), 1);
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,123 @@
+// Soundness tests for the closure semantics under cyclic CSS support
+// (DESIGN.md §5): union-division lets statistics on *larger* SEs support
+// statistics on smaller ones, so the CSS graph can contain cycles. The
+// paper's y/z LP constraints alone would admit circularly-supported
+// "computable" sets; the closure (and the ILP's incumbent filter built on
+// it) must not.
+
+#include <gtest/gtest.h>
+
+#include "css/generator.h"
+#include "opt/closure.h"
+#include "opt/greedy_selector.h"
+#include "opt/ilp_selector.h"
+#include "test_util.h"
+
+namespace etlopt {
+namespace {
+
+// A hand-built catalog with a 2-cycle: A <- {B} and B <- {A}, plus a
+// required stat covered by A.
+CssCatalog CyclicCatalog(std::vector<StatKey>* keys) {
+  CssCatalog catalog;
+  keys->clear();
+  keys->push_back(StatKey::Card(0b001));  // 0: A
+  keys->push_back(StatKey::Card(0b010));  // 1: B
+  keys->push_back(StatKey::Card(0b100));  // 2: required target
+  for (const StatKey& k : *keys) catalog.AddStat(k);
+  auto add = [&](int target, std::vector<int> inputs) {
+    CssEntry e;
+    e.rule = RuleId::kJ1;
+    e.target = (*keys)[static_cast<size_t>(target)];
+    for (int i : inputs) e.inputs.push_back((*keys)[static_cast<size_t>(i)]);
+    catalog.AddCss(std::move(e));
+  };
+  add(0, {1});  // A <- {B}
+  add(1, {0});  // B <- {A}
+  add(2, {0});  // target <- {A}
+  return catalog;
+}
+
+TEST(CyclicSoundnessTest, ClosureRejectsCircularSupport) {
+  std::vector<StatKey> keys;
+  const CssCatalog catalog = CyclicCatalog(&keys);
+  // Nothing observed: the A<->B cycle must NOT bootstrap itself.
+  std::vector<char> observed(3, 0);
+  const std::vector<char> computable = ComputeClosure(catalog, observed);
+  EXPECT_FALSE(computable[0]);
+  EXPECT_FALSE(computable[1]);
+  EXPECT_FALSE(computable[2]);
+}
+
+TEST(CyclicSoundnessTest, ClosureAcceptsGroundedSupport) {
+  std::vector<StatKey> keys;
+  const CssCatalog catalog = CyclicCatalog(&keys);
+  std::vector<char> observed(3, 0);
+  observed[1] = 1;  // observe B: A <- {B}, target <- {A}
+  const std::vector<char> computable = ComputeClosure(catalog, observed);
+  EXPECT_TRUE(computable[0]);
+  EXPECT_TRUE(computable[1]);
+  EXPECT_TRUE(computable[2]);
+}
+
+TEST(CyclicSoundnessTest, SelectorsRefuseFreeCyclicCover) {
+  std::vector<StatKey> keys;
+  const CssCatalog catalog = CyclicCatalog(&keys);
+  SelectionProblem problem;
+  problem.catalog = &catalog;
+  problem.cost = {5.0, 7.0, 100.0};
+  problem.observable = {1, 1, 1};
+  problem.required = {0, 0, 1};
+  // A sound selector must observe at least one of A/B (the cheaper: A at 5)
+  // or the target directly; the LP's y/z relaxation alone would claim the
+  // A<->B cycle covers everything at cost 0.
+  const SelectionResult greedy = SelectGreedy(problem);
+  ASSERT_TRUE(greedy.feasible);
+  EXPECT_TRUE(SelectionCovers(problem, greedy.observed));
+  EXPECT_GE(greedy.total_cost, 5.0);
+
+  const SelectionResult ilp = SelectIlp(problem);
+  ASSERT_TRUE(ilp.feasible);
+  EXPECT_TRUE(SelectionCovers(problem, ilp.observed));
+  EXPECT_NEAR(ilp.total_cost, 5.0, 1e-9);  // observe A
+
+  const SelectionResult brute = SelectExhaustive(problem);
+  ASSERT_TRUE(brute.feasible);
+  EXPECT_NEAR(brute.total_cost, 5.0, 1e-9);
+}
+
+// Real-workflow cycle: union-division creates Hist(full SE) -> Card(sub SE)
+// edges while J1/J2 create sub -> full edges. Verify the real catalogs stay
+// sound: closing over NOTHING observed yields nothing computable.
+TEST(CyclicSoundnessTest, RealCatalogsHaveNoSelfSupport) {
+  auto ex = testing_util::MakePaperExample();
+  const std::vector<Block> blocks = PartitionBlocks(ex.workflow);
+  const BlockContext ctx =
+      BlockContext::Build(&ex.workflow, blocks[0]).value();
+  const PlanSpace ps = PlanSpace::Build(ctx).value();
+  const CssCatalog catalog = GenerateCss(ctx, ps, {});
+  std::vector<char> nothing(static_cast<size_t>(catalog.num_stats()), 0);
+  const std::vector<char> computable = ComputeClosure(catalog, nothing);
+  for (int s = 0; s < catalog.num_stats(); ++s) {
+    EXPECT_FALSE(computable[static_cast<size_t>(s)])
+        << catalog.stat(s).ToString();
+  }
+}
+
+TEST(CyclicSoundnessTest, IlpIncumbentFilterBlocksCyclicSolutions) {
+  // The ILP must not return a 0-cost solution for the cyclic catalog even
+  // though its y/z constraints admit one: the incumbent filter (closure
+  // check + no-good cuts) forces a grounded observation.
+  std::vector<StatKey> keys;
+  const CssCatalog catalog = CyclicCatalog(&keys);
+  SelectionProblem problem;
+  problem.catalog = &catalog;
+  problem.cost = {5.0, 7.0, 100.0};
+  problem.observable = {1, 1, 1};
+  problem.required = {0, 0, 1};
+  const SelectionResult ilp = SelectIlp(problem);
+  EXPECT_GT(ilp.total_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace etlopt

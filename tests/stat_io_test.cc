@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "estimator/estimator.h"
+#include "stats/stat_io.h"
+#include "test_util.h"
+
+namespace etlopt {
+namespace {
+
+StatStore SampleStore() {
+  StatStore store;
+  store.Set(StatKey::Card(0b101), StatValue::Count(19739));
+  store.Set(StatKey::CardStage(0, 1), StatValue::Count(321));
+  store.Set(StatKey::Distinct(0b001, 0b11), StatValue::Count(42));
+  Histogram h(0b101);  // attrs {0, 2}
+  h.Add({1, 7}, 13);
+  h.Add({2, 9}, 5);
+  store.Set(StatKey::Hist(0b011, 0b101), StatValue::Hist(std::move(h)));
+  store.Set(StatKey::RejectJoinCard(0b001, 1, 0b100), StatValue::Count(17));
+  Histogram rh(0b10);
+  rh.Add({4}, 3);
+  store.Set(StatKey::RejectJoinHist(0b001, 1, 0b100, 0b10),
+            StatValue::Hist(std::move(rh)));
+  return store;
+}
+
+bool StoresEqual(const StatStore& a, const StatStore& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [key, value] : a.values()) {
+    const StatValue* other = b.Find(key);
+    if (other == nullptr) return false;
+    if (value.is_count() != other->is_count()) return false;
+    if (value.is_count()) {
+      if (value.count() != other->count()) return false;
+    } else {
+      if (!(value.hist() == other->hist())) return false;
+    }
+  }
+  return true;
+}
+
+TEST(StatIoTest, RoundTripAllKinds) {
+  const StatStore store = SampleStore();
+  const std::string text = WriteStatStoreText(store);
+  const Result<StatStore> parsed = ParseStatStoreText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+  EXPECT_TRUE(StoresEqual(store, *parsed));
+  // Fixed point: re-serializing is byte-identical (stable ordering).
+  EXPECT_EQ(WriteStatStoreText(*parsed), text);
+}
+
+TEST(StatIoTest, EmptyStoreRoundTrips) {
+  const StatStore store;
+  const Result<StatStore> parsed =
+      ParseStatStoreText(WriteStatStoreText(store));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 0u);
+}
+
+TEST(StatIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseStatStoreText("nonsense\n").ok());
+  EXPECT_FALSE(ParseStatStoreText("stat card rels=x stage=-1 value=3\n").ok());
+  EXPECT_FALSE(ParseStatStoreText("stat wat rels=1 stage=-1 value=3\n").ok());
+  // Truncated histogram.
+  EXPECT_FALSE(
+      ParseStatStoreText("stat hist rels=1 stage=-1 attrs=1 buckets=2\n"
+                         "bucket 1 = 5\n")
+          .ok());
+  // Bucket without a histogram.
+  EXPECT_FALSE(ParseStatStoreText("bucket 1 = 5\n").ok());
+}
+
+TEST(StatIoTest, FileRoundTrip) {
+  const StatStore store = SampleStore();
+  const std::string path = ::testing::TempDir() + "/stats_roundtrip.txt";
+  ASSERT_TRUE(SaveStatStore(store, path).ok());
+  const Result<StatStore> loaded = LoadStatStore(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(StoresEqual(store, *loaded));
+  EXPECT_FALSE(LoadStatStore("/nonexistent/stats.txt").ok());
+}
+
+TEST(StatIoTest, PersistedStatisticsDriveALaterOptimization) {
+  // Run 1 observes and persists; a "later process" loads the file and
+  // re-optimizes without touching the data — the deployment pattern the
+  // design-once-run-repeatedly cycle implies.
+  auto ex = testing_util::MakePaperExample();
+  Pipeline pipeline;
+  const auto analysis = pipeline.Analyze(ex.workflow).value();
+  const RunOutcome run = pipeline.RunAndObserve(*analysis, ex.sources).value();
+
+  const std::string path = ::testing::TempDir() + "/learned_stats.txt";
+  ASSERT_TRUE(SaveStatStore(run.block_stats[0], path).ok());
+
+  // "Later": load and estimate from the persisted statistics alone.
+  const StatStore loaded = LoadStatStore(path).value();
+  const BlockAnalysis& ba = *analysis->blocks[0];
+  Estimator estimator(&ba.ctx, &ba.catalog);
+  ASSERT_TRUE(estimator.DeriveAll(loaded).ok());
+  const auto truth = ComputeGroundTruthCards(
+                         ba.ctx, ba.plan_space.subexpressions(), run.exec)
+                         .value();
+  for (RelMask se : ba.plan_space.subexpressions()) {
+    EXPECT_EQ(*estimator.Cardinality(se), truth.at(se)) << "SE " << se;
+  }
+}
+
+}  // namespace
+}  // namespace etlopt

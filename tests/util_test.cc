@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bitmask.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace etlopt {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad join key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad join key");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::NotFound("x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterEven(int x) {
+  ETLOPT_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  ETLOPT_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*QuarterEven(8), 2);
+  EXPECT_FALSE(QuarterEven(6).ok());
+  EXPECT_FALSE(QuarterEven(3).ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInRange(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(ZipfTest, CoversDomainAndSkews) {
+  Rng rng(17);
+  ZipfDistribution zipf(100, 1.2);
+  std::vector<int64_t> counts(101, 0);
+  const int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const int64_t v = zipf.Sample(rng);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 100);
+    ++counts[static_cast<size_t>(v)];
+  }
+  // Rank 1 must dominate rank 10 roughly by 10^1.2 ≈ 15.8.
+  EXPECT_GT(counts[1], counts[10] * 8);
+  EXPECT_GT(counts[1], counts[50]);
+}
+
+TEST(BitmaskTest, Basics) {
+  EXPECT_EQ(PopCount(0b1011), 3);
+  EXPECT_TRUE(IsSubset(0b001, 0b011));
+  EXPECT_FALSE(IsSubset(0b100, 0b011));
+  EXPECT_TRUE(IsSingleton(0b100));
+  EXPECT_FALSE(IsSingleton(0b110));
+  EXPECT_FALSE(IsSingleton(0));
+  EXPECT_EQ(LowestBit(0b1100), 2);
+  EXPECT_EQ(MaskToIndices(0b1011), (std::vector<int>{0, 1, 3}));
+}
+
+TEST(BitmaskTest, SubsetIteratorEnumeratesProperSubsets) {
+  std::set<uint64_t> seen;
+  for (SubsetIterator it(0b1011); !it.Done(); it.Next()) {
+    seen.insert(it.subset());
+  }
+  // 2^3 - 2 proper non-empty subsets of a 3-bit mask... minus none: the
+  // iterator yields all non-empty proper sub-masks: 2^3 - 2 = 6.
+  EXPECT_EQ(seen.size(), 6u);
+  for (uint64_t s : seen) {
+    EXPECT_TRUE(IsSubset(s, 0b1011));
+    EXPECT_NE(s, 0b1011u);
+    EXPECT_NE(s, 0u);
+  }
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1811197), "1,811,197");
+  EXPECT_EQ(WithThousands(-52234), "-52,234");
+}
+
+TEST(StringUtilTest, Padding) {
+  EXPECT_EQ(PadLeft("7", 3), "  7");
+  EXPECT_EQ(PadRight("7", 3), "7  ");
+  EXPECT_EQ(PadLeft("1234", 3), "1234");
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "datagen/workload_suite.h"
+#include "etl/transforms.h"
+#include "etl/workflow_io.h"
+#include "test_util.h"
+
+namespace etlopt {
+namespace {
+
+TEST(TransformRegistryTest, LookupByNameAndFunction) {
+  auto fn = LookupTransformByName("standardize");
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_EQ(fn(10), 21);
+  EXPECT_EQ(LookupTransformName(fn), "standardize");
+  EXPECT_FALSE(static_cast<bool>(LookupTransformByName("nope")));
+  // A lambda is not registered.
+  std::function<Value(Value)> lambda = [](Value v) { return v; };
+  EXPECT_EQ(LookupTransformName(lambda), "");
+  EXPECT_FALSE(RegisteredTransformNames().empty());
+}
+
+TEST(WorkflowIoTest, RoundTripPaperExample) {
+  auto ex = testing_util::MakePaperExample();
+  Status status;
+  const std::string text = WriteWorkflowText(ex.workflow, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  const Result<Workflow> parsed = ParseWorkflowText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Round-trip to a fixed point: writing the parsed workflow reproduces the
+  // text exactly.
+  Status status2;
+  EXPECT_EQ(WriteWorkflowText(*parsed, &status2), text);
+  EXPECT_TRUE(status2.ok());
+  // Same semantics: executing both gives identical sink output.
+  const ExecutionResult a =
+      Executor(&ex.workflow).Execute(ex.sources).value();
+  const ExecutionResult b = Executor(&*parsed).Execute(ex.sources).value();
+  EXPECT_EQ(a.targets.at("warehouse.orders").num_rows(),
+            b.targets.at("warehouse.orders").num_rows());
+}
+
+TEST(WorkflowIoTest, RoundTripEntireSuite) {
+  for (int i = 1; i <= 30; ++i) {
+    const WorkloadSpec spec = BuildWorkload(i);
+    Status status;
+    const std::string text = WriteWorkflowText(spec.workflow, &status);
+    ASSERT_TRUE(status.ok()) << spec.name << ": " << status.ToString();
+    const Result<Workflow> parsed = ParseWorkflowText(text);
+    ASSERT_TRUE(parsed.ok()) << spec.name << ": "
+                             << parsed.status().ToString();
+    Status status2;
+    EXPECT_EQ(WriteWorkflowText(*parsed, &status2), text) << spec.name;
+    // The parsed workflow partitions into the same block structure.
+    EXPECT_EQ(PartitionBlocks(*parsed).size(),
+              PartitionBlocks(spec.workflow).size())
+        << spec.name;
+  }
+}
+
+TEST(WorkflowIoTest, AllOperatorKindsSerialize) {
+  WorkflowBuilder b("every_op");
+  const AttrId k = b.DeclareAttr("k", 50);
+  const AttrId x = b.DeclareAttr("x", 30);
+  const AttrId d = b.DeclareAttr("d", 10);
+  const AttrId cnt = b.DeclareAttr("cnt", 100000);
+  const NodeId src = b.Source("S", {k, x});
+  const NodeId f = b.Filter(src, {x, CompareOp::kGe, 3});
+  const NodeId t = b.Transform(f, x, transforms::PlusOne);
+  const NodeId dv = b.DeriveAttr(t, x, d, transforms::BucketizeBy10);
+  const NodeId pj = b.Project(dv, {k, d});
+  const NodeId g = b.Aggregate(pj, {k, d}, cnt);
+  const NodeId dim = b.Source("D", {k});
+  JoinOptions opts;
+  opts.reject_link = true;
+  opts.fk_lookup = true;
+  const NodeId j = b.Join(g, dim, k, opts);
+  const NodeId m = b.Materialize(j, "staging.t");
+  const NodeId u = b.AggregateUdf(m, d, transforms::Mod100);
+  b.Sink(u, "warehouse.t");
+  const Workflow wf = std::move(b).Build().value();
+
+  Status status;
+  const std::string text = WriteWorkflowText(wf, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  const Result<Workflow> parsed = ParseWorkflowText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+  Status status2;
+  EXPECT_EQ(WriteWorkflowText(*parsed, &status2), text);
+}
+
+TEST(WorkflowIoTest, LambdaTransformFailsToSerializeWithClearError) {
+  WorkflowBuilder b("lam");
+  const AttrId k = b.DeclareAttr("k", 5);
+  const NodeId src = b.Source("S", {k});
+  const NodeId t = b.Transform(src, k, [](Value v) { return v; });
+  b.Sink(t, "out");
+  const Workflow wf = std::move(b).Build().value();
+  Status status;
+  WriteWorkflowText(wf, &status);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("unregistered transform"),
+            std::string::npos);
+}
+
+TEST(WorkflowIoTest, ParserRejectsMalformedInput) {
+  // Missing workflow directive.
+  EXPECT_FALSE(ParseWorkflowText("attr a 5\n").ok());
+  // Unknown attribute.
+  EXPECT_FALSE(ParseWorkflowText("workflow w\n"
+                                 "node 0 source S cols nope\n")
+                   .ok());
+  // Bad node ordering.
+  EXPECT_FALSE(ParseWorkflowText("workflow w\n"
+                                 "attr a 5\n"
+                                 "node 1 source S cols a\n")
+                   .ok());
+  // Unknown operator.
+  EXPECT_FALSE(ParseWorkflowText("workflow w\n"
+                                 "attr a 5\n"
+                                 "node 0 frobnicate S\n")
+                   .ok());
+  // Unknown transform.
+  EXPECT_FALSE(ParseWorkflowText("workflow w\n"
+                                 "attr a 5\n"
+                                 "node 0 source S cols a\n"
+                                 "node 1 transform 0 attr a fn nope\n"
+                                 "node 2 sink 1 target t\n")
+                   .ok());
+  // Unknown comparison operator.
+  EXPECT_FALSE(ParseWorkflowText("workflow w\n"
+                                 "attr a 5\n"
+                                 "node 0 source S cols a\n"
+                                 "node 1 filter 0 where a ?? 3\n"
+                                 "node 2 sink 1 target t\n")
+                   .ok());
+  // Forward node reference.
+  EXPECT_FALSE(ParseWorkflowText("workflow w\n"
+                                 "attr a 5\n"
+                                 "node 0 sink 1 target t\n")
+                   .ok());
+  // Empty file.
+  EXPECT_FALSE(ParseWorkflowText("").ok());
+}
+
+TEST(WorkflowIoTest, CommentsAndBlankLinesIgnored) {
+  const char* text =
+      "# a comment\n"
+      "workflow w\n"
+      "\n"
+      "attr a 5   # trailing comment\n"
+      "node 0 source S cols a\n"
+      "node 1 sink 0 target t\n";
+  const Result<Workflow> parsed = ParseWorkflowText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_nodes(), 2);
+}
+
+TEST(WorkflowIoTest, SaveAndLoadFile) {
+  auto ex = testing_util::MakePaperExample();
+  const std::string path = ::testing::TempDir() + "/wf_roundtrip.etl";
+  ASSERT_TRUE(SaveWorkflow(ex.workflow, path).ok());
+  const Result<Workflow> loaded = LoadWorkflow(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), ex.workflow.num_nodes());
+  EXPECT_FALSE(LoadWorkflow("/nonexistent/path.etl").ok());
+}
+
+TEST(ReportTest, AnalysisReportMentionsKeyFacts) {
+  auto ex = testing_util::MakePaperExample();
+  Pipeline pipeline;
+  const auto analysis = pipeline.Analyze(ex.workflow).value();
+  const std::string report = FormatAnalysisReport(*analysis);
+  EXPECT_NE(report.find("orders_load"), std::string::npos);
+  EXPECT_NE(report.find("optimizable block"), std::string::npos);
+  EXPECT_NE(report.find("sub-expressions"), std::string::npos);
+  EXPECT_NE(report.find("observe"), std::string::npos);
+  EXPECT_NE(report.find("total observation cost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace etlopt

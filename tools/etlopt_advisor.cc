@@ -1,0 +1,150 @@
+// etlopt_advisor — command-line front end for the statistics-identification
+// framework. Mirrors how the paper's module consumed designer-exported
+// workflows: feed it a workflow file, get back the analysis (blocks, plan
+// space, CSS, the optimal statistics to observe, and the pay-as-you-go
+// comparison).
+//
+// Usage:
+//   etlopt_advisor analyze <workflow-file> [options]
+//   etlopt_advisor dot <workflow-file>          # Graphviz rendering
+//   etlopt_advisor export-suite <index> [path]  # dump a benchmark workflow
+//   etlopt_advisor transforms                   # list registered UDFs
+//
+// Options for analyze:
+//   --selector=greedy|ilp     statistics selector (default greedy)
+//   --no-union-division       disable the J4/J5 rules
+//   --no-fk-rules             ignore foreign-key lookup metadata
+//   --left-deep               restrict the plan space to left-deep trees
+//   --budget=<units>          §6.1: report the budgeted plan as well
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/lifecycle.h"
+#include "core/report.h"
+#include "datagen/workload_suite.h"
+#include "etl/transforms.h"
+#include "etl/workflow_io.h"
+#include "opt/resource.h"
+
+using namespace etlopt;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "etlopt_advisor: %s\n", message.c_str());
+  return 1;
+}
+
+int Analyze(const std::string& path, int argc, char** argv) {
+  PipelineOptions options;
+  double budget = -1.0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--selector=greedy") {
+      options.selector = SelectorKind::kGreedy;
+    } else if (arg == "--selector=ilp") {
+      options.selector = SelectorKind::kIlp;
+    } else if (arg == "--no-union-division") {
+      options.css.enable_union_division = false;
+    } else if (arg == "--no-fk-rules") {
+      options.css.enable_fk_rules = false;
+    } else if (arg == "--left-deep") {
+      options.plan_space.left_deep_only = true;
+    } else if (arg.rfind("--budget=", 0) == 0) {
+      budget = std::atof(arg.c_str() + std::strlen("--budget="));
+    } else {
+      return Fail("unknown option '" + arg + "'");
+    }
+  }
+
+  Result<Workflow> wf = LoadWorkflow(path);
+  if (!wf.ok()) return Fail(wf.status().ToString());
+
+  Pipeline pipeline(options);
+  const auto analysis = pipeline.Analyze(*wf);
+  if (!analysis.ok()) return Fail(analysis.status().ToString());
+  std::printf("%s", FormatAnalysisReport(**analysis).c_str());
+
+  if (budget >= 0.0) {
+    std::printf("\n--- budgeted plan (%.0f memory units per block, §6.1) "
+                "---\n",
+                budget);
+    for (const auto& block : (*analysis)->blocks) {
+      const BudgetedSelection plan = SelectWithBudget(
+          block->problem, block->ctx, block->plan_space, budget);
+      std::printf("block %d: first run observes %zu statistics (%.0f "
+                  "units); %zu SE(s) deferred; %d total execution(s)\n",
+                  block->block.id, plan.first_run.observed.size(),
+                  plan.memory_used, plan.deferred.size(),
+                  plan.total_executions());
+    }
+  }
+  return 0;
+}
+
+int Dot(const std::string& path) {
+  Result<Workflow> wf = LoadWorkflow(path);
+  if (!wf.ok()) return Fail(wf.status().ToString());
+  std::printf("%s", wf->ToDot().c_str());
+  return 0;
+}
+
+int ExportSuite(int index, const char* path) {
+  if (index < 1 || index > 30) return Fail("suite index must be 1..30");
+  const WorkloadSpec spec = BuildWorkload(index);
+  if (path != nullptr) {
+    const Status st = SaveWorkflow(spec.workflow, path);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %s (workflow '%s')\n", path, spec.name.c_str());
+  } else {
+    std::printf("%s", WriteWorkflowTextOrDie(spec.workflow).c_str());
+  }
+  return 0;
+}
+
+int Transforms() {
+  std::printf("registered transform functions (usable in workflow files):\n");
+  for (const std::string& name : RegisteredTransformNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  etlopt_advisor analyze <workflow-file> [--selector=greedy|ilp]\n"
+      "                 [--no-union-division] [--no-fk-rules] [--left-deep]\n"
+      "                 [--budget=<units>]\n"
+      "  etlopt_advisor dot <workflow-file>\n"
+      "  etlopt_advisor export-suite <index 1..30> [output-path]\n"
+      "  etlopt_advisor transforms\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "analyze" && argc >= 3) {
+    return Analyze(argv[2], argc - 3, argv + 3);
+  }
+  if (command == "dot" && argc == 3) {
+    return Dot(argv[2]);
+  }
+  if (command == "export-suite" && (argc == 3 || argc == 4)) {
+    return ExportSuite(std::atoi(argv[2]), argc == 4 ? argv[3] : nullptr);
+  }
+  if (command == "transforms") {
+    return Transforms();
+  }
+  Usage();
+  return 1;
+}
