@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_approx_pipeline.dir/ext_approx_pipeline.cc.o"
+  "CMakeFiles/ext_approx_pipeline.dir/ext_approx_pipeline.cc.o.d"
+  "ext_approx_pipeline"
+  "ext_approx_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_approx_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_error_tradeoff.dir/ext_error_tradeoff.cc.o"
+  "CMakeFiles/ext_error_tradeoff.dir/ext_error_tradeoff.cc.o.d"
+  "ext_error_tradeoff"
+  "ext_error_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_error_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_plan_regret.dir/ext_plan_regret.cc.o"
+  "CMakeFiles/ext_plan_regret.dir/ext_plan_regret.cc.o.d"
+  "ext_plan_regret"
+  "ext_plan_regret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_plan_regret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

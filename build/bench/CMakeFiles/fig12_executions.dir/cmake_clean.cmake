@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_executions.dir/fig12_executions.cc.o"
+  "CMakeFiles/fig12_executions.dir/fig12_executions.cc.o.d"
+  "fig12_executions"
+  "fig12_executions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_executions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cssgen.dir/micro_cssgen.cc.o"
+  "CMakeFiles/micro_cssgen.dir/micro_cssgen.cc.o.d"
+  "micro_cssgen"
+  "micro_cssgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cssgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_histogram.dir/micro_histogram.cc.o"
+  "CMakeFiles/micro_histogram.dir/micro_histogram.cc.o.d"
+  "micro_histogram"
+  "micro_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

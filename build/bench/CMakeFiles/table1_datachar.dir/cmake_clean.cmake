@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_datachar.dir/table1_datachar.cc.o"
+  "CMakeFiles/table1_datachar.dir/table1_datachar.cc.o.d"
+  "table1_datachar"
+  "table1_datachar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_datachar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reoptimization_lifecycle.dir/reoptimization_lifecycle.cpp.o"
+  "CMakeFiles/reoptimization_lifecycle.dir/reoptimization_lifecycle.cpp.o.d"
+  "reoptimization_lifecycle"
+  "reoptimization_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reoptimization_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_statistics.dir/source_statistics.cpp.o"
+  "CMakeFiles/source_statistics.dir/source_statistics.cpp.o.d"
+  "source_statistics"
+  "source_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

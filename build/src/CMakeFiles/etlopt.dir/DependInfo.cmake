@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/approx/approx_estimator.cc" "src/CMakeFiles/etlopt.dir/approx/approx_estimator.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/approx/approx_estimator.cc.o.d"
+  "/root/repo/src/approx/dhistogram.cc" "src/CMakeFiles/etlopt.dir/approx/dhistogram.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/approx/dhistogram.cc.o.d"
+  "/root/repo/src/core/lifecycle.cc" "src/CMakeFiles/etlopt.dir/core/lifecycle.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/core/lifecycle.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/etlopt.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/etlopt.dir/core/report.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/core/report.cc.o.d"
+  "/root/repo/src/css/css.cc" "src/CMakeFiles/etlopt.dir/css/css.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/css/css.cc.o.d"
+  "/root/repo/src/css/generator.cc" "src/CMakeFiles/etlopt.dir/css/generator.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/css/generator.cc.o.d"
+  "/root/repo/src/css/rules.cc" "src/CMakeFiles/etlopt.dir/css/rules.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/css/rules.cc.o.d"
+  "/root/repo/src/datagen/random_workflow.cc" "src/CMakeFiles/etlopt.dir/datagen/random_workflow.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/datagen/random_workflow.cc.o.d"
+  "/root/repo/src/datagen/table_gen.cc" "src/CMakeFiles/etlopt.dir/datagen/table_gen.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/datagen/table_gen.cc.o.d"
+  "/root/repo/src/datagen/workload_suite.cc" "src/CMakeFiles/etlopt.dir/datagen/workload_suite.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/datagen/workload_suite.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/etlopt.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/instrumentation.cc" "src/CMakeFiles/etlopt.dir/engine/instrumentation.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/engine/instrumentation.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/CMakeFiles/etlopt.dir/engine/table.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/engine/table.cc.o.d"
+  "/root/repo/src/estimator/estimator.cc" "src/CMakeFiles/etlopt.dir/estimator/estimator.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/estimator/estimator.cc.o.d"
+  "/root/repo/src/etl/attr_catalog.cc" "src/CMakeFiles/etlopt.dir/etl/attr_catalog.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/etl/attr_catalog.cc.o.d"
+  "/root/repo/src/etl/operator.cc" "src/CMakeFiles/etlopt.dir/etl/operator.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/etl/operator.cc.o.d"
+  "/root/repo/src/etl/predicate.cc" "src/CMakeFiles/etlopt.dir/etl/predicate.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/etl/predicate.cc.o.d"
+  "/root/repo/src/etl/schema.cc" "src/CMakeFiles/etlopt.dir/etl/schema.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/etl/schema.cc.o.d"
+  "/root/repo/src/etl/transforms.cc" "src/CMakeFiles/etlopt.dir/etl/transforms.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/etl/transforms.cc.o.d"
+  "/root/repo/src/etl/workflow.cc" "src/CMakeFiles/etlopt.dir/etl/workflow.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/etl/workflow.cc.o.d"
+  "/root/repo/src/etl/workflow_builder.cc" "src/CMakeFiles/etlopt.dir/etl/workflow_builder.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/etl/workflow_builder.cc.o.d"
+  "/root/repo/src/etl/workflow_io.cc" "src/CMakeFiles/etlopt.dir/etl/workflow_io.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/etl/workflow_io.cc.o.d"
+  "/root/repo/src/lp/ilp.cc" "src/CMakeFiles/etlopt.dir/lp/ilp.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/lp/ilp.cc.o.d"
+  "/root/repo/src/lp/simplex.cc" "src/CMakeFiles/etlopt.dir/lp/simplex.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/lp/simplex.cc.o.d"
+  "/root/repo/src/opt/closure.cc" "src/CMakeFiles/etlopt.dir/opt/closure.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/opt/closure.cc.o.d"
+  "/root/repo/src/opt/exec_cover.cc" "src/CMakeFiles/etlopt.dir/opt/exec_cover.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/opt/exec_cover.cc.o.d"
+  "/root/repo/src/opt/greedy_selector.cc" "src/CMakeFiles/etlopt.dir/opt/greedy_selector.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/opt/greedy_selector.cc.o.d"
+  "/root/repo/src/opt/ilp_selector.cc" "src/CMakeFiles/etlopt.dir/opt/ilp_selector.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/opt/ilp_selector.cc.o.d"
+  "/root/repo/src/opt/resource.cc" "src/CMakeFiles/etlopt.dir/opt/resource.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/opt/resource.cc.o.d"
+  "/root/repo/src/opt/selection.cc" "src/CMakeFiles/etlopt.dir/opt/selection.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/opt/selection.cc.o.d"
+  "/root/repo/src/optimizer/join_optimizer.cc" "src/CMakeFiles/etlopt.dir/optimizer/join_optimizer.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/optimizer/join_optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan_cost.cc" "src/CMakeFiles/etlopt.dir/optimizer/plan_cost.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/optimizer/plan_cost.cc.o.d"
+  "/root/repo/src/optimizer/rewrite.cc" "src/CMakeFiles/etlopt.dir/optimizer/rewrite.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/optimizer/rewrite.cc.o.d"
+  "/root/repo/src/planspace/block.cc" "src/CMakeFiles/etlopt.dir/planspace/block.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/planspace/block.cc.o.d"
+  "/root/repo/src/planspace/join_graph.cc" "src/CMakeFiles/etlopt.dir/planspace/join_graph.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/planspace/join_graph.cc.o.d"
+  "/root/repo/src/planspace/observability.cc" "src/CMakeFiles/etlopt.dir/planspace/observability.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/planspace/observability.cc.o.d"
+  "/root/repo/src/planspace/plan_space.cc" "src/CMakeFiles/etlopt.dir/planspace/plan_space.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/planspace/plan_space.cc.o.d"
+  "/root/repo/src/stats/approx_histogram.cc" "src/CMakeFiles/etlopt.dir/stats/approx_histogram.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/stats/approx_histogram.cc.o.d"
+  "/root/repo/src/stats/cost_model.cc" "src/CMakeFiles/etlopt.dir/stats/cost_model.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/stats/cost_model.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/etlopt.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/stat_io.cc" "src/CMakeFiles/etlopt.dir/stats/stat_io.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/stats/stat_io.cc.o.d"
+  "/root/repo/src/stats/stat_key.cc" "src/CMakeFiles/etlopt.dir/stats/stat_key.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/stats/stat_key.cc.o.d"
+  "/root/repo/src/stats/stat_store.cc" "src/CMakeFiles/etlopt.dir/stats/stat_store.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/stats/stat_store.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/etlopt.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/etlopt.dir/util/random.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/etlopt.dir/util/status.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/etlopt.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/etlopt.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

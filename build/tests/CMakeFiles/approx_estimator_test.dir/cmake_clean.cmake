@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_estimator_test.dir/approx_estimator_test.cc.o"
+  "CMakeFiles/approx_estimator_test.dir/approx_estimator_test.cc.o.d"
+  "approx_estimator_test"
+  "approx_estimator_test.pdb"
+  "approx_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/css_test.dir/css_test.cc.o"
+  "CMakeFiles/css_test.dir/css_test.cc.o.d"
+  "css_test"
+  "css_test.pdb"
+  "css_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/css_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_cover_test.dir/exec_cover_test.cc.o"
+  "CMakeFiles/exec_cover_test.dir/exec_cover_test.cc.o.d"
+  "exec_cover_test"
+  "exec_cover_test.pdb"
+  "exec_cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physical_join_test.dir/physical_join_test.cc.o"
+  "CMakeFiles/physical_join_test.dir/physical_join_test.cc.o.d"
+  "physical_join_test"
+  "physical_join_test.pdb"
+  "physical_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physical_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

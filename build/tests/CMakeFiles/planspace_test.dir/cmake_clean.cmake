@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planspace_test.dir/planspace_test.cc.o"
+  "CMakeFiles/planspace_test.dir/planspace_test.cc.o.d"
+  "planspace_test"
+  "planspace_test.pdb"
+  "planspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

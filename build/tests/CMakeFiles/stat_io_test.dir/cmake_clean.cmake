@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_io_test.dir/stat_io_test.cc.o"
+  "CMakeFiles/stat_io_test.dir/stat_io_test.cc.o.d"
+  "stat_io_test"
+  "stat_io_test.pdb"
+  "stat_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

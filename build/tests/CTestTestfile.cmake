@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/approx_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/approx_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/css_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/etl_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_cover_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/histogram_property_test[1]_include.cmake")
+include("/root/repo/build/tests/histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/lifecycle_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_property_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_scenarios_test[1]_include.cmake")
+include("/root/repo/build/tests/physical_join_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/planspace_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_test[1]_include.cmake")
+include("/root/repo/build/tests/selection_test[1]_include.cmake")
+include("/root/repo/build/tests/soundness_test[1]_include.cmake")
+include("/root/repo/build/tests/stat_io_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/workflow_io_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etlopt_advisor.dir/etlopt_advisor.cc.o"
+  "CMakeFiles/etlopt_advisor.dir/etlopt_advisor.cc.o.d"
+  "etlopt_advisor"
+  "etlopt_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etlopt_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
