@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace etlopt {
 
 int64_t ApproxConfig::MemoryUnits(AttrMask attrs) const {
@@ -45,6 +47,9 @@ DHistogram DHistogram::FromTable(const Table& table, AttrMask attrs,
     }
     h.AddValue(raw, 1.0);
   }
+  ETLOPT_COUNTER_ADD("etlopt.approx.dhistogram.builds", 1);
+  ETLOPT_HIST_RECORD("etlopt.approx.dhistogram.bucket_occupancy",
+                     static_cast<int64_t>(h.buckets_.size()));
   return h;
 }
 
@@ -77,6 +82,7 @@ double DHistogram::JoinCardinality(const DHistogram& a, const DHistogram& b) {
                    "JoinCardinality requires aligned single-attribute "
                    "histograms");
   ETLOPT_CHECK(a.widths_ == b.widths_ && a.domains_ == b.domains_);
+  ETLOPT_COUNTER_ADD("etlopt.approx.dhistogram.join_merges", 1);
   double total = 0.0;
   const auto& small = a.buckets_.size() <= b.buckets_.size() ? a : b;
   const auto& large = a.buckets_.size() <= b.buckets_.size() ? b : a;
@@ -103,6 +109,7 @@ DHistogram DHistogram::MultiplyThrough(const DHistogram& a,
   ETLOPT_CHECK(pos >= 0);
   ETLOPT_CHECK(a.widths_[static_cast<size_t>(pos)] == b.widths_[0] &&
                a.domains_[static_cast<size_t>(pos)] == b.domains_[0]);
+  ETLOPT_COUNTER_ADD("etlopt.approx.dhistogram.multiply_merges", 1);
   DHistogram out = a;
   out.buckets_.clear();
   out.total_ = 0.0;
@@ -123,6 +130,7 @@ DHistogram DHistogram::MultiplyThrough(const DHistogram& a,
 DHistogram DHistogram::Marginalize(AttrMask keep) const {
   ETLOPT_CHECK(IsSubset(keep, attr_mask_));
   if (keep == attr_mask_) return *this;
+  ETLOPT_COUNTER_ADD("etlopt.approx.dhistogram.marginalize_merges", 1);
   DHistogram out;
   out.attr_mask_ = keep;
   std::vector<int> positions;

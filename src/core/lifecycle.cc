@@ -1,5 +1,10 @@
 #include "core/lifecycle.h"
 
+#include <optional>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace etlopt {
 namespace {
 
@@ -28,6 +33,13 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
     const Workflow& workflow, const SourceMap& sources, double memory_budget,
     const PipelineOptions& options) {
   BudgetedLifecycleResult result;
+  obs::ScopedSpan lifecycle_span("lifecycle.budgeted");
+  lifecycle_span.Arg("workflow", workflow.name());
+  lifecycle_span.Arg("budget", memory_budget);
+  // One span per sequential phase; emplace ends the previous phase before
+  // starting the next, so the spans tile the lifecycle under the outer span.
+  std::optional<obs::ScopedSpan> phase_span;
+  phase_span.emplace("lifecycle.analysis");
 
   // ---- Steps 1-3: analysis (blocks, plan spaces, CSS) ----
   const std::vector<Block> blocks = PartitionBlocks(workflow);
@@ -50,6 +62,7 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
   }
 
   // ---- Step 4 under the budget (Section 6.1) ----
+  phase_span.emplace("lifecycle.budgeted_selection");
   std::vector<SelectionProblem> problems;
   for (size_t b = 0; b < contexts.size(); ++b) {
     CostModel cost_model(&workflow.catalog(), options.cost);
@@ -63,6 +76,7 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
   }
 
   // ---- Run 1: designed plan, instrumented with the affordable set ----
+  phase_span.emplace("lifecycle.first_run");
   Executor executor(&workflow);
   ETLOPT_ASSIGN_OR_RETURN(const ExecutionResult first_exec,
                           executor.Execute(sources));
@@ -90,6 +104,7 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
   }
 
   // ---- Re-ordered runs for the deferred SEs (trivial CSS counters) ----
+  phase_span.emplace("lifecycle.reorder_runs");
   for (size_t b = 0; b < contexts.size(); ++b) {
     const BudgetedSelection& bsel = result.selections[b];
     if (bsel.deferred.empty()) continue;
@@ -118,6 +133,7 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
   }
 
   // ---- Step 7: optimize from the now-complete statistics ----
+  phase_span.emplace("lifecycle.reoptimize");
   std::vector<OptimizedPlan> final_plans(contexts.size());
   std::vector<PlanRewriter::BlockPlan> rewrites;
   for (size_t b = 0; b < contexts.size(); ++b) {
@@ -133,6 +149,9 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
   }
   ETLOPT_ASSIGN_OR_RETURN(result.optimized,
                           PlanRewriter::Apply(workflow, rewrites));
+  phase_span.reset();
+  ETLOPT_COUNTER_ADD("etlopt.core.lifecycle_executions", result.executions);
+  lifecycle_span.Arg("executions", static_cast<int64_t>(result.executions));
   return result;
 }
 

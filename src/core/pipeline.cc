@@ -1,5 +1,8 @@
 #include "core/pipeline.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace etlopt {
 
 Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {}
@@ -7,19 +10,37 @@ Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {}
 Result<std::unique_ptr<Analysis>> Pipeline::Analyze(
     const Workflow& workflow,
     const std::vector<CardMap>* size_feedback) const {
+  obs::ScopedSpan span("pipeline.analyze");
+  span.Arg("workflow", workflow.name());
   auto analysis = std::make_unique<Analysis>();
   analysis->workflow = std::make_unique<Workflow>(workflow);
 
   const std::vector<Block> blocks = PartitionBlocks(*analysis->workflow);
+  span.Arg("blocks", static_cast<int64_t>(blocks.size()));
   int block_index = 0;
   for (const Block& block : blocks) {
     auto ba = std::make_unique<BlockAnalysis>();
     ba->block = block;
     ETLOPT_ASSIGN_OR_RETURN(
         ba->ctx, BlockContext::Build(analysis->workflow.get(), block));
-    ETLOPT_ASSIGN_OR_RETURN(ba->plan_space,
-                            PlanSpace::Build(ba->ctx, options_.plan_space));
-    ba->catalog = GenerateCss(ba->ctx, ba->plan_space, options_.css);
+    {
+      obs::ScopedSpan ps_span("pipeline.plan_space");
+      ps_span.Arg("block", static_cast<int64_t>(block.id));
+      ETLOPT_ASSIGN_OR_RETURN(ba->plan_space,
+                              PlanSpace::Build(ba->ctx, options_.plan_space));
+      ps_span.Arg("ses", static_cast<int64_t>(ba->plan_space.num_ses()));
+      ps_span.Arg("plans", static_cast<int64_t>(ba->plan_space.num_plans()));
+    }
+    ETLOPT_COUNTER_ADD("etlopt.core.plan_space.ses",
+                       ba->plan_space.num_ses());
+    {
+      obs::ScopedSpan css_span("pipeline.css_generation");
+      css_span.Arg("block", static_cast<int64_t>(block.id));
+      ba->catalog = GenerateCss(ba->ctx, ba->plan_space, options_.css);
+      css_span.Arg("stats", static_cast<int64_t>(ba->catalog.num_stats()));
+      css_span.Arg("css", static_cast<int64_t>(ba->catalog.num_css()));
+    }
+    ETLOPT_COUNTER_ADD("etlopt.core.css.generated", ba->catalog.num_css());
 
     CostModel cost_model(&analysis->workflow->catalog(), options_.cost);
     if (size_feedback != nullptr &&
@@ -35,14 +56,22 @@ Result<std::unique_ptr<Analysis>> Pipeline::Analyze(
                                         cost_model, sel_options);
     ba->problem.catalog = &ba->catalog;  // ensure self-reference is stable
 
-    switch (options_.selector) {
-      case SelectorKind::kGreedy:
-        ba->selection = SelectGreedy(ba->problem);
-        break;
-      case SelectorKind::kIlp:
-        ba->selection = SelectIlp(ba->problem, options_.ilp);
-        break;
+    {
+      obs::ScopedSpan sel_span("pipeline.selection");
+      sel_span.Arg("block", static_cast<int64_t>(block.id));
+      switch (options_.selector) {
+        case SelectorKind::kGreedy:
+          ba->selection = SelectGreedy(ba->problem);
+          break;
+        case SelectorKind::kIlp:
+          ba->selection = SelectIlp(ba->problem, options_.ilp);
+          break;
+      }
+      sel_span.Arg("method", ba->selection.method);
+      sel_span.Arg("observed", static_cast<int64_t>(ba->selection.observed.size()));
+      sel_span.Arg("cost", ba->selection.total_cost);
     }
+    ETLOPT_COUNTER_ADD("etlopt.opt.selections", 1);
     if (!ba->selection.feasible) {
       return Status::Internal("statistics selection infeasible for block " +
                               std::to_string(block.id));
@@ -55,22 +84,29 @@ Result<std::unique_ptr<Analysis>> Pipeline::Analyze(
 
 Result<RunOutcome> Pipeline::RunAndObserve(const Analysis& analysis,
                                            const SourceMap& sources) const {
+  obs::ScopedSpan span("pipeline.run_and_observe");
   RunOutcome outcome;
   Executor executor(analysis.workflow.get());
   ETLOPT_ASSIGN_OR_RETURN(outcome.exec, executor.Execute(sources));
 
+  obs::ScopedSpan observe_span("pipeline.observation");
+  int64_t observed = 0;
   for (const auto& ba : analysis.blocks) {
     const std::vector<StatKey> keys =
         ba->selection.ObservedKeys(ba->catalog);
+    observed += static_cast<int64_t>(keys.size());
     ETLOPT_ASSIGN_OR_RETURN(StatStore store,
                             ObserveStatistics(ba->ctx, outcome.exec, keys));
     outcome.block_stats.push_back(std::move(store));
   }
+  observe_span.Arg("stats_observed", observed);
+  ETLOPT_COUNTER_ADD("etlopt.core.stats_observed", observed);
   return outcome;
 }
 
 Result<OptimizeOutcome> Pipeline::Optimize(const Analysis& analysis,
                                            const RunOutcome& run) const {
+  obs::ScopedSpan span("pipeline.optimize");
   OptimizeOutcome outcome;
   std::vector<OptimizedPlan> plans(analysis.blocks.size());
   std::vector<PlanRewriter::BlockPlan> rewrites;
@@ -78,10 +114,18 @@ Result<OptimizeOutcome> Pipeline::Optimize(const Analysis& analysis,
   for (size_t i = 0; i < analysis.blocks.size(); ++i) {
     const BlockAnalysis& ba = *analysis.blocks[i];
     Estimator estimator(&ba.ctx, &ba.catalog);
-    ETLOPT_RETURN_IF_ERROR(estimator.DeriveAll(run.block_stats[i]));
+    {
+      obs::ScopedSpan est_span("pipeline.estimation");
+      est_span.Arg("block", static_cast<int64_t>(ba.block.id));
+      ETLOPT_RETURN_IF_ERROR(estimator.DeriveAll(run.block_stats[i]));
+    }
     ETLOPT_ASSIGN_OR_RETURN(
         CardMap cards,
         estimator.AllCardinalities(ba.plan_space.subexpressions()));
+    ETLOPT_COUNTER_ADD("etlopt.core.cards_estimated",
+                       static_cast<int64_t>(cards.size()));
+    obs::ScopedSpan join_span("pipeline.join_optimization");
+    join_span.Arg("block", static_cast<int64_t>(ba.block.id));
     ETLOPT_ASSIGN_OR_RETURN(plans[i],
                             OptimizeJoins(ba.ctx, ba.plan_space, cards,
                                           options_.optimizer_cost));
@@ -93,13 +137,22 @@ Result<OptimizeOutcome> Pipeline::Optimize(const Analysis& analysis,
           PlanRewriter::BlockPlan{&ba.block, &plans[i]});
     }
   }
-  ETLOPT_ASSIGN_OR_RETURN(outcome.optimized,
-                          PlanRewriter::Apply(*analysis.workflow, rewrites));
+  {
+    obs::ScopedSpan rewrite_span("pipeline.rewrite");
+    rewrite_span.Arg("rewritten_blocks", static_cast<int64_t>(rewrites.size()));
+    ETLOPT_ASSIGN_OR_RETURN(outcome.optimized,
+                            PlanRewriter::Apply(*analysis.workflow, rewrites));
+  }
+  ETLOPT_GAUGE_SET("etlopt.core.initial_cost", outcome.initial_cost);
+  ETLOPT_GAUGE_SET("etlopt.core.optimized_cost", outcome.optimized_cost);
   return outcome;
 }
 
 Result<CycleOutcome> Pipeline::RunCycle(const Workflow& workflow,
                                         const SourceMap& sources) const {
+  obs::ScopedSpan span("pipeline.cycle");
+  span.Arg("workflow", workflow.name());
+  ETLOPT_COUNTER_ADD("etlopt.core.cycles", 1);
   CycleOutcome cycle;
   ETLOPT_ASSIGN_OR_RETURN(cycle.analysis, Analyze(workflow));
   ETLOPT_ASSIGN_OR_RETURN(cycle.run, RunAndObserve(*cycle.analysis, sources));

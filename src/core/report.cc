@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/accuracy.h"
+#include "obs/metrics.h"
 #include "opt/exec_cover.h"
 #include "util/string_util.h"
 
@@ -75,6 +77,33 @@ std::string FormatAnalysisReport(const Analysis& analysis,
   out << "total observation cost: "
       << WithThousands(static_cast<int64_t>(total_cost))
       << " memory units\n";
+  return out.str();
+}
+
+std::string FormatObsSummary() {
+  std::ostringstream out;
+  out << "=== observability summary ===\n";
+  const auto& registry = obs::MetricsRegistry::Global();
+  const struct {
+    const char* label;
+    const char* counter;
+  } headline[] = {
+      {"engine executions", "etlopt.engine.executions"},
+      {"operators executed", "etlopt.engine.ops_executed"},
+      {"rows processed", "etlopt.engine.rows_processed"},
+      {"statistics observed", "etlopt.core.stats_observed"},
+      {"cardinalities estimated", "etlopt.core.cards_estimated"},
+      {"greedy selector iterations", "etlopt.opt.greedy.iterations"},
+      {"LP solves", "etlopt.lp.solves"},
+      {"simplex pivots", "etlopt.lp.simplex.pivots"},
+  };
+  for (const auto& [label, counter] : headline) {
+    const obs::Counter* c = registry.FindCounter(counter);
+    if (c != nullptr && c->Get() != 0) {
+      out << "  " << label << ": " << WithThousands(c->Get()) << "\n";
+    }
+  }
+  out << obs::AccuracyTracker::Global().FormatTable();
   return out.str();
 }
 

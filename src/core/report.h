@@ -24,6 +24,12 @@ std::string FormatBlockReport(const BlockAnalysis& block,
 std::string FormatAnalysisReport(const Analysis& analysis,
                                  const ReportOptions& options = {});
 
+// Observability summary: headline engine/selector counters plus the
+// estimator q-error quantile table accumulated by obs::AccuracyTracker
+// (populated whenever ground-truth cardinalities were available). Rendered
+// by the advisor's --obs-summary flag.
+std::string FormatObsSummary();
+
 }  // namespace etlopt
 
 #endif  // ETLOPT_CORE_REPORT_H_

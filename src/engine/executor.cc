@@ -4,7 +4,21 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
 namespace etlopt {
+namespace {
+
+// Nanoseconds elapsed on `timer`, floored at 0 (defensive against clock
+// quirks; LogHistogram buckets are non-negative).
+int64_t ElapsedNs(const Timer& timer) {
+  const double ns = timer.ElapsedMicros() * 1e3;
+  return ns <= 0.0 ? 0 : static_cast<int64_t>(ns);
+}
+
+}  // namespace
 
 Executor::Executor(const Workflow* workflow) : wf_(workflow) {
   ETLOPT_CHECK(wf_ != nullptr);
@@ -29,12 +43,17 @@ Table HashJoin(const Table& left, const Table& right, AttrId attr,
   }
   Table out{Schema(out_attrs)};
 
+  obs::ScopedSpan span("engine.hash_join");
+  Timer phase;
   std::unordered_map<Value, std::vector<int64_t>> build;
   build.reserve(static_cast<size_t>(right.num_rows()));
   for (int64_t r = 0; r < right.num_rows(); ++r) {
     build[right.at(r, rkey)].push_back(r);
   }
+  const int64_t build_ns = ElapsedNs(phase);
+  ETLOPT_HIST_RECORD("etlopt.engine.join.hash_build_ns", build_ns);
 
+  phase.Restart();
   for (int64_t l = 0; l < left.num_rows(); ++l) {
     const auto it = build.find(left.at(l, lkey));
     if (it == build.end()) {
@@ -51,6 +70,15 @@ Table HashJoin(const Table& left, const Table& right, AttrId attr,
       }
       out.AddRow(std::move(row));
     }
+  }
+  const int64_t probe_ns = ElapsedNs(phase);
+  ETLOPT_HIST_RECORD("etlopt.engine.join.hash_probe_ns", probe_ns);
+  if (span.active()) {
+    span.Arg("build_rows", right.num_rows());
+    span.Arg("probe_rows", left.num_rows());
+    span.Arg("rows_out", out.num_rows());
+    span.Arg("build_ns", build_ns);
+    span.Arg("probe_ns", probe_ns);
   }
   return out;
 }
@@ -72,6 +100,8 @@ Table SortMergeJoin(const Table& left, const Table& right, AttrId attr,
   }
   Table out{Schema(out_attrs)};
 
+  obs::ScopedSpan span("engine.sort_merge_join");
+  Timer phase;
   // Sort row indices of both sides by the key.
   std::vector<int64_t> lidx(static_cast<size_t>(left.num_rows()));
   std::vector<int64_t> ridx(static_cast<size_t>(right.num_rows()));
@@ -83,7 +113,9 @@ Table SortMergeJoin(const Table& left, const Table& right, AttrId attr,
   std::sort(ridx.begin(), ridx.end(), [&](int64_t a, int64_t b) {
     return right.at(a, rkey) < right.at(b, rkey);
   });
+  ETLOPT_HIST_RECORD("etlopt.engine.join.sort_ns", ElapsedNs(phase));
 
+  phase.Restart();
   size_t li = 0;
   size_t ri = 0;
   while (li < lidx.size()) {
@@ -113,17 +145,31 @@ Table SortMergeJoin(const Table& left, const Table& right, AttrId attr,
     }
     ri = rend;
   }
+  ETLOPT_HIST_RECORD("etlopt.engine.join.merge_ns", ElapsedNs(phase));
+  if (span.active()) {
+    span.Arg("left_rows", left.num_rows());
+    span.Arg("right_rows", right.num_rows());
+    span.Arg("rows_out", out.num_rows());
+  }
   return out;
 }
 
 Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {
   ExecutionResult result;
+  obs::ScopedSpan exec_span("engine.execute");
+  exec_span.Arg("workflow", wf_->name());
+  exec_span.Arg("nodes", static_cast<int64_t>(wf_->nodes().size()));
   for (const WorkflowNode& node : wf_->nodes()) {
     const Schema& out_schema = wf_->output_schema(node.id);
     Table out{out_schema};
     auto input = [&](int i) -> const Table& {
       return result.node_outputs.at(node.inputs[static_cast<size_t>(i)]);
     };
+    obs::ScopedSpan op_span(OpKindName(node.kind));
+    int64_t rows_in = 0;
+    for (NodeId in : node.inputs) {
+      rows_in += result.node_outputs.at(in).num_rows();
+    }
     switch (node.kind) {
       case OpKind::kSource: {
         auto it = sources.find(node.table_name);
@@ -253,8 +299,35 @@ Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {
         break;
       }
     }
+    const int64_t rows_out = out.num_rows();
+    if (op_span.active()) {
+      op_span.Arg("node", static_cast<int64_t>(node.id));
+      op_span.Arg("rows_in", rows_in);
+      op_span.Arg("rows_out", rows_out);
+    }
+    if (obs::ObsEnabled()) {
+      auto& registry = obs::MetricsRegistry::Global();
+      registry
+          .GetCounter(obs::MetricName(
+              "etlopt.engine.rows_out",
+              {{"wf", wf_->name()},
+               {"node", std::to_string(node.id)},
+               {"op", OpKindName(node.kind)}}))
+          .Add(rows_out);
+      ETLOPT_COUNTER_ADD("etlopt.engine.ops_executed", 1);
+      ETLOPT_COUNTER_ADD("etlopt.engine.rows_in", rows_in);
+      ETLOPT_COUNTER_ADD("etlopt.engine.rows_out", rows_out);
+      if (node.kind == OpKind::kJoin) {
+        ETLOPT_COUNTER_ADD("etlopt.engine.join.rejects_left",
+                           result.join_rejects.at(node.id).num_rows());
+        ETLOPT_COUNTER_ADD("etlopt.engine.join.rejects_right",
+                           result.join_rejects_right.at(node.id).num_rows());
+      }
+    }
     result.node_outputs[node.id] = std::move(out);
   }
+  ETLOPT_COUNTER_ADD("etlopt.engine.executions", 1);
+  ETLOPT_COUNTER_ADD("etlopt.engine.rows_processed", result.rows_processed);
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/common.h"
 
 namespace etlopt {
@@ -88,6 +90,15 @@ PivotResult RunSimplex(Tableau& tab, std::vector<int>& basis,
   const int n = tab.cols() - 1;  // last column is rhs
   const int rhs = n;
   int degenerate_steps = 0;
+  int64_t pivots = 0;
+  // Batched: one atomic add per simplex call, not per pivot.
+  struct PivotFlush {
+    int64_t& pivots;
+    ~PivotFlush() {
+      ETLOPT_COUNTER_ADD("etlopt.lp.simplex.pivots", pivots);
+      ETLOPT_HIST_RECORD("etlopt.lp.simplex.pivots_per_solve", pivots);
+    }
+  } flush{pivots};
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     // Price: reduced cost r_j = c_j - sum_i c_B[i] * tab[i][j].
     const bool bland = degenerate_steps > 2 * (m + n);
@@ -134,6 +145,7 @@ PivotResult RunSimplex(Tableau& tab, std::vector<int>& basis,
     }
     tab.Pivot(leaving, entering);
     basis[static_cast<size_t>(leaving)] = entering;
+    ++pivots;
   }
   return PivotResult::kIterationLimit;
 }
@@ -141,6 +153,7 @@ PivotResult RunSimplex(Tableau& tab, std::vector<int>& basis,
 }  // namespace
 
 LpSolution SolveLp(const LinearProgram& lp, const SimplexOptions& options) {
+  ETLOPT_COUNTER_ADD("etlopt.lp.solves", 1);
   const double tol = options.tolerance;
   const int nvars = lp.num_variables();
 

@@ -1,0 +1,73 @@
+#ifndef ETLOPT_OBS_ACCURACY_H_
+#define ETLOPT_OBS_ACCURACY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bitmask.h"
+
+namespace etlopt {
+namespace obs {
+
+// Q-error of a cardinality estimate: max(est/actual, actual/est) with both
+// sides clamped to >= 1 row (the convention of the cardinality-estimation
+// benchmarking literature; exact estimates give 1.0).
+double QError(double estimated, double actual);
+
+struct QErrorSummary {
+  int64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+// Accumulates estimator-accuracy samples whenever ground-truth cardinalities
+// are available (ComputeGroundTruthCards), keyed by operator type and join
+// depth. Sample volume is one per sub-expression per run, so raw samples are
+// kept for exact quantiles. Thread-safe.
+class AccuracyTracker {
+ public:
+  static AccuracyTracker& Global();
+
+  // op_type: a short label like "join" or "chain"; join_depth: number of
+  // joins in the sub-expression (0 for singletons).
+  void Record(const std::string& op_type, int join_depth, double estimated,
+              double actual);
+
+  // Convenience for SE cardinalities: derives op_type/depth from the mask.
+  void RecordSe(RelMask se, double estimated, double actual);
+
+  // Records q-errors for every SE present in both maps.
+  void RecordCardMap(const std::unordered_map<RelMask, int64_t>& estimated,
+                     const std::unordered_map<RelMask, int64_t>& truth);
+
+  bool empty() const;
+  int64_t total_samples() const;
+
+  // Per-(op_type, depth) summaries, sorted by key.
+  std::vector<std::pair<std::pair<std::string, int>, QErrorSummary>>
+  Summaries() const;
+
+  // Fixed-width q-error quantile table (the --obs-summary rendering).
+  std::string FormatTable() const;
+
+  void Reset();
+
+ private:
+  AccuracyTracker() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, int>, std::vector<double>> samples_;
+};
+
+}  // namespace obs
+}  // namespace etlopt
+
+#endif  // ETLOPT_OBS_ACCURACY_H_

@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace etlopt {
+namespace obs {
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(SteadyNowNs()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+int64_t Tracer::NowNs() const { return SteadyNowNs() - epoch_ns_; }
+
+int Tracer::CurrentTid() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      tids_.emplace(std::this_thread::get_id(),
+                    static_cast<int>(tids_.size()) + 1);
+  return it->second;
+}
+
+void Tracer::Append(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+size_t Tracer::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  // Fixed-point microseconds with ns resolution: keeps timestamp ordering
+  // (and therefore span nesting) exact in the viewer.
+  out << std::fixed << std::setprecision(3);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":" << JsonQuote(e.name)
+        << ",\"cat\":\"etlopt\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+        << ",\"ts\":" << static_cast<double>(e.start_ns) / 1000.0
+        << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
+    if (!e.args.empty()) {
+      out << ",\"args\":{";
+      bool afirst = true;
+      for (const auto& [k, v] : e.args) {
+        if (!afirst) out << ",";
+        afirst = false;
+        out << JsonQuote(k) << ":" << v;
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+#ifndef ETLOPT_OBS_DISABLED
+void ScopedSpan::Arg(const std::string& key, const std::string& value) {
+  if (tracer_ != nullptr) args_.emplace_back(key, JsonQuote(value));
+}
+#endif
+
+}  // namespace obs
+}  // namespace etlopt

@@ -1,0 +1,131 @@
+#ifndef ETLOPT_OBS_TRACE_H_
+#define ETLOPT_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace etlopt {
+namespace obs {
+
+// One completed span, ready for Chrome trace_event serialization (a "ph":"X"
+// complete event). Nesting is implied by timestamp containment per thread,
+// which is how chrome://tracing and Perfetto reconstruct the hierarchy.
+struct TraceEvent {
+  const char* name;  // must outlive the tracer (string literals)
+  int64_t start_ns;  // relative to tracer epoch
+  int64_t dur_ns;
+  int tid;
+  // Pre-rendered JSON values: (key, value-token) where value-token is a
+  // number or a quoted string.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+// Collects spans process-wide. Off by default (spans are unbounded memory);
+// the advisor/test harness turns it on when a --trace-out is requested.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  int64_t NowNs() const;
+  int CurrentTid();
+  void Append(TraceEvent event);
+
+  size_t NumEvents() const;
+  void Clear();
+
+  // Full Chrome trace JSON ({"traceEvents":[...]}): loadable in
+  // chrome://tracing and ui.perfetto.dev. ts/dur are microseconds.
+  std::string ChromeTraceJson() const;
+
+ private:
+  Tracer();
+
+  std::atomic<bool> enabled_{false};
+  int64_t epoch_ns_ = 0;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, int> tids_;
+};
+
+#ifndef ETLOPT_OBS_DISABLED
+// RAII span: records a complete event for its lexical scope when both the
+// global obs switch and the tracer are enabled, and is two relaxed loads
+// otherwise. `name` must be a string literal (or otherwise outlive the
+// tracer).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    Tracer& tracer = Tracer::Global();
+    if (ObsEnabled() && tracer.enabled()) {
+      tracer_ = &tracer;
+      name_ = name;
+      start_ns_ = tracer.NowNs();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (tracer_ == nullptr) return;
+    TraceEvent event;
+    event.name = name_;
+    event.start_ns = start_ns_;
+    event.dur_ns = tracer_->NowNs() - start_ns_;
+    event.tid = tracer_->CurrentTid();
+    event.args = std::move(args_);
+    tracer_->Append(std::move(event));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+
+  void Arg(const std::string& key, int64_t value) {
+    if (tracer_ != nullptr) args_.emplace_back(key, std::to_string(value));
+  }
+  void Arg(const std::string& key, double value) {
+    if (tracer_ != nullptr) args_.emplace_back(key, std::to_string(value));
+  }
+  void Arg(const std::string& key, const std::string& value);
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+#else
+// Compile-time disabled: an empty object the optimizer deletes entirely.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*) {}
+  bool active() const { return false; }
+  void Arg(const std::string&, int64_t) {}
+  void Arg(const std::string&, double) {}
+  void Arg(const std::string&, const std::string&) {}
+};
+#endif  // ETLOPT_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace etlopt
+
+// Anonymous scoped span for sites that don't attach args.
+#define ETLOPT_OBS_CONCAT_INNER(a, b) a##b
+#define ETLOPT_OBS_CONCAT(a, b) ETLOPT_OBS_CONCAT_INNER(a, b)
+#define ETLOPT_TRACE_SPAN(name)            \
+  ::etlopt::obs::ScopedSpan ETLOPT_OBS_CONCAT(etlopt_obs_span_, \
+                                              __COUNTER__)(name)
+
+#endif  // ETLOPT_OBS_TRACE_H_

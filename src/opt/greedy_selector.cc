@@ -4,6 +4,8 @@
 #include <functional>
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/closure.h"
 #include "util/common.h"
 
@@ -104,6 +106,11 @@ SelectionResult SelectGreedyWithBudget(const SelectionProblem& problem,
   result.method = "greedy";
   if (uncovered_required != nullptr) uncovered_required->clear();
 
+  obs::ScopedSpan span("opt.select_greedy");
+  span.Arg("stats", static_cast<int64_t>(n));
+  span.Arg("css", static_cast<int64_t>(catalog.num_css()));
+  int64_t iterations = 0;
+
   std::vector<char> observed(static_cast<size_t>(n), 0);
   std::vector<double> residual = problem.cost;
   std::vector<char> computable = ComputeClosure(catalog, observed);
@@ -111,10 +118,12 @@ SelectionResult SelectGreedyWithBudget(const SelectionProblem& problem,
   std::vector<char> deferred(static_cast<size_t>(n), 0);
 
   for (;;) {
+    ++iterations;
     bool progressed = false;
     {
       const std::vector<Derivation> derivs =
           BestDerivations(catalog, problem.observable, residual);
+      ETLOPT_COUNTER_ADD("etlopt.opt.greedy.derivation_passes", 1);
       // Uncovered, not yet deferred required statistics, cheapest first.
       std::vector<int> pending;
       for (int s = 0; s < n; ++s) {
@@ -125,6 +134,8 @@ SelectionResult SelectGreedyWithBudget(const SelectionProblem& problem,
         }
       }
       if (pending.empty()) break;
+      ETLOPT_HIST_RECORD("etlopt.opt.greedy.candidate_set_size",
+                         static_cast<int64_t>(pending.size()));
       std::sort(pending.begin(), pending.end(), [&](int a, int b) {
         return derivs[static_cast<size_t>(a)].cost <
                derivs[static_cast<size_t>(b)].cost;
@@ -213,6 +224,9 @@ SelectionResult SelectGreedyWithBudget(const SelectionProblem& problem,
       result.total_cost += problem.cost[static_cast<size_t>(s)];
     }
   }
+  ETLOPT_COUNTER_ADD("etlopt.opt.greedy.iterations", iterations);
+  span.Arg("iterations", iterations);
+  span.Arg("observed", static_cast<int64_t>(result.observed.size()));
   return result;
 }
 

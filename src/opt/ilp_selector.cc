@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "lp/ilp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/closure.h"
 #include "opt/greedy_selector.h"
 
@@ -24,6 +26,10 @@ SelectionResult SelectIlp(const SelectionProblem& problem,
   const int n = catalog.num_stats();
   const int m = catalog.num_css();
 
+  obs::ScopedSpan span("opt.select_ilp");
+  span.Arg("stats", static_cast<int64_t>(n));
+  span.Arg("css", static_cast<int64_t>(m));
+
   // Warm start (and fallback) from the greedy heuristic.
   SelectionResult greedy = SelectGreedy(problem);
   if (!greedy.feasible) return greedy;
@@ -37,6 +43,7 @@ SelectionResult SelectIlp(const SelectionProblem& problem,
   const int64_t rows = static_cast<int64_t>(m) * 2 + n * 2 + vars;  // + bounds
   const int64_t cells = rows * (vars + 2 * rows + 1);
   if (cells > options.max_tableau_cells) {
+    ETLOPT_COUNTER_ADD("etlopt.opt.ilp.size_fallbacks", 1);
     greedy.method = "ilp(greedy-fallback:size)";
     return greedy;
   }
@@ -166,8 +173,15 @@ SelectionResult SelectIlp(const SelectionProblem& problem,
     ilp_options.initial_incumbent = std::move(warm);
   }
 
+  span.Arg("lp_vars", static_cast<int64_t>(lp.num_variables()));
+  span.Arg("lp_constraints", static_cast<int64_t>(lp.num_constraints()));
+  ETLOPT_COUNTER_ADD("etlopt.opt.ilp.solves", 1);
+  ETLOPT_COUNTER_ADD("etlopt.opt.ilp.lp_vars", lp.num_variables());
+  ETLOPT_COUNTER_ADD("etlopt.opt.ilp.lp_constraints", lp.num_constraints());
+
   const IlpSolution sol = SolveIlp(lp, integer_vars, ilp_options);
   if (sol.status != LpStatus::kOptimal) {
+    ETLOPT_COUNTER_ADD("etlopt.opt.ilp.limit_fallbacks", 1);
     greedy.method = "ilp(greedy-fallback:" +
                     std::string(sol.status == LpStatus::kIterationLimit
                                     ? "limit"

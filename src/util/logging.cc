@@ -1,12 +1,42 @@
 #include "util/logging.h"
 
 #include <atomic>
-#include <iostream>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <chrono>
+#include <mutex>
+#include <thread>
 
 namespace etlopt {
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+// Honors ETLOPT_LOG_LEVEL at startup: debug|info|warning|warn|error (case
+// sensitive, lowercase) or a numeric 0-3. Unset/unparsable keeps the
+// default (warning).
+int LevelFromEnv() {
+  const char* v = std::getenv("ETLOPT_LOG_LEVEL");
+  if (v == nullptr || v[0] == '\0') {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (std::strcmp(v, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(v, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(v, "warning") == 0 || std::strcmp(v, "warn") == 0) {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (std::strcmp(v, "error") == 0) return static_cast<int>(LogLevel::kError);
+  if (v[0] >= '0' && v[0] <= '3' && v[1] == '\0') return v[0] - '0';
+  return static_cast<int>(LogLevel::kWarning);
+}
+
+std::atomic<int> g_min_level{LevelFromEnv()};
+
+// Serializes emission so concurrent log lines never interleave.
+std::mutex& EmitMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,6 +50,30 @@ const char* LevelName(LogLevel level) {
       return "E";
   }
   return "?";
+}
+
+// Small stable per-thread id for log prefixes (1, 2, ... in first-log
+// order), cheaper and more readable than the opaque std::thread::id.
+int CurrentLogTid() {
+  static std::atomic<int> next{0};
+  thread_local int tid = next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return tid;
+}
+
+// ISO-8601 UTC with milliseconds, e.g. "2026-08-06T12:34:56.789Z".
+void FormatTimestamp(char* buf, size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  std::snprintf(buf, size, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, millis < 0 ? 0 : millis);
 }
 
 }  // namespace
@@ -36,7 +90,10 @@ namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  char ts[80];
+  FormatTimestamp(ts, sizeof(ts));
+  stream_ << "[" << ts << " " << LevelName(level) << " t" << CurrentLogTid()
+          << " " << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
@@ -44,7 +101,13 @@ LogMessage::~LogMessage() {
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::cerr << stream_.str() << std::endl;
+  std::string line = stream_.str();
+  line.push_back('\n');
+  // One fwrite per line under a mutex: lines from concurrent threads come
+  // out whole, never interleaved.
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace internal_logging

@@ -8,7 +8,9 @@ namespace etlopt {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-// Process-wide minimum level; messages below it are dropped.
+// Process-wide minimum level; messages below it are dropped. The initial
+// level is taken from the ETLOPT_LOG_LEVEL environment variable at startup
+// (debug|info|warning|error or 0-3; default warning).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 

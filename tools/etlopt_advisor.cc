@@ -6,6 +6,7 @@
 //
 // Usage:
 //   etlopt_advisor analyze <workflow-file> [options]
+//   etlopt_advisor run <workflow-file|suite-index> [options]  # full cycle
 //   etlopt_advisor dot <workflow-file>          # Graphviz rendering
 //   etlopt_advisor export-suite <index> [path]  # dump a benchmark workflow
 //   etlopt_advisor transforms                   # list registered UDFs
@@ -16,6 +17,20 @@
 //   --no-fk-rules             ignore foreign-key lookup metadata
 //   --left-deep               restrict the plan space to left-deep trees
 //   --budget=<units>          §6.1: report the budgeted plan as well
+//
+// run additionally executes the workflow (steps 5-7) on generated data and
+// accepts:
+//   --seed=<n>                data-generation seed (default 7)
+//   --scale=<s>               row scale for suite workloads (default 0.05)
+//   --rows=<n>                rows per source for file workflows (default
+//                             1000)
+//
+// Observability options (analyze and run):
+//   --metrics-out=<file>      dump the metrics registry on exit
+//                             (.json -> JSON, otherwise Prometheus text)
+//   --trace-out=<file>        record spans, write Chrome trace JSON
+//                             (open in chrome://tracing or Perfetto)
+//   --obs-summary             print headline counters + q-error table
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,9 +40,14 @@
 #include "core/lifecycle.h"
 #include "core/report.h"
 #include "datagen/workload_suite.h"
+#include "engine/instrumentation.h"
 #include "etl/transforms.h"
 #include "etl/workflow_io.h"
+#include "obs/accuracy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/resource.h"
+#include "util/random.h"
 
 using namespace etlopt;
 
@@ -38,21 +58,91 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+// Observability sinks shared by analyze/run. Parse turns the tracer on as
+// soon as --trace-out appears, so every later phase is captured; Finish
+// writes the requested dumps.
+struct ObsSinks {
+  std::string metrics_out;
+  std::string trace_out;
+  bool summary = false;
+
+  bool ParseFlag(const std::string& arg) {
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::strlen("--metrics-out="));
+      return true;
+    }
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+      obs::Tracer::Global().SetEnabled(true);
+      return true;
+    }
+    if (arg == "--obs-summary") {
+      summary = true;
+      return true;
+    }
+    return false;
+  }
+
+  static bool WriteFile(const std::string& path, const std::string& content) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    return written == content.size();
+  }
+
+  int Finish() const {
+    if (!metrics_out.empty()) {
+      const bool json =
+          metrics_out.size() >= 5 &&
+          metrics_out.compare(metrics_out.size() - 5, 5, ".json") == 0;
+      const std::string dump =
+          json ? obs::MetricsRegistry::Global().ExportJson()
+               : obs::MetricsRegistry::Global().ExportPrometheus();
+      if (!WriteFile(metrics_out, dump)) {
+        return Fail("cannot write metrics to '" + metrics_out + "'");
+      }
+      std::printf("wrote metrics to %s\n", metrics_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      if (!WriteFile(trace_out, obs::Tracer::Global().ChromeTraceJson())) {
+        return Fail("cannot write trace to '" + trace_out + "'");
+      }
+      std::printf("wrote %zu trace event(s) to %s\n",
+                  obs::Tracer::Global().NumEvents(), trace_out.c_str());
+    }
+    if (summary) {
+      std::printf("\n%s", FormatObsSummary().c_str());
+    }
+    return 0;
+  }
+};
+
+bool ParsePipelineFlag(const std::string& arg, PipelineOptions* options) {
+  if (arg == "--selector=greedy") {
+    options->selector = SelectorKind::kGreedy;
+  } else if (arg == "--selector=ilp") {
+    options->selector = SelectorKind::kIlp;
+  } else if (arg == "--no-union-division") {
+    options->css.enable_union_division = false;
+  } else if (arg == "--no-fk-rules") {
+    options->css.enable_fk_rules = false;
+  } else if (arg == "--left-deep") {
+    options->plan_space.left_deep_only = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 int Analyze(const std::string& path, int argc, char** argv) {
   PipelineOptions options;
+  ObsSinks obs_sinks;
   double budget = -1.0;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--selector=greedy") {
-      options.selector = SelectorKind::kGreedy;
-    } else if (arg == "--selector=ilp") {
-      options.selector = SelectorKind::kIlp;
-    } else if (arg == "--no-union-division") {
-      options.css.enable_union_division = false;
-    } else if (arg == "--no-fk-rules") {
-      options.css.enable_fk_rules = false;
-    } else if (arg == "--left-deep") {
-      options.plan_space.left_deep_only = true;
+    if (ParsePipelineFlag(arg, &options) || obs_sinks.ParseFlag(arg)) {
+      continue;
     } else if (arg.rfind("--budget=", 0) == 0) {
       budget = std::atof(arg.c_str() + std::strlen("--budget="));
     } else {
@@ -82,7 +172,94 @@ int Analyze(const std::string& path, int argc, char** argv) {
                   plan.total_executions());
     }
   }
-  return 0;
+  return obs_sinks.Finish();
+}
+
+// Synthetic sources for a designer-exported workflow file: every source
+// node gets `rows` rows drawn uniformly from each attribute's catalog
+// domain (deterministic in `seed`).
+SourceMap SynthesizeSources(const Workflow& wf, int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  SourceMap sources;
+  for (const WorkflowNode& node : wf.nodes()) {
+    if (node.kind != OpKind::kSource) continue;
+    Table t{node.source_schema};
+    for (int64_t r = 0; r < rows; ++r) {
+      std::vector<Value> row;
+      row.reserve(static_cast<size_t>(node.source_schema.size()));
+      for (AttrId a : node.source_schema.attrs()) {
+        row.push_back(rng.NextInRange(1, wf.catalog().domain_size(a)));
+      }
+      t.AddRow(std::move(row));
+    }
+    sources[node.table_name] = std::move(t);
+  }
+  return sources;
+}
+
+int Run(const std::string& target, int argc, char** argv) {
+  PipelineOptions options;
+  ObsSinks obs_sinks;
+  uint64_t seed = 7;
+  double scale = 0.05;
+  int64_t rows = 1000;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (ParsePipelineFlag(arg, &options) || obs_sinks.ParseFlag(arg)) {
+      continue;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = static_cast<uint64_t>(
+          std::atoll(arg.c_str() + std::strlen("--seed=")));
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::atof(arg.c_str() + std::strlen("--scale="));
+    } else if (arg.rfind("--rows=", 0) == 0) {
+      rows = std::atoll(arg.c_str() + std::strlen("--rows="));
+    } else {
+      return Fail("unknown option '" + arg + "'");
+    }
+  }
+
+  // Suite index or workflow file?
+  Workflow workflow;
+  SourceMap sources;
+  char* end = nullptr;
+  const long suite_index = std::strtol(target.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && suite_index >= 1 &&
+      suite_index <= 30) {
+    const WorkloadSpec spec = BuildWorkload(static_cast<int>(suite_index));
+    workflow = spec.workflow;
+    sources = GenerateSources(spec, seed, scale);
+  } else {
+    Result<Workflow> wf = LoadWorkflow(target);
+    if (!wf.ok()) return Fail(wf.status().ToString());
+    workflow = *wf;
+    sources = SynthesizeSources(workflow, rows, seed);
+  }
+
+  Pipeline pipeline(options);
+  const Result<CycleOutcome> cycle = pipeline.RunCycle(workflow, sources);
+  if (!cycle.ok()) return Fail(cycle.status().ToString());
+
+  std::printf("%s", FormatAnalysisReport(*cycle->analysis).c_str());
+
+  // Estimator accuracy: with the executed tables in hand, ground truth for
+  // every SE is computable — feed the q-error telemetry.
+  const auto& blocks = cycle->analysis->blocks;
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const BlockAnalysis& ba = *blocks[b];
+    const auto truth = ComputeGroundTruthCards(
+        ba.ctx, ba.plan_space.subexpressions(), cycle->run.exec);
+    if (truth.ok() && b < cycle->opt.block_cards.size()) {
+      obs::AccuracyTracker::Global().RecordCardMap(
+          cycle->opt.block_cards[b], *truth);
+    }
+  }
+
+  std::printf("\nexecuted: %lld rows processed\n",
+              static_cast<long long>(cycle->run.exec.rows_processed));
+  std::printf("plan cost (learned stats): initial %.0f -> optimized %.0f\n",
+              cycle->opt.initial_cost, cycle->opt.optimized_cost);
+  return obs_sinks.Finish();
 }
 
 int Dot(const std::string& path) {
@@ -119,7 +296,12 @@ void Usage() {
       "usage:\n"
       "  etlopt_advisor analyze <workflow-file> [--selector=greedy|ilp]\n"
       "                 [--no-union-division] [--no-fk-rules] [--left-deep]\n"
-      "                 [--budget=<units>]\n"
+      "                 [--budget=<units>] [--metrics-out=<file>]\n"
+      "                 [--trace-out=<file>] [--obs-summary]\n"
+      "  etlopt_advisor run <workflow-file|suite-index 1..30>\n"
+      "                 [--seed=<n>] [--scale=<s>] [--rows=<n>]\n"
+      "                 [--selector=greedy|ilp] [--metrics-out=<file>]\n"
+      "                 [--trace-out=<file>] [--obs-summary]\n"
       "  etlopt_advisor dot <workflow-file>\n"
       "  etlopt_advisor export-suite <index 1..30> [output-path]\n"
       "  etlopt_advisor transforms\n");
@@ -135,6 +317,9 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "analyze" && argc >= 3) {
     return Analyze(argv[2], argc - 3, argv + 3);
+  }
+  if (command == "run" && argc >= 3) {
+    return Run(argv[2], argc - 3, argv + 3);
   }
   if (command == "dot" && argc == 3) {
     return Dot(argv[2]);
