@@ -31,7 +31,8 @@ Result<OptimizedPlan> PlanFromCoverTree(
 
 Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
     const Workflow& workflow, const SourceMap& sources, double memory_budget,
-    const PipelineOptions& options) {
+    const PipelineOptions& options,
+    const std::vector<obs::RunRecord>* history) {
   BudgetedLifecycleResult result;
   obs::ScopedSpan lifecycle_span("lifecycle.budgeted");
   lifecycle_span.Arg("workflow", workflow.name());
@@ -66,8 +67,12 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
   std::vector<SelectionProblem> problems;
   for (size_t b = 0; b < contexts.size(); ++b) {
     CostModel cost_model(&workflow.catalog(), options.cost);
+    SelectionOptions sel_options;
+    sel_options.free_source_stats = options.free_source_stats;
+    sel_options.force_observe = options.force_observe;
     problems.push_back(BuildSelectionProblem(contexts[b], plan_spaces[b],
-                                             catalogs[b], cost_model));
+                                             catalogs[b], cost_model,
+                                             sel_options));
     problems.back().catalog = &catalogs[b];
   }
   for (size_t b = 0; b < contexts.size(); ++b) {
@@ -87,10 +92,11 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
     const std::vector<StatKey> keys =
         result.selections[b].first_run.ObservedKeys(catalogs[b]);
     ETLOPT_ASSIGN_OR_RETURN(
-        const StatStore observed,
+        StatStore observed,
         ObserveStatistics(contexts[b], first_exec, keys));
     Estimator estimator(&contexts[b], &catalogs[b]);
     ETLOPT_RETURN_IF_ERROR(estimator.DeriveAll(observed));
+    result.block_stats.push_back(std::move(observed));
     for (RelMask se : plan_spaces[b].subexpressions()) {
       const Result<int64_t> card = estimator.Cardinality(se);
       if (card.ok()) result.block_cards[b][se] = *card;
@@ -149,6 +155,29 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
   }
   ETLOPT_ASSIGN_OR_RETURN(result.optimized,
                           PlanRewriter::Apply(workflow, rewrites));
+  // ---- Drift check against ledger history ----
+  if (history != nullptr && !history->empty()) {
+    phase_span.emplace("lifecycle.drift_check");
+    obs::RunRecord current;
+    current.block_stats = result.block_stats;
+    for (size_t b = 0; b < result.block_cards.size(); ++b) {
+      for (const auto& [se, rows] : result.block_cards[b]) {
+        obs::RunRecord::SeCard card;
+        card.block = static_cast<int>(b);
+        card.se = se;
+        card.actual = static_cast<double>(rows);
+        current.cards.push_back(card);
+      }
+    }
+    result.drift = obs::DriftDetector().Compare(*history, current);
+    ETLOPT_COUNTER_ADD("etlopt.obs.drift.checked_keys",
+                       static_cast<int64_t>(result.drift.findings.size()));
+    ETLOPT_COUNTER_ADD("etlopt.obs.drift.flagged_keys",
+                       static_cast<int64_t>(result.drift.reinstrument.size()));
+    lifecycle_span.Arg(
+        "drifted", static_cast<int64_t>(result.drift.reinstrument.size()));
+  }
+
   phase_span.reset();
   ETLOPT_COUNTER_ADD("etlopt.core.lifecycle_executions", result.executions);
   lifecycle_span.Arg("executions", static_cast<int64_t>(result.executions));

@@ -2,6 +2,7 @@
 #define ETLOPT_CORE_LIFECYCLE_H_
 
 #include "core/pipeline.h"
+#include "obs/drift.h"
 #include "opt/resource.h"
 
 namespace etlopt {
@@ -23,14 +24,23 @@ struct BudgetedLifecycleResult {
   Workflow optimized;
   double initial_cost = 0.0;
   double optimized_cost = 0.0;
+  // Statistics observed during the first (instrumented) run, per block.
+  std::vector<StatStore> block_stats;
+  // When ledger history was supplied: how this run's observations compare,
+  // including which statistic taps to re-enable on the next run. Drifted
+  // keys feed PipelineOptions::force_observe of the following cycle.
+  obs::DriftReport drift;
 };
 
 // Runs the budgeted lifecycle to completion. Each block gets the full
 // `memory_budget` for its collectors (blocks run at different pipeline
-// stages, so collector memory is not held concurrently).
+// stages, so collector memory is not held concurrently). `history`, when
+// given, holds prior ledger records of the same workflow (oldest first) for
+// drift detection against this run's observations.
 Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
     const Workflow& workflow, const SourceMap& sources, double memory_budget,
-    const PipelineOptions& options = {});
+    const PipelineOptions& options = {},
+    const std::vector<obs::RunRecord>* history = nullptr);
 
 }  // namespace etlopt
 

@@ -1,7 +1,12 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+#include <chrono>
+
+#include "etl/workflow_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/timer.h"
 
 namespace etlopt {
 
@@ -52,6 +57,7 @@ Result<std::unique_ptr<Analysis>> Pipeline::Analyze(
     }
     SelectionOptions sel_options;
     sel_options.free_source_stats = options_.free_source_stats;
+    sel_options.force_observe = options_.force_observe;
     ba->problem = BuildSelectionProblem(ba->ctx, ba->plan_space, ba->catalog,
                                         cost_model, sel_options);
     ba->problem.catalog = &ba->catalog;  // ensure self-reference is stable
@@ -122,6 +128,9 @@ Result<OptimizeOutcome> Pipeline::Optimize(const Analysis& analysis,
     ETLOPT_ASSIGN_OR_RETURN(
         CardMap cards,
         estimator.AllCardinalities(ba.plan_space.subexpressions()));
+    outcome.block_estimates.push_back(
+        OptimizeOutcome::BlockEstimates{estimator.derived(),
+                                        estimator.provenance()});
     ETLOPT_COUNTER_ADD("etlopt.core.cards_estimated",
                        static_cast<int64_t>(cards.size()));
     obs::ScopedSpan join_span("pipeline.join_optimization");
@@ -154,10 +163,72 @@ Result<CycleOutcome> Pipeline::RunCycle(const Workflow& workflow,
   span.Arg("workflow", workflow.name());
   ETLOPT_COUNTER_ADD("etlopt.core.cycles", 1);
   CycleOutcome cycle;
+  Timer timer;
   ETLOPT_ASSIGN_OR_RETURN(cycle.analysis, Analyze(workflow));
+  cycle.analyze_ms = timer.ElapsedMillis();
+  timer.Restart();
   ETLOPT_ASSIGN_OR_RETURN(cycle.run, RunAndObserve(*cycle.analysis, sources));
+  cycle.execute_ms = timer.ElapsedMillis();
+  timer.Restart();
   ETLOPT_ASSIGN_OR_RETURN(cycle.opt, Optimize(*cycle.analysis, cycle.run));
+  cycle.optimize_ms = timer.ElapsedMillis();
   return cycle;
+}
+
+obs::RunRecord MakeRunRecord(const CycleOutcome& cycle, std::string run_id,
+                             const std::vector<CardMap>* truth) {
+  const Analysis& analysis = *cycle.analysis;
+  obs::RunRecord record;
+  record.run_id = std::move(run_id);
+  record.fingerprint = obs::FingerprintWorkflow(*analysis.workflow);
+  record.workflow = analysis.workflow->name();
+  record.timestamp_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  if (!analysis.blocks.empty()) {
+    record.selector = analysis.blocks[0]->selection.method;
+  }
+  {
+    Status status;
+    const std::string plan_text =
+        WriteWorkflowText(cycle.opt.optimized, &status);
+    record.plan_signature = obs::FingerprintText(
+        status.ok() ? plan_text : cycle.opt.optimized.ToString());
+  }
+  record.initial_cost = cycle.opt.initial_cost;
+  record.optimized_cost = cycle.opt.optimized_cost;
+  record.analyze_ms = cycle.analyze_ms;
+  record.execute_ms = cycle.execute_ms;
+  record.optimize_ms = cycle.optimize_ms;
+
+  for (size_t b = 0; b < cycle.opt.block_cards.size(); ++b) {
+    // Deterministic record order: by SE mask within a block.
+    std::vector<RelMask> ses;
+    ses.reserve(cycle.opt.block_cards[b].size());
+    for (const auto& [se, rows] : cycle.opt.block_cards[b]) {
+      (void)rows;
+      ses.push_back(se);
+    }
+    std::sort(ses.begin(), ses.end());
+    for (RelMask se : ses) {
+      obs::RunRecord::SeCard card;
+      card.block = static_cast<int>(b);
+      card.se = se;
+      card.estimated =
+          static_cast<double>(cycle.opt.block_cards[b].at(se));
+      if (truth != nullptr && b < truth->size()) {
+        const auto it = (*truth)[b].find(se);
+        if (it != (*truth)[b].end()) {
+          card.actual = static_cast<double>(it->second);
+        }
+      }
+      record.cards.push_back(card);
+    }
+  }
+  record.block_stats = cycle.run.block_stats;
+  record.metrics = obs::MetricsRegistry::Global().CounterValues();
+  return record;
 }
 
 }  // namespace etlopt

@@ -7,6 +7,7 @@
 #include "css/generator.h"
 #include "engine/instrumentation.h"
 #include "estimator/estimator.h"
+#include "obs/ledger.h"
 #include "opt/greedy_selector.h"
 #include "opt/ilp_selector.h"
 #include "optimizer/rewrite.h"
@@ -28,6 +29,9 @@ struct PipelineOptions {
   CostParams optimizer_cost;
   // Statistics already known from the source systems, free to use (§6.2).
   std::vector<StatKey> free_source_stats;
+  // Drift-flagged statistics to force back into every block's selection
+  // (re-instrumentation after the drift detector declared them stale).
+  std::vector<StatKey> force_observe;
 };
 
 // Per-block analysis artifacts (steps 1-4 of Fig. 2).
@@ -59,12 +63,24 @@ struct OptimizeOutcome {
   std::vector<CardMap> block_cards;  // estimated SE cardinalities per block
   double initial_cost = 0.0;         // designed plan, under learned stats
   double optimized_cost = 0.0;       // chosen plan, under learned stats
+  // Everything the estimator derived per block, with provenance: which
+  // observed statistic (through which CSS rule) fed each estimate. This is
+  // what the advisor's `explain` renders.
+  struct BlockEstimates {
+    StatStore derived;
+    ProvenanceMap provenance;
+  };
+  std::vector<BlockEstimates> block_estimates;
 };
 
 struct CycleOutcome {
   std::unique_ptr<Analysis> analysis;
   RunOutcome run;
   OptimizeOutcome opt;
+  // Per-phase wall times, for the run ledger.
+  double analyze_ms = 0.0;
+  double execute_ms = 0.0;
+  double optimize_ms = 0.0;
 };
 
 // The end-to-end optimization loop of Figure 2: analyze the workflow,
@@ -98,6 +114,14 @@ class Pipeline {
  private:
   PipelineOptions options_;
 };
+
+// Condenses a completed cycle into a ledger record: workflow fingerprint,
+// chosen plan signature, per-SE estimated (and, when `truth` per-block
+// ground-truth cardinalities are given, actual) rows, the observed
+// statistics, phase timings, and a metrics counter snapshot. `run_id`
+// typically comes from RunLedger::NextRunId.
+obs::RunRecord MakeRunRecord(const CycleOutcome& cycle, std::string run_id,
+                             const std::vector<CardMap>* truth = nullptr);
 
 }  // namespace etlopt
 

@@ -13,6 +13,11 @@ Estimator::Estimator(const BlockContext* ctx, const CssCatalog* catalog)
 
 Status Estimator::DeriveAll(const StatStore& observed) {
   derived_ = observed;
+  provenance_.clear();
+  for (const auto& [key, value] : observed.values()) {
+    (void)value;
+    provenance_[key] = StatProvenance{};
+  }
 
   // Closure with derivation choices gives an acyclic evaluation order:
   // each stat's chosen CSS only references stats that became computable
@@ -62,8 +67,36 @@ Status Estimator::DeriveAll(const StatStore& observed) {
     stall = 0;
     ETLOPT_ASSIGN_OR_RETURN(StatValue value, Evaluate(entry));
     derived_.Set(entry.target, std::move(value));
+    StatProvenance prov;
+    prov.observed = false;
+    prov.rule = entry.rule;
+    prov.inputs = entry.inputs;
+    provenance_[entry.target] = std::move(prov);
   }
   return Status::OK();
+}
+
+std::vector<StatKey> Estimator::ObservedLeaves(const StatKey& key) const {
+  std::vector<StatKey> leaves;
+  std::unordered_map<StatKey, char, StatKeyHash> visited;
+  std::vector<StatKey> stack{key};
+  while (!stack.empty()) {
+    const StatKey k = stack.back();
+    stack.pop_back();
+    if (visited[k]++) continue;
+    const auto it = provenance_.find(k);
+    if (it == provenance_.end()) continue;  // value never materialized
+    if (it->second.observed) {
+      leaves.push_back(k);
+      continue;
+    }
+    // Push in reverse so inputs are visited in CSS order.
+    for (auto in = it->second.inputs.rbegin(); in != it->second.inputs.rend();
+         ++in) {
+      stack.push_back(*in);
+    }
+  }
+  return leaves;
 }
 
 Result<StatValue> Estimator::Evaluate(const CssEntry& entry) const {

@@ -9,6 +9,19 @@
 
 namespace etlopt {
 
+// How one statistic value came to be during DeriveAll: either observed
+// directly (a leaf of the derivation DAG) or derived by a CSS rule from
+// the listed inputs. The provenance map is what lets the explain layer
+// answer "which stored statistic fed this estimate".
+struct StatProvenance {
+  bool observed = true;
+  RuleId rule = RuleId::kI1;    // meaningful only when !observed
+  std::vector<StatKey> inputs;  // CSS inputs, empty for observed leaves
+};
+
+using ProvenanceMap =
+    std::unordered_map<StatKey, StatProvenance, StatKeyHash>;
+
 // Evaluates the CSS derivation DAG: starting from the observed statistic
 // values, computes the value of every computable statistic using each rule's
 // evaluation semantics (dot product for J1, multiply-through for J2/J3,
@@ -35,12 +48,24 @@ class Estimator {
 
   const StatStore& derived() const { return derived_; }
 
+  // Per-statistic provenance recorded by DeriveAll.
+  const ProvenanceMap& provenance() const { return provenance_; }
+  const StatProvenance* FindProvenance(const StatKey& key) const {
+    auto it = provenance_.find(key);
+    return it == provenance_.end() ? nullptr : &it->second;
+  }
+
+  // The observed leaves that transitively feed `key`'s value, deduplicated
+  // in first-encounter (derivation) order. The key itself when observed.
+  std::vector<StatKey> ObservedLeaves(const StatKey& key) const;
+
  private:
   Result<StatValue> Evaluate(const CssEntry& entry) const;
 
   const BlockContext* ctx_;
   const CssCatalog* catalog_;
   StatStore derived_;
+  ProvenanceMap provenance_;
 };
 
 }  // namespace etlopt

@@ -1,0 +1,92 @@
+#ifndef ETLOPT_OBS_DRIFT_H_
+#define ETLOPT_OBS_DRIFT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/ledger.h"
+#include "stats/stat_key.h"
+
+namespace etlopt {
+namespace obs {
+
+// Thresholds for declaring a statistic stale. Defaults are deliberately
+// loose — an ETL workflow's sources legitimately grow a little every run;
+// drift means the change is large enough that plans chosen from the old
+// statistics can no longer be trusted.
+struct DriftOptions {
+  // |current - ewma| / max(|ewma|, 1) above this flags drift.
+  double rel_change_threshold = 0.5;
+  // max(cur/ewma, ewma/cur) (clamped >= 1 row) above this flags drift.
+  double qerror_threshold = 2.0;
+  // EWMA smoothing over history values, newest weighted `alpha`.
+  double ewma_alpha = 0.3;
+  // Runs of history required before a key can be assessed at all.
+  int min_history = 1;
+
+  // Defaults overridden by ETLOPT_DRIFT_REL_THRESHOLD,
+  // ETLOPT_DRIFT_QERROR_THRESHOLD, and ETLOPT_DRIFT_EWMA_ALPHA.
+  static DriftOptions FromEnv();
+};
+
+// One compared statistic. Histogram-valued statistics compare their total
+// count (the row mass under the histogram); count-valued statistics and SE
+// actual cardinalities compare directly.
+struct DriftFinding {
+  int block = 0;
+  StatKey key;
+  double ewma = 0.0;       // smoothed history value
+  double previous = 0.0;   // most recent history value
+  double current = 0.0;
+  double rel_change = 0.0;
+  double qerror = 1.0;
+  bool drifted = false;
+  int history_runs = 0;
+};
+
+struct DriftReport {
+  std::vector<DriftFinding> findings;  // every compared key, stable order
+  // The re-instrumentation recommendation: statistics whose staleness
+  // exceeded tolerance, i.e. the taps to re-enable on the next run.
+  std::vector<std::pair<int, StatKey>> reinstrument;  // (block, key)
+
+  bool any_drift() const { return !reinstrument.empty(); }
+  // Drift status lookup for one (block, key).
+  bool IsDrifted(int block, const StatKey& key) const;
+  // Flagged keys of one block (the force_observe input for a re-run).
+  std::vector<StatKey> ReinstrumentKeys(int block) const;
+
+  std::string ToText(const AttrCatalog* catalog = nullptr) const;
+};
+
+// Compares the current run's observed statistics and actual cardinalities
+// against ledger history of the same workflow fingerprint.
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftOptions options = DriftOptions::FromEnv())
+      : options_(options) {}
+
+  const DriftOptions& options() const { return options_; }
+
+  // `history` holds prior runs oldest-first (same fingerprint as
+  // `current`); keys present in `current` but with fewer than min_history
+  // prior values are reported undrifted with history_runs = 0.
+  DriftReport Compare(const std::vector<RunRecord>& history,
+                      const RunRecord& current) const;
+
+ private:
+  DriftOptions options_;
+};
+
+// The numeric view of a record that drift detection compares: per block,
+// every count-valued observed statistic (histograms as their total count)
+// plus every SE actual cardinality under its Card key. Exposed so tests
+// and the lifecycle wiring agree on the comparison domain.
+std::vector<std::unordered_map<StatKey, double, StatKeyHash>>
+NumericStatValues(const RunRecord& record);
+
+}  // namespace obs
+}  // namespace etlopt
+
+#endif  // ETLOPT_OBS_DRIFT_H_

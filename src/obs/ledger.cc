@@ -1,0 +1,214 @@
+#include "obs/ledger.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "etl/workflow_io.h"
+#include "stats/stat_io.h"
+#include "util/json.h"
+
+namespace etlopt {
+namespace obs {
+namespace {
+
+uint64_t Fnv1a64(const std::string& text) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string ToHex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string FingerprintText(const std::string& text) {
+  return ToHex16(Fnv1a64(text));
+}
+
+std::string FingerprintWorkflow(const Workflow& workflow) {
+  Status status;
+  const std::string text = WriteWorkflowText(workflow, &status);
+  return FingerprintText(status.ok() ? text : workflow.ToString());
+}
+
+std::string RunRecord::ToJsonLine() const {
+  Json j = Json::Object();
+  j.Set("run_id", Json::Str(run_id));
+  j.Set("fingerprint", Json::Str(fingerprint));
+  j.Set("workflow", Json::Str(workflow));
+  j.Set("ts_ms", Json::Int(timestamp_ms));
+  j.Set("selector", Json::Str(selector));
+  j.Set("plan_sig", Json::Str(plan_signature));
+  j.Set("initial_cost", Json::Double(initial_cost));
+  j.Set("optimized_cost", Json::Double(optimized_cost));
+  Json phases = Json::Object();
+  phases.Set("analyze_ms", Json::Double(analyze_ms));
+  phases.Set("execute_ms", Json::Double(execute_ms));
+  phases.Set("optimize_ms", Json::Double(optimize_ms));
+  j.Set("phases", std::move(phases));
+  Json jcards = Json::Array();
+  for (const SeCard& c : cards) {
+    Json jc = Json::Object();
+    jc.Set("block", Json::Int(c.block));
+    jc.Set("se", Json::Int(static_cast<int64_t>(c.se)));
+    jc.Set("est", Json::Double(c.estimated));
+    jc.Set("actual", Json::Double(c.actual));
+    jcards.push_back(std::move(jc));
+  }
+  j.Set("cards", std::move(jcards));
+  // Observed statistics ride along as the stat_io text codec, one string
+  // per block — full fidelity (histograms included) without inventing a
+  // second statistics serialization.
+  Json jstats = Json::Array();
+  for (const StatStore& store : block_stats) {
+    jstats.push_back(Json::Str(WriteStatStoreText(store)));
+  }
+  j.Set("stats", std::move(jstats));
+  Json jmetrics = Json::Object();
+  for (const auto& [name, value] : metrics) {
+    jmetrics.Set(name, Json::Int(value));
+  }
+  j.Set("metrics", std::move(jmetrics));
+  return j.Dump();
+}
+
+Result<RunRecord> RunRecord::FromJsonLine(const std::string& line) {
+  ETLOPT_ASSIGN_OR_RETURN(const Json j, Json::Parse(line));
+  if (!j.is_object()) {
+    return Status::InvalidArgument("ledger record is not a JSON object");
+  }
+  RunRecord record;
+  record.run_id = j.GetString("run_id");
+  record.fingerprint = j.GetString("fingerprint");
+  record.workflow = j.GetString("workflow");
+  record.timestamp_ms = j.GetInt("ts_ms");
+  record.selector = j.GetString("selector");
+  record.plan_signature = j.GetString("plan_sig");
+  record.initial_cost = j.GetDouble("initial_cost");
+  record.optimized_cost = j.GetDouble("optimized_cost");
+  if (const Json* phases = j.Find("phases");
+      phases != nullptr && phases->is_object()) {
+    record.analyze_ms = phases->GetDouble("analyze_ms");
+    record.execute_ms = phases->GetDouble("execute_ms");
+    record.optimize_ms = phases->GetDouble("optimize_ms");
+  }
+  if (const Json* cards = j.Find("cards");
+      cards != nullptr && cards->is_array()) {
+    for (const Json& jc : cards->array()) {
+      if (!jc.is_object()) continue;
+      SeCard c;
+      c.block = static_cast<int>(jc.GetInt("block"));
+      c.se = static_cast<RelMask>(jc.GetInt("se"));
+      c.estimated = jc.GetDouble("est", -1.0);
+      c.actual = jc.GetDouble("actual", -1.0);
+      record.cards.push_back(c);
+    }
+  }
+  if (const Json* stats = j.Find("stats");
+      stats != nullptr && stats->is_array()) {
+    for (const Json& js : stats->array()) {
+      if (!js.is_string()) continue;
+      ETLOPT_ASSIGN_OR_RETURN(StatStore store,
+                              ParseStatStoreText(js.string_value()));
+      record.block_stats.push_back(std::move(store));
+    }
+  }
+  if (const Json* metrics = j.Find("metrics");
+      metrics != nullptr && metrics->is_object()) {
+    for (const auto& [name, value] : metrics->members()) {
+      if (value.is_number()) {
+        record.metrics.emplace_back(name, value.int_value());
+      }
+    }
+  }
+  return record;
+}
+
+Result<LedgerLoadResult> RunLedger::Load() const {
+  LedgerLoadResult result;
+  std::ifstream in(path_);
+  if (!in) return result;  // first run: no ledger yet
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Result<RunRecord> record = RunRecord::FromJsonLine(line);
+    if (!record.ok()) {
+      // A torn append (crash mid-write of the pre-rename era) or manual
+      // corruption: skip the line rather than losing the whole history.
+      ++result.skipped_lines;
+      continue;
+    }
+    result.records.push_back(std::move(*record));
+  }
+  return result;
+}
+
+Status RunLedger::Append(const RunRecord& record) {
+  // Crash-safe append: existing content + new line into a temp file in the
+  // same directory, fsync, then rename over the ledger.
+  std::string existing;
+  {
+    std::ifstream in(path_);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = buf.str();
+    }
+  }
+  if (!existing.empty() && existing.back() != '\n') existing += '\n';
+
+  const std::string tmp_path = path_ + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) {
+      return Status::InvalidArgument("cannot open '" + tmp_path +
+                                     "' for writing");
+    }
+    out << existing << record.ToJsonLine() << "\n";
+    out.flush();
+    if (!out.good()) {
+      return Status::Internal("write to '" + tmp_path + "' failed");
+    }
+  }
+  // Flush file contents to stable storage before the rename commits it.
+  const int fd = ::open(tmp_path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    return Status::Internal("rename '" + tmp_path + "' -> '" + path_ +
+                            "' failed");
+  }
+  return Status::OK();
+}
+
+std::vector<RunRecord> RunLedger::HistoryFor(
+    const std::vector<RunRecord>& records, const std::string& fingerprint) {
+  std::vector<RunRecord> history;
+  for (const RunRecord& record : records) {
+    if (record.fingerprint == fingerprint) history.push_back(record);
+  }
+  return history;
+}
+
+std::string RunLedger::NextRunId(const std::vector<RunRecord>& records,
+                                 const std::string& fingerprint) {
+  return "run-" +
+         std::to_string(HistoryFor(records, fingerprint).size() + 1);
+}
+
+}  // namespace obs
+}  // namespace etlopt

@@ -1,0 +1,103 @@
+#ifndef ETLOPT_OBS_LEDGER_H_
+#define ETLOPT_OBS_LEDGER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "etl/workflow.h"
+#include "stats/stat_store.h"
+#include "util/status.h"
+
+namespace etlopt {
+namespace obs {
+
+// One executed run of a workflow, as remembered across processes. The
+// paper's deployment model is design-once / run-repeatedly: statistics
+// instrumented in run N drive the optimizer in run N+1, which may be hours
+// later in a different process — the ledger is the durable carrier of that
+// feedback loop, and the provenance source for the advisor's `explain`.
+struct RunRecord {
+  std::string run_id;        // e.g. "run-3"; unique within a fingerprint
+  std::string fingerprint;   // 16-hex FNV-1a of the canonical workflow text
+  std::string workflow;      // display name
+  int64_t timestamp_ms = 0;  // unix wall clock
+  std::string selector;      // statistics-selection method ("greedy", "ilp")
+  std::string plan_signature;  // 16-hex fingerprint of the optimized plan
+  double initial_cost = 0.0;
+  double optimized_cost = 0.0;
+  // Per-phase wall times of the cycle (milliseconds).
+  double analyze_ms = 0.0;
+  double execute_ms = 0.0;
+  double optimize_ms = 0.0;
+
+  // Estimated vs. actual cardinality of one sub-expression. `actual` is -1
+  // when no ground truth was available for the run.
+  struct SeCard {
+    int block = 0;
+    RelMask se = 0;
+    double estimated = -1.0;
+    double actual = -1.0;
+  };
+  std::vector<SeCard> cards;
+
+  // The statistics observed in this run, per block — complete values
+  // (histograms included), so a later process can re-derive every estimate
+  // this run could have made.
+  std::vector<StatStore> block_stats;
+
+  // Counter snapshot at record time (sorted name -> value).
+  std::vector<std::pair<std::string, int64_t>> metrics;
+
+  std::string ToJsonLine() const;
+  static Result<RunRecord> FromJsonLine(const std::string& line);
+};
+
+// Canonical workflow identity: 16 hex chars of FNV-1a 64 over the workflow's
+// serialized text (falls back to the structural ToString for workflows with
+// non-serializable UDFs). Two processes loading the same workflow file agree
+// on the fingerprint; editing the workflow changes it.
+std::string FingerprintWorkflow(const Workflow& workflow);
+
+// FNV-1a 64 of an arbitrary string, rendered as 16 hex chars (the same
+// encoding FingerprintWorkflow uses — exposed for plan signatures).
+std::string FingerprintText(const std::string& text);
+
+struct LedgerLoadResult {
+  std::vector<RunRecord> records;  // file order = append order
+  int skipped_lines = 0;           // corrupt/truncated lines tolerated
+};
+
+// Append-only JSONL store, one RunRecord per line. Appends are crash-safe:
+// the new content is written to "<path>.tmp", flushed and fsynced, then
+// renamed over the ledger, so a reader never sees a half-written record
+// from a completed append (a record lost mid-append shows up as a
+// truncated last line, which Load tolerates and reports).
+class RunLedger {
+ public:
+  explicit RunLedger(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+
+  // Missing file loads as an empty ledger (a workflow's first run).
+  Result<LedgerLoadResult> Load() const;
+
+  Status Append(const RunRecord& record);
+
+  // Records matching one workflow fingerprint, oldest first.
+  static std::vector<RunRecord> HistoryFor(
+      const std::vector<RunRecord>& records, const std::string& fingerprint);
+
+  // Next run id for a fingerprint: "run-<N>" with N = prior runs + 1.
+  static std::string NextRunId(const std::vector<RunRecord>& records,
+                               const std::string& fingerprint);
+
+ private:
+  std::string path_;
+};
+
+}  // namespace obs
+}  // namespace etlopt
+
+#endif  // ETLOPT_OBS_LEDGER_H_

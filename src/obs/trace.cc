@@ -1,7 +1,9 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 
@@ -53,16 +55,33 @@ Tracer& Tracer::Global() {
 
 int64_t Tracer::NowNs() const { return SteadyNowNs() - epoch_ns_; }
 
-int Tracer::CurrentTid() {
-  std::lock_guard<std::mutex> lock(mu_);
+int Tracer::TidLocked() {
   const auto [it, inserted] =
       tids_.emplace(std::this_thread::get_id(),
                     static_cast<int>(tids_.size()) + 1);
   return it->second;
 }
 
+int Tracer::CurrentTid() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TidLocked();
+}
+
 void Tracer::Append(TraceEvent event) {
   std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+int64_t Tracer::RegisterOpen(const char* name, int64_t start_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t id = next_open_id_++;
+  open_spans_.emplace(id, OpenSpan{name, start_ns, TidLocked()});
+  return id;
+}
+
+void Tracer::AppendAndResolve(int64_t open_id, TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_spans_.erase(open_id);
   events_.push_back(std::move(event));
 }
 
@@ -71,9 +90,16 @@ size_t Tracer::NumEvents() const {
   return events_.size();
 }
 
+size_t Tracer::NumOpenSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_spans_.size();
+}
+
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  // Open spans are kept: their ScopedSpans are live on some stack and will
+  // resolve later; dropping them here would turn those into untracked spans.
 }
 
 std::string Tracer::ChromeTraceJson() const {
@@ -103,8 +129,45 @@ std::string Tracer::ChromeTraceJson() const {
     }
     out << "}";
   }
+  // Spans still open when the trace is serialized — an aborted run, or a
+  // dump taken from inside a span — become unmatched begin events. Both
+  // chrome://tracing and Perfetto render these as open-ended slices, so a
+  // partial trace is always a loadable document.
+  std::vector<std::pair<int64_t, const OpenSpan*>> open;
+  open.reserve(open_spans_.size());
+  for (const auto& [id, span] : open_spans_) open.emplace_back(id, &span);
+  std::sort(open.begin(), open.end());
+  for (const auto& [id, span] : open) {
+    (void)id;
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":" << JsonQuote(span->name)
+        << ",\"cat\":\"etlopt\",\"ph\":\"B\",\"pid\":1,\"tid\":" << span->tid
+        << ",\"ts\":" << static_cast<double>(span->start_ns) / 1000.0 << "}";
+  }
   out << "]}";
   return out.str();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ChromeTraceJson();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::InvalidArgument("cannot open trace temp file: " + tmp);
+    }
+    out << json;
+    out.flush();
+    if (!out) {
+      return Status::Internal("failed writing trace temp file: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("failed renaming trace file into place: " + path);
+  }
+  return Status::OK();
 }
 
 #ifndef ETLOPT_OBS_DISABLED

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/status.h"
 
 namespace etlopt {
 namespace obs {
@@ -43,21 +44,46 @@ class Tracer {
   int CurrentTid();
   void Append(TraceEvent event);
 
+  // Registers an in-flight span so aborted runs still serialize it (as a
+  // "ph":"B" begin event). Returns a token for AppendAndResolve.
+  int64_t RegisterOpen(const char* name, int64_t start_ns);
+  // Completes an open span: removes it from the open set and appends the
+  // finished event, under one lock.
+  void AppendAndResolve(int64_t open_id, TraceEvent event);
+
   size_t NumEvents() const;
+  size_t NumOpenSpans() const;
   void Clear();
 
   // Full Chrome trace JSON ({"traceEvents":[...]}): loadable in
-  // chrome://tracing and ui.perfetto.dev. ts/dur are microseconds.
+  // chrome://tracing and ui.perfetto.dev. ts/dur are microseconds. Spans
+  // still open (a run aborted mid-span, or serialization from inside a
+  // span) are emitted as unmatched "ph":"B" events, which both viewers
+  // tolerate — a partial trace is always a complete JSON document.
   std::string ChromeTraceJson() const;
 
+  // Crash-safe file dump: writes to "<path>.tmp" then renames, so an abort
+  // mid-write never leaves a truncated JSON file for Perfetto to choke on.
+  Status WriteChromeTrace(const std::string& path) const;
+
  private:
+  struct OpenSpan {
+    const char* name;
+    int64_t start_ns;
+    int tid;
+  };
+
   Tracer();
+
+  int TidLocked();  // CurrentTid body; caller holds mu_
 
   std::atomic<bool> enabled_{false};
   int64_t epoch_ns_ = 0;
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   std::unordered_map<std::thread::id, int> tids_;
+  std::unordered_map<int64_t, OpenSpan> open_spans_;
+  int64_t next_open_id_ = 1;
 };
 
 #ifndef ETLOPT_OBS_DISABLED
@@ -73,6 +99,7 @@ class ScopedSpan {
       tracer_ = &tracer;
       name_ = name;
       start_ns_ = tracer.NowNs();
+      open_id_ = tracer.RegisterOpen(name, start_ns_);
     }
   }
 
@@ -84,7 +111,7 @@ class ScopedSpan {
     event.dur_ns = tracer_->NowNs() - start_ns_;
     event.tid = tracer_->CurrentTid();
     event.args = std::move(args_);
-    tracer_->Append(std::move(event));
+    tracer_->AppendAndResolve(open_id_, std::move(event));
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -104,6 +131,7 @@ class ScopedSpan {
   Tracer* tracer_ = nullptr;
   const char* name_ = nullptr;
   int64_t start_ns_ = 0;
+  int64_t open_id_ = 0;
   std::vector<std::pair<std::string, std::string>> args_;
 };
 #else

@@ -113,8 +113,17 @@ SelectionResult SelectGreedyWithBudget(const SelectionProblem& problem,
 
   std::vector<char> observed(static_cast<size_t>(n), 0);
   std::vector<double> residual = problem.cost;
-  std::vector<char> computable = ComputeClosure(catalog, observed);
   double spent = 0.0;
+  // Drift-flagged statistics are pre-seeded into the cover: they must be
+  // re-observed regardless of what the derivation graph could supply.
+  for (size_t s = 0; s < problem.must_observe.size(); ++s) {
+    if (problem.must_observe[s]) {
+      observed[s] = 1;
+      residual[s] = 0.0;
+      spent += problem.cost[s];
+    }
+  }
+  std::vector<char> computable = ComputeClosure(catalog, observed);
   std::vector<char> deferred(static_cast<size_t>(n), 0);
 
   for (;;) {
@@ -207,6 +216,10 @@ SelectionResult SelectGreedyWithBudget(const SelectionProblem& problem,
            problem.cost[static_cast<size_t>(b)];
   });
   for (int s : kept) {
+    if (static_cast<size_t>(s) < problem.must_observe.size() &&
+        problem.must_observe[static_cast<size_t>(s)]) {
+      continue;  // forced observations are never redundant
+    }
     observed[static_cast<size_t>(s)] = 0;
     std::vector<int> trial;
     for (int t = 0; t < n; ++t) {
@@ -266,9 +279,20 @@ SelectionResult SelectGreedy(const SelectionProblem& problem) {
 SelectionResult SelectExhaustive(const SelectionProblem& problem,
                                  int max_candidates) {
   const int n = problem.num_stats();
+  // Forced statistics are part of every candidate cover, so they leave the
+  // include/exclude search entirely.
+  std::vector<int> forced;
+  double forced_cost = 0.0;
   std::vector<int> candidates;
   for (int s = 0; s < n; ++s) {
-    if (problem.observable[static_cast<size_t>(s)]) candidates.push_back(s);
+    if (!problem.observable[static_cast<size_t>(s)]) continue;
+    if (static_cast<size_t>(s) < problem.must_observe.size() &&
+        problem.must_observe[static_cast<size_t>(s)]) {
+      forced.push_back(s);
+      forced_cost += problem.cost[static_cast<size_t>(s)];
+    } else {
+      candidates.push_back(s);
+    }
   }
   SelectionResult result;
   result.method = "exhaustive";
@@ -282,7 +306,7 @@ SelectionResult SelectExhaustive(const SelectionProblem& problem,
            problem.cost[static_cast<size_t>(b)];
   });
 
-  std::vector<int> current;
+  std::vector<int> current = forced;
   std::vector<int> best;
   double best_cost = kInf;
 
@@ -302,7 +326,7 @@ SelectionResult SelectExhaustive(const SelectionProblem& problem,
     // Exclude candidate i.
     dfs(i + 1, cost);
   };
-  dfs(0, 0.0);
+  dfs(0, forced_cost);
 
   if (best_cost >= kInf) {
     result.feasible = false;

@@ -56,8 +56,12 @@ SelectionResult SelectIlp(const SelectionProblem& problem,
 
   for (int s = 0; s < n; ++s) {
     if (problem.observable[static_cast<size_t>(s)]) {
-      x_var[static_cast<size_t>(s)] =
-          lp.AddVariable(problem.cost[static_cast<size_t>(s)], 0.0, 1.0);
+      // Forced (drift-flagged) statistics get x_i fixed to 1.
+      const bool forced =
+          static_cast<size_t>(s) < problem.must_observe.size() &&
+          problem.must_observe[static_cast<size_t>(s)];
+      x_var[static_cast<size_t>(s)] = lp.AddVariable(
+          problem.cost[static_cast<size_t>(s)], forced ? 1.0 : 0.0, 1.0);
     }
   }
   for (int s = 0; s < n; ++s) {

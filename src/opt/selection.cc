@@ -16,6 +16,7 @@ SelectionProblem BuildSelectionProblem(const BlockContext& ctx,
   problem.cost.assign(static_cast<size_t>(n), 0.0);
   problem.observable.assign(static_cast<size_t>(n), 0);
   problem.required.assign(static_cast<size_t>(n), 0);
+  problem.must_observe.assign(static_cast<size_t>(n), 0);
 
   for (int i = 0; i < n; ++i) {
     const StatKey& key = catalog.stat(i);
@@ -30,6 +31,14 @@ SelectionProblem BuildSelectionProblem(const BlockContext& ctx,
     if (idx >= 0) {
       problem.observable[static_cast<size_t>(idx)] = 1;
       problem.cost[static_cast<size_t>(idx)] = 0.0;
+    }
+  }
+  // Drift-flagged statistics must be re-observed; only observable ones can
+  // be forced (the rest can only be refreshed transitively).
+  for (const StatKey& key : options.force_observe) {
+    const int idx = catalog.IndexOf(key);
+    if (idx >= 0 && problem.observable[static_cast<size_t>(idx)]) {
+      problem.must_observe[static_cast<size_t>(idx)] = 1;
     }
   }
   // S_C: the cardinality of every SE in E.

@@ -19,6 +19,9 @@ struct SelectionProblem {
   std::vector<double> cost;       // per stat index
   std::vector<char> observable;   // per stat index (S_O membership)
   std::vector<char> required;     // per stat index (S_C membership)
+  // Per stat index: statistics every selection must include (drift-flagged
+  // taps being re-instrumented). Always a subset of `observable`.
+  std::vector<char> must_observe;
 
   int num_stats() const { return catalog->num_stats(); }
 };
@@ -27,6 +30,9 @@ struct SelectionOptions {
   // Statistics already available from the source systems (Section 6.2);
   // added to S_O with zero cost.
   std::vector<StatKey> free_source_stats;
+  // Statistics the drift detector flagged as stale: if observable, they are
+  // forced into every selection so the next run refreshes them.
+  std::vector<StatKey> force_observe;
 };
 
 // Builds the instance from a block's CSS catalog: observability from the

@@ -62,7 +62,74 @@ Result<int64_t> Field(const std::string& token, const char* name,
   }
 }
 
+// Writes "<kind> rels=.. stage=.. [attrs=..] [left=.. k=..]".
+void AppendKeySpec(std::ostream& out, const StatKey& key) {
+  out << KindToken(key.kind) << " rels=" << key.rels
+      << " stage=" << key.stage;
+  if (key.kind != StatKind::kCard && key.kind != StatKind::kRejectJoinCard) {
+    out << " attrs=" << key.attrs;
+  }
+  if (key.is_reject()) {
+    out << " left=" << key.reject_left
+        << " k=" << static_cast<int>(key.reject_k);
+  }
+}
+
+// Reads the kind token + key fields from a token stream, leaving any
+// trailing tokens (value=/buckets=) unconsumed.
+Result<StatKey> ParseKeyFromStream(std::istringstream& ls, int lineno) {
+  std::string kind_token;
+  if (!(ls >> kind_token)) {
+    return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                   ": missing statistic kind");
+  }
+  StatKey key;
+  if (!ParseKindToken(kind_token, &key.kind)) {
+    return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                   ": unknown kind '" + kind_token + "'");
+  }
+  std::string token;
+  if (!(ls >> token)) return Status::InvalidArgument("missing rels");
+  ETLOPT_ASSIGN_OR_RETURN(const int64_t rels, Field(token, "rels", lineno));
+  key.rels = static_cast<RelMask>(rels);
+  if (!(ls >> token)) return Status::InvalidArgument("missing stage");
+  ETLOPT_ASSIGN_OR_RETURN(const int64_t stage, Field(token, "stage", lineno));
+  key.stage = static_cast<int16_t>(stage);
+  if (key.kind != StatKind::kCard && key.kind != StatKind::kRejectJoinCard) {
+    if (!(ls >> token)) return Status::InvalidArgument("missing attrs");
+    ETLOPT_ASSIGN_OR_RETURN(const int64_t attrs,
+                            Field(token, "attrs", lineno));
+    key.attrs = static_cast<AttrMask>(attrs);
+  }
+  if (key.is_reject()) {
+    if (!(ls >> token)) return Status::InvalidArgument("missing left");
+    ETLOPT_ASSIGN_OR_RETURN(const int64_t left, Field(token, "left", lineno));
+    key.reject_left = static_cast<RelMask>(left);
+    if (!(ls >> token)) return Status::InvalidArgument("missing k");
+    ETLOPT_ASSIGN_OR_RETURN(const int64_t k, Field(token, "k", lineno));
+    key.reject_k = static_cast<uint8_t>(k);
+  }
+  return key;
+}
+
 }  // namespace
+
+std::string WriteStatKeySpec(const StatKey& key) {
+  std::ostringstream out;
+  AppendKeySpec(out, key);
+  return out.str();
+}
+
+Result<StatKey> ParseStatKeySpec(const std::string& spec) {
+  std::istringstream ls(spec);
+  ETLOPT_ASSIGN_OR_RETURN(const StatKey key, ParseKeyFromStream(ls, 1));
+  std::string trailing;
+  if (ls >> trailing) {
+    return Status::InvalidArgument("trailing tokens in stat key spec '" +
+                                   spec + "'");
+  }
+  return key;
+}
 
 std::string WriteStatStoreText(const StatStore& store) {
   // Stable ordering for diff-friendly output.
@@ -82,16 +149,8 @@ std::string WriteStatStoreText(const StatStore& store) {
   std::ostringstream out;
   for (const StatKey* key : keys) {
     const StatValue& value = *store.Find(*key);
-    out << "stat " << KindToken(key->kind) << " rels=" << key->rels
-        << " stage=" << key->stage;
-    if (key->kind != StatKind::kCard &&
-        key->kind != StatKind::kRejectJoinCard) {
-      out << " attrs=" << key->attrs;
-    }
-    if (key->is_reject()) {
-      out << " left=" << key->reject_left
-          << " k=" << static_cast<int>(key->reject_k);
-    }
+    out << "stat ";
+    AppendKeySpec(out, *key);
     if (value.is_count()) {
       out << " value=" << value.count() << "\n";
     } else {
@@ -174,41 +233,8 @@ Result<StatStore> ParseStatStoreText(const std::string& text) {
     }
     flush();
 
-    std::string kind_token;
-    if (!(ls >> kind_token)) {
-      return Status::InvalidArgument("line " + std::to_string(lineno) +
-                                     ": missing statistic kind");
-    }
-    StatKey key;
-    if (!ParseKindToken(kind_token, &key.kind)) {
-      return Status::InvalidArgument("line " + std::to_string(lineno) +
-                                     ": unknown kind '" + kind_token + "'");
-    }
+    ETLOPT_ASSIGN_OR_RETURN(const StatKey key, ParseKeyFromStream(ls, lineno));
     std::string token;
-    if (!(ls >> token)) return Status::InvalidArgument("missing rels");
-    ETLOPT_ASSIGN_OR_RETURN(const int64_t rels, Field(token, "rels", lineno));
-    key.rels = static_cast<RelMask>(rels);
-    if (!(ls >> token)) return Status::InvalidArgument("missing stage");
-    ETLOPT_ASSIGN_OR_RETURN(const int64_t stage,
-                            Field(token, "stage", lineno));
-    key.stage = static_cast<int16_t>(stage);
-    if (key.kind != StatKind::kCard &&
-        key.kind != StatKind::kRejectJoinCard) {
-      if (!(ls >> token)) return Status::InvalidArgument("missing attrs");
-      ETLOPT_ASSIGN_OR_RETURN(const int64_t attrs,
-                              Field(token, "attrs", lineno));
-      key.attrs = static_cast<AttrMask>(attrs);
-    }
-    if (key.kind == StatKind::kRejectJoinCard ||
-        key.kind == StatKind::kRejectJoinHist) {
-      if (!(ls >> token)) return Status::InvalidArgument("missing left");
-      ETLOPT_ASSIGN_OR_RETURN(const int64_t left,
-                              Field(token, "left", lineno));
-      key.reject_left = static_cast<RelMask>(left);
-      if (!(ls >> token)) return Status::InvalidArgument("missing k");
-      ETLOPT_ASSIGN_OR_RETURN(const int64_t k, Field(token, "k", lineno));
-      key.reject_k = static_cast<uint8_t>(k);
-    }
     if (!(ls >> token)) {
       return Status::InvalidArgument("line " + std::to_string(lineno) +
                                      ": missing value/buckets");

@@ -26,6 +26,13 @@ std::string WriteStatStoreText(const StatStore& store);
 
 Result<StatStore> ParseStatStoreText(const std::string& text);
 
+// Standalone StatKey codec using the same field syntax as the stat lines
+// above (e.g. "card rels=5 stage=-1", "rejhist rels=4 stage=-1 attrs=2
+// left=1 k=1"). Used wherever a bare key identifies a statistic across
+// process boundaries — the run ledger, drift reports, explain output.
+std::string WriteStatKeySpec(const StatKey& key);
+Result<StatKey> ParseStatKeySpec(const std::string& spec);
+
 Status SaveStatStore(const StatStore& store, const std::string& path);
 Result<StatStore> LoadStatStore(const std::string& path);
 

@@ -1,0 +1,347 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace etlopt {
+
+Json& Json::Set(const std::string& key, Json value) {
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Json::GetString(const std::string& key,
+                            const std::string& fallback) const {
+  const Json* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->string_value() : fallback;
+}
+
+int64_t Json::GetInt(const std::string& key, int64_t fallback) const {
+  const Json* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->int_value() : fallback;
+}
+
+double Json::GetDouble(const std::string& key, double fallback) const {
+  const Json* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->double_value() : fallback;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string Json::Dump() const {
+  switch (type_) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return bool_ ? "true" : "false";
+    case Type::kInt:
+      return std::to_string(int_);
+    case Type::kDouble: {
+      if (!std::isfinite(double_)) return "null";  // JSON has no inf/nan
+      std::ostringstream out;
+      out.precision(17);
+      out << double_;
+      return out.str();
+    }
+    case Type::kString:
+      return JsonEscape(string_);
+    case Type::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += ",";
+        out += array_[i].Dump();
+      }
+      out += "]";
+      return out;
+    }
+    case Type::kObject: {
+      std::string out = "{";
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i != 0) out += ",";
+        out += JsonEscape(object_[i].first);
+        out += ":";
+        out += object_[i].second.Dump();
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+// Recursive-descent parser over a bounded view; depth-limited so corrupted
+// input can't blow the stack.
+class Parser {
+ public:
+  Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Parse() {
+    ETLOPT_ASSIGN_OR_RETURN(Json value, ParseValue(0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Err(const std::string& message) const {
+    return Status::InvalidArgument("json: " + message + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        ETLOPT_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Json::Str(std::move(s));
+      }
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          return Json::Bool(true);
+        }
+        return Err("bad literal");
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          return Json::Bool(false);
+        }
+        return Err("bad literal");
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          return Json::Null();
+        }
+        return Err("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Json> ParseObject(int depth) {
+    Consume('{');
+    Json obj = Json::Object();
+    SkipWs();
+    if (Consume('}')) return obj;
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Err("expected object key");
+      }
+      ETLOPT_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      ETLOPT_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      obj.Set(key, std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  Result<Json> ParseArray(int depth) {
+    Consume('[');
+    Json arr = Json::Array();
+    SkipWs();
+    if (Consume(']')) return arr;
+    for (;;) {
+      ETLOPT_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      arr.push_back(std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Err("bad \\u escape");
+            }
+          }
+          // UTF-8 encode (surrogate pairs are not recombined; the ledger
+          // only ever escapes control characters).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Err("bad escape");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Result<Json> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return Err("bad number");
+    try {
+      if (is_double) return Json::Double(std::stod(token));
+      return Json::Int(std::stoll(token));
+    } catch (...) {
+      // int64 overflow (or other stoll failure): fall back to double.
+      try {
+        return Json::Double(std::stod(token));
+      } catch (...) {
+        return Err("bad number '" + token + "'");
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace etlopt

@@ -1,0 +1,119 @@
+#ifndef ETLOPT_UTIL_JSON_H_
+#define ETLOPT_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace etlopt {
+
+// Minimal JSON document model for the observability layer (run-ledger
+// records, explain output). Objects preserve insertion order and use linear
+// lookup — records have a handful of fields, so no hash map is warranted.
+// Integers survive a round trip exactly up to int64 range; any number with
+// a '.', 'e', or 'E' parses as double.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool v) {
+    Json j;
+    j.type_ = Type::kBool;
+    j.bool_ = v;
+    return j;
+  }
+  static Json Int(int64_t v) {
+    Json j;
+    j.type_ = Type::kInt;
+    j.int_ = v;
+    return j;
+  }
+  static Json Double(double v) {
+    Json j;
+    j.type_ = Type::kDouble;
+    j.double_ = v;
+    return j;
+  }
+  static Json Str(std::string v) {
+    Json j;
+    j.type_ = Type::kString;
+    j.string_ = std::move(v);
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  // Numeric accessors coerce between the int and double representations.
+  int64_t int_value() const {
+    return type_ == Type::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double double_value() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& string_value() const { return string_; }
+
+  const std::vector<Json>& array() const { return array_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return object_;
+  }
+
+  void push_back(Json value) { array_.push_back(std::move(value)); }
+  // Appends (or replaces) a member. Returns *this for chaining.
+  Json& Set(const std::string& key, Json value);
+  // nullptr when the key is absent (or this is not an object).
+  const Json* Find(const std::string& key) const;
+
+  // Typed member lookups with defaults — the loader's tolerant-read idiom.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+
+  // Compact single-line serialization (no insignificant whitespace).
+  std::string Dump() const;
+
+  // Strict parse of one JSON document; trailing non-whitespace is an error
+  // (which is what makes truncated ledger lines detectable).
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+// Escapes and quotes a string for direct JSON emission.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_UTIL_JSON_H_

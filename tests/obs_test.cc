@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -458,6 +461,75 @@ TEST(ObsTracerTest, DisabledTracerRecordsNothing) {
     span.Arg("x", int64_t{1});
   }
   EXPECT_EQ(tracer.NumEvents(), 0u);
+}
+
+TEST(ObsTracerTest, UnclosedSpansSerializeAsBeginEvents) {
+  obs::SetObsEnabled(true);
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  {
+    obs::ScopedSpan closed("test.closed");
+  }
+  // A span still on the stack when the trace is dumped — the shape an
+  // aborted run leaves behind.
+  auto open = std::make_unique<obs::ScopedSpan>("test.still_open");
+  EXPECT_EQ(tracer.NumOpenSpans(), 1u);
+
+  const std::string json = tracer.ChromeTraceJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  const std::vector<JsonValue>& events = root.at("traceEvents").array;
+  ASSERT_EQ(events.size(), 2u);
+  bool saw_open = false;
+  for (const JsonValue& e : events) {
+    if (e.at("name").str == "test.still_open") {
+      saw_open = true;
+      EXPECT_EQ(e.at("ph").str, "B");  // unmatched begin: viewers tolerate it
+      EXPECT_TRUE(e.has("ts"));
+      EXPECT_FALSE(e.has("dur"));
+    } else {
+      EXPECT_EQ(e.at("ph").str, "X");
+    }
+  }
+  EXPECT_TRUE(saw_open);
+
+  // Once the span ends normally it resolves into a complete event.
+  open.reset();
+  EXPECT_EQ(tracer.NumOpenSpans(), 0u);
+  JsonValue after;
+  ASSERT_TRUE(JsonParser(tracer.ChromeTraceJson()).Parse(&after));
+  ASSERT_EQ(after.at("traceEvents").array.size(), 2u);
+  for (const JsonValue& e : after.at("traceEvents").array) {
+    EXPECT_EQ(e.at("ph").str, "X");
+  }
+  tracer.SetEnabled(false);
+  tracer.Clear();
+}
+
+TEST(ObsTracerTest, WriteChromeTraceIsAtomicAndLoadable) {
+  obs::SetObsEnabled(true);
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  auto open = std::make_unique<obs::ScopedSpan>("test.open_at_dump");
+  const std::string path = ::testing::TempDir() + "obs_trace_test.json";
+  ASSERT_TRUE(tracer.WriteChromeTrace(path).ok());
+  open.reset();
+  tracer.SetEnabled(false);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(buf.str()).Parse(&root)) << buf.str();
+  ASSERT_EQ(root.at("traceEvents").array.size(), 1u);
+  EXPECT_EQ(root.at("traceEvents").array[0].at("ph").str, "B");
+  // The temp file was renamed away, not left behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+  tracer.Clear();
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,8 @@
 // Usage:
 //   etlopt_advisor analyze <workflow-file> [options]
 //   etlopt_advisor run <workflow-file|suite-index> [options]  # full cycle
+//   etlopt_advisor explain <workflow-file|suite-index> --ledger=<file>
+//                                               # provenance from the ledger
 //   etlopt_advisor dot <workflow-file>          # Graphviz rendering
 //   etlopt_advisor export-suite <index> [path]  # dump a benchmark workflow
 //   etlopt_advisor transforms                   # list registered UDFs
@@ -31,6 +33,15 @@
 //   --trace-out=<file>        record spans, write Chrome trace JSON
 //                             (open in chrome://tracing or Perfetto)
 //   --obs-summary             print headline counters + q-error table
+//
+// Cross-run options (run and explain):
+//   --ledger=<file>           persistent run ledger (JSONL); run appends a
+//                             record and reports drift vs. prior runs of
+//                             the same workflow
+//   --explain                 (run) print the annotated plan tree: est vs.
+//                             actual rows, q-error, and which stored
+//                             statistic fed each estimate
+//   --json                    (explain) machine-readable output
 
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +55,9 @@
 #include "etl/transforms.h"
 #include "etl/workflow_io.h"
 #include "obs/accuracy.h"
+#include "obs/drift.h"
+#include "obs/explain.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "opt/resource.h"
@@ -105,9 +119,10 @@ struct ObsSinks {
       std::printf("wrote metrics to %s\n", metrics_out.c_str());
     }
     if (!trace_out.empty()) {
-      if (!WriteFile(trace_out, obs::Tracer::Global().ChromeTraceJson())) {
-        return Fail("cannot write trace to '" + trace_out + "'");
-      }
+      // Crash-safe (temp + rename) write; unclosed spans from an aborted
+      // phase are emitted as begin events, so the file always loads.
+      const Status st = obs::Tracer::Global().WriteChromeTrace(trace_out);
+      if (!st.ok()) return Fail(st.ToString());
       std::printf("wrote %zu trace event(s) to %s\n",
                   obs::Tracer::Global().NumEvents(), trace_out.c_str());
     }
@@ -203,6 +218,8 @@ int Run(const std::string& target, int argc, char** argv) {
   uint64_t seed = 7;
   double scale = 0.05;
   int64_t rows = 1000;
+  std::string ledger_path;
+  bool explain = false;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (ParsePipelineFlag(arg, &options) || obs_sinks.ParseFlag(arg)) {
@@ -214,6 +231,10 @@ int Run(const std::string& target, int argc, char** argv) {
       scale = std::atof(arg.c_str() + std::strlen("--scale="));
     } else if (arg.rfind("--rows=", 0) == 0) {
       rows = std::atoll(arg.c_str() + std::strlen("--rows="));
+    } else if (arg.rfind("--ledger=", 0) == 0) {
+      ledger_path = arg.substr(std::strlen("--ledger="));
+    } else if (arg == "--explain") {
+      explain = true;
     } else {
       return Fail("unknown option '" + arg + "'");
     }
@@ -243,8 +264,10 @@ int Run(const std::string& target, int argc, char** argv) {
   std::printf("%s", FormatAnalysisReport(*cycle->analysis).c_str());
 
   // Estimator accuracy: with the executed tables in hand, ground truth for
-  // every SE is computable — feed the q-error telemetry.
+  // every SE is computable — feed the q-error telemetry (and the ledger
+  // record's `actual` column).
   const auto& blocks = cycle->analysis->blocks;
+  std::vector<CardMap> truths(blocks.size());
   for (size_t b = 0; b < blocks.size(); ++b) {
     const BlockAnalysis& ba = *blocks[b];
     const auto truth = ComputeGroundTruthCards(
@@ -252,6 +275,7 @@ int Run(const std::string& target, int argc, char** argv) {
     if (truth.ok() && b < cycle->opt.block_cards.size()) {
       obs::AccuracyTracker::Global().RecordCardMap(
           cycle->opt.block_cards[b], *truth);
+      truths[b] = *truth;
     }
   }
 
@@ -259,7 +283,172 @@ int Run(const std::string& target, int argc, char** argv) {
               static_cast<long long>(cycle->run.exec.rows_processed));
   std::printf("plan cost (learned stats): initial %.0f -> optimized %.0f\n",
               cycle->opt.initial_cost, cycle->opt.optimized_cost);
+
+  if (!ledger_path.empty() || explain) {
+    const std::string fingerprint =
+        obs::FingerprintWorkflow(*cycle->analysis->workflow);
+    obs::RunLedger ledger(ledger_path);
+    std::vector<obs::RunRecord> history;
+    std::string run_id = "run-1";
+    if (!ledger_path.empty()) {
+      const Result<obs::LedgerLoadResult> loaded = ledger.Load();
+      if (!loaded.ok()) return Fail(loaded.status().ToString());
+      if (loaded->skipped_lines > 0) {
+        std::printf("ledger: skipped %d corrupt line(s) in %s\n",
+                    loaded->skipped_lines, ledger_path.c_str());
+      }
+      history = obs::RunLedger::HistoryFor(loaded->records, fingerprint);
+      run_id = obs::RunLedger::NextRunId(loaded->records, fingerprint);
+    }
+    const obs::RunRecord record = MakeRunRecord(*cycle, run_id, &truths);
+
+    obs::DriftReport drift;
+    if (!history.empty()) {
+      drift = obs::DriftDetector().Compare(history, record);
+      std::printf("\n%s",
+                  drift.ToText(&cycle->analysis->workflow->catalog()).c_str());
+    }
+
+    if (explain) {
+      // Estimate provenance follows the paper's feedback loop: if prior
+      // runs exist, the estimates a fresh optimizer would make come from
+      // the *previous* run's stored statistics — so the explain cites that
+      // run's id — and are diffed against this run's actual rows.
+      const obs::RunRecord* stats_src =
+          history.empty() ? &record : &history.back();
+      std::vector<obs::ExplainBlockInput> inputs;
+      for (size_t b = 0; b < blocks.size(); ++b) {
+        if (b >= stats_src->block_stats.size()) break;
+        obs::ExplainBlockInput in;
+        in.block = static_cast<int>(b);
+        in.ctx = &blocks[b]->ctx;
+        in.catalog = &blocks[b]->catalog;
+        in.ses = blocks[b]->plan_space.subexpressions();
+        in.stats = &stats_src->block_stats[b];
+        in.source_run_id = stats_src->run_id;
+        in.actuals = &truths[b];
+        inputs.push_back(std::move(in));
+      }
+      const Result<obs::PlanExplain> plan_explain = obs::BuildPlanExplain(
+          inputs, workflow.name(), fingerprint,
+          history.empty() ? nullptr : &drift);
+      if (!plan_explain.ok()) return Fail(plan_explain.status().ToString());
+      std::printf("\n%s",
+                  obs::FormatPlanExplainText(
+                      *plan_explain, &cycle->analysis->workflow->catalog())
+                      .c_str());
+    }
+
+    if (!ledger_path.empty()) {
+      const Status st = ledger.Append(record);
+      if (!st.ok()) return Fail(st.ToString());
+      std::printf("\nledger: appended %s (workflow fingerprint %s) to %s\n",
+                  record.run_id.c_str(), fingerprint.c_str(),
+                  ledger_path.c_str());
+    }
+  }
   return obs_sinks.Finish();
+}
+
+// Offline provenance: re-derives every estimate from ledger history alone,
+// without executing anything. With >= 2 runs on record, estimates come from
+// the second-to-last run's statistics (what the optimizer knew going into
+// the last run) and actuals from the last run.
+int Explain(const std::string& target, int argc, char** argv) {
+  PipelineOptions options;
+  std::string ledger_path;
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (ParsePipelineFlag(arg, &options)) {
+      continue;
+    } else if (arg.rfind("--ledger=", 0) == 0) {
+      ledger_path = arg.substr(std::strlen("--ledger="));
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      return Fail("unknown option '" + arg + "'");
+    }
+  }
+  if (ledger_path.empty()) return Fail("explain requires --ledger=<file>");
+
+  Workflow workflow;
+  char* end = nullptr;
+  const long suite_index = std::strtol(target.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && suite_index >= 1 &&
+      suite_index <= 30) {
+    workflow = BuildWorkload(static_cast<int>(suite_index)).workflow;
+  } else {
+    Result<Workflow> wf = LoadWorkflow(target);
+    if (!wf.ok()) return Fail(wf.status().ToString());
+    workflow = *wf;
+  }
+
+  const Result<obs::LedgerLoadResult> loaded =
+      obs::RunLedger(ledger_path).Load();
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const std::string fingerprint = obs::FingerprintWorkflow(workflow);
+  const std::vector<obs::RunRecord> history =
+      obs::RunLedger::HistoryFor(loaded->records, fingerprint);
+  if (history.empty()) {
+    return Fail("no ledger history for workflow fingerprint " + fingerprint +
+                " in " + ledger_path);
+  }
+
+  // Steps 1-4 only: the block contexts and CSS catalogs the estimates are
+  // expressed over (no execution).
+  Pipeline pipeline(options);
+  const auto analysis = pipeline.Analyze(workflow);
+  if (!analysis.ok()) return Fail(analysis.status().ToString());
+  const auto& blocks = (*analysis)->blocks;
+
+  const obs::RunRecord& actual_rec = history.back();
+  const obs::RunRecord& stats_rec =
+      history.size() >= 2 ? history[history.size() - 2] : history.back();
+
+  obs::DriftReport drift;
+  const bool have_drift = history.size() >= 2;
+  if (have_drift) {
+    const std::vector<obs::RunRecord> prefix(history.begin(),
+                                             history.end() - 1);
+    drift = obs::DriftDetector().Compare(prefix, actual_rec);
+  }
+
+  std::vector<CardMap> actual_maps(blocks.size());
+  for (const obs::RunRecord::SeCard& card : actual_rec.cards) {
+    if (card.actual >= 0 && card.block >= 0 &&
+        static_cast<size_t>(card.block) < actual_maps.size()) {
+      actual_maps[static_cast<size_t>(card.block)][card.se] =
+          static_cast<int64_t>(card.actual);
+    }
+  }
+
+  std::vector<obs::ExplainBlockInput> inputs;
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    if (b >= stats_rec.block_stats.size()) break;
+    obs::ExplainBlockInput in;
+    in.block = static_cast<int>(b);
+    in.ctx = &blocks[b]->ctx;
+    in.catalog = &blocks[b]->catalog;
+    in.ses = blocks[b]->plan_space.subexpressions();
+    in.stats = &stats_rec.block_stats[b];
+    in.source_run_id = stats_rec.run_id;
+    in.actuals = &actual_maps[b];
+    inputs.push_back(std::move(in));
+  }
+  const Result<obs::PlanExplain> plan_explain =
+      obs::BuildPlanExplain(inputs, workflow.name(), fingerprint,
+                            have_drift ? &drift : nullptr);
+  if (!plan_explain.ok()) return Fail(plan_explain.status().ToString());
+
+  const AttrCatalog* catalog = &workflow.catalog();
+  if (json) {
+    std::printf("%s\n", obs::PlanExplainJson(*plan_explain, catalog).c_str());
+  } else {
+    if (have_drift) std::printf("%s\n", drift.ToText(catalog).c_str());
+    std::printf("%s", obs::FormatPlanExplainText(*plan_explain, catalog).c_str());
+  }
+  return 0;
 }
 
 int Dot(const std::string& path) {
@@ -302,6 +491,9 @@ void Usage() {
       "                 [--seed=<n>] [--scale=<s>] [--rows=<n>]\n"
       "                 [--selector=greedy|ilp] [--metrics-out=<file>]\n"
       "                 [--trace-out=<file>] [--obs-summary]\n"
+      "                 [--ledger=<file>] [--explain]\n"
+      "  etlopt_advisor explain <workflow-file|suite-index 1..30>\n"
+      "                 --ledger=<file> [--json] [--selector=greedy|ilp]\n"
       "  etlopt_advisor dot <workflow-file>\n"
       "  etlopt_advisor export-suite <index 1..30> [output-path]\n"
       "  etlopt_advisor transforms\n");
@@ -320,6 +512,9 @@ int main(int argc, char** argv) {
   }
   if (command == "run" && argc >= 3) {
     return Run(argv[2], argc - 3, argv + 3);
+  }
+  if (command == "explain" && argc >= 3) {
+    return Explain(argv[2], argc - 3, argv + 3);
   }
   if (command == "dot" && argc == 3) {
     return Dot(argv[2]);
