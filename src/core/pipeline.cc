@@ -10,7 +10,12 @@
 
 namespace etlopt {
 
-Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {}
+Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
+  if (options_.tap_memory_budget_bytes <= 0) {
+    options_.tap_memory_budget_bytes =
+        TapOptions::FromEnv().memory_budget_bytes;
+  }
+}
 
 Result<std::unique_ptr<Analysis>> Pipeline::Analyze(
     const Workflow& workflow,
@@ -47,7 +52,16 @@ Result<std::unique_ptr<Analysis>> Pipeline::Analyze(
     }
     ETLOPT_COUNTER_ADD("etlopt.core.css.generated", ba->catalog.num_css());
 
-    CostModel cost_model(&analysis->workflow->catalog(), options_.cost);
+    CostModelOptions cost_options = options_.cost;
+    if (options_.tap_memory_budget_bytes > 0 &&
+        cost_options.sketch_memory_cap <= 0) {
+      // A sketch bounded by the tap budget replaces an exact collector, so
+      // no single distinct/histogram statistic can cost the selector more
+      // than the budget (cost units are integers, 8 bytes each).
+      cost_options.sketch_memory_cap =
+          std::max<int64_t>(1, options_.tap_memory_budget_bytes / 8);
+    }
+    CostModel cost_model(&analysis->workflow->catalog(), cost_options);
     if (size_feedback != nullptr &&
         block_index < static_cast<int>(size_feedback->size())) {
       for (const auto& [se, rows] :
@@ -96,16 +110,22 @@ Result<RunOutcome> Pipeline::RunAndObserve(const Analysis& analysis,
   ETLOPT_ASSIGN_OR_RETURN(outcome.exec, executor.Execute(sources));
 
   obs::ScopedSpan observe_span("pipeline.observation");
+  TapOptions taps;
+  taps.memory_budget_bytes = options_.tap_memory_budget_bytes;
   int64_t observed = 0;
   for (const auto& ba : analysis.blocks) {
     const std::vector<StatKey> keys =
         ba->selection.ObservedKeys(ba->catalog);
     observed += static_cast<int64_t>(keys.size());
-    ETLOPT_ASSIGN_OR_RETURN(StatStore store,
-                            ObserveStatistics(ba->ctx, outcome.exec, keys));
+    ETLOPT_ASSIGN_OR_RETURN(
+        StatStore store, ObserveStatistics(ba->ctx, outcome.exec, keys, taps,
+                                           &outcome.tap_report));
     outcome.block_stats.push_back(std::move(store));
   }
   observe_span.Arg("stats_observed", observed);
+  observe_span.Arg("sketch_taps",
+                   static_cast<int64_t>(outcome.tap_report.sketch_taps));
+  observe_span.Arg("tap_bytes", outcome.tap_report.tap_bytes);
   ETLOPT_COUNTER_ADD("etlopt.core.stats_observed", observed);
   return outcome;
 }

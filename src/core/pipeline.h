@@ -32,6 +32,13 @@ struct PipelineOptions {
   // Drift-flagged statistics to force back into every block's selection
   // (re-instrumentation after the drift detector declared them stale).
   std::vector<StatKey> force_observe;
+  // Memory budget for the instrumentation taps (bytes). <= 0 means exact
+  // collection always (and the Pipeline constructor then consults
+  // ETLOPT_TAP_BUDGET for a default). A positive budget makes RunAndObserve
+  // switch distinct/histogram taps to streaming sketches whenever the
+  // estimated exact footprint exceeds it, and makes Analyze cap the
+  // selection cost model's per-statistic memory charge at the sketch sizes.
+  int64_t tap_memory_budget_bytes = 0;
 };
 
 // Per-block analysis artifacts (steps 1-4 of Fig. 2).
@@ -55,6 +62,9 @@ struct Analysis {
 struct RunOutcome {
   ExecutionResult exec;
   std::vector<StatStore> block_stats;  // aligned with Analysis::blocks
+  // Tap collection accounting across all blocks: how many taps ran exact
+  // vs. sketch, and the bytes each mode held.
+  TapReport tap_report;
 };
 
 // Step 7: cost-based re-optimization from the learned statistics.

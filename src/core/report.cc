@@ -91,7 +91,12 @@ std::string FormatObsSummary() {
       {"engine executions", "etlopt.engine.executions"},
       {"operators executed", "etlopt.engine.ops_executed"},
       {"rows processed", "etlopt.engine.rows_processed"},
+      {"bytes processed", "etlopt.engine.bytes_processed"},
       {"statistics observed", "etlopt.core.stats_observed"},
+      {"exact taps", "etlopt.tap.exact"},
+      {"sketch taps", "etlopt.tap.sketch"},
+      {"tap memory (bytes)", "etlopt.tap.bytes"},
+      {"exact-tap estimate (bytes)", "etlopt.tap.exact_bytes_estimate"},
       {"cardinalities estimated", "etlopt.core.cards_estimated"},
       {"greedy selector iterations", "etlopt.opt.greedy.iterations"},
       {"LP solves", "etlopt.lp.solves"},
@@ -102,6 +107,21 @@ std::string FormatObsSummary() {
     if (c != nullptr && c->Get() != 0) {
       out << "  " << label << ": " << WithThousands(c->Get()) << "\n";
     }
+  }
+  // Instrumentation overhead normalized by data volume: how many collector
+  // bytes each megabyte flowing through the engine cost.
+  const obs::Counter* tap_bytes = registry.FindCounter("etlopt.tap.bytes");
+  const obs::Counter* engine_bytes =
+      registry.FindCounter("etlopt.engine.bytes_processed");
+  if (tap_bytes != nullptr && engine_bytes != nullptr &&
+      tap_bytes->Get() > 0 && engine_bytes->Get() > 0) {
+    const double per_mb = static_cast<double>(tap_bytes->Get()) /
+                          (static_cast<double>(engine_bytes->Get()) /
+                           (1024.0 * 1024.0));
+    std::ostringstream v;
+    v.precision(1);
+    v << std::fixed << per_mb;
+    out << "  tap overhead: " << v.str() << " bytes per MB processed\n";
   }
   out << obs::AccuracyTracker::Global().FormatTable();
   return out.str();

@@ -299,6 +299,12 @@ Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {
         break;
       }
     }
+    // Bytes entering the operator: mirrors rows_processed (sources read no
+    // upstream node output, so they contribute none).
+    for (NodeId in : node.inputs) {
+      const Table& t = result.node_outputs.at(in);
+      result.bytes_processed += t.num_rows() * 8 * t.schema().size();
+    }
     const int64_t rows_out = out.num_rows();
     if (op_span.active()) {
       op_span.Arg("node", static_cast<int64_t>(node.id));
@@ -328,6 +334,7 @@ Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {
   }
   ETLOPT_COUNTER_ADD("etlopt.engine.executions", 1);
   ETLOPT_COUNTER_ADD("etlopt.engine.rows_processed", result.rows_processed);
+  ETLOPT_COUNTER_ADD("etlopt.engine.bytes_processed", result.bytes_processed);
   return result;
 }
 

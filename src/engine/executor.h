@@ -29,6 +29,9 @@ struct ExecutionResult {
   // Total tuples flowing through all operators: a machine-independent proxy
   // for the run's work, used to compare initial vs optimized plans.
   int64_t rows_processed = 0;
+  // Total bytes those tuples occupied (8 bytes per value, per the row
+  // layout): the denominator for per-MB instrumentation overhead reporting.
+  int64_t bytes_processed = 0;
 };
 
 // Single-threaded row-at-a-time executor for ETL workflows.

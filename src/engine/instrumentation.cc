@@ -1,6 +1,13 @@
 #include "engine/instrumentation.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "obs/metrics.h"
 #include "planspace/observability.h"
+#include "sketch/tap.h"
+#include "util/bitmask.h"
 
 namespace etlopt {
 namespace {
@@ -27,9 +34,17 @@ Result<const Table*> PointTable(const BlockContext& ctx,
   return &it->second;
 }
 
-// Materializes reject(L wrt k) ⋈ R for a reject-join key.
-Result<Table> RejectSideJoin(const BlockContext& ctx,
-                             const ExecutionResult& exec, const StatKey& key) {
+// The reject table and R-side table + join attribute of a reject-join key:
+// shared lookup for the materializing and the streaming observers.
+struct RejectJoinInputs {
+  const Table* rejects = nullptr;
+  const Table* r_table = nullptr;
+  AttrId attr = kInvalidAttr;
+};
+
+Result<RejectJoinInputs> FindRejectJoinInputs(const BlockContext& ctx,
+                                              const ExecutionResult& exec,
+                                              const StatKey& key) {
   const RelMask l = key.reject_left;
   const RelMask k_mask = RelMask{1} << key.reject_k;
   const RelMask r = key.rels;
@@ -49,15 +64,15 @@ Result<Table> RejectSideJoin(const BlockContext& ctx,
   }
   if (bj == nullptr) return Status::Internal("designed join not found");
 
-  const Table* rejects = nullptr;
+  RejectJoinInputs inputs;
   if (bj->left == l && bj->right == k_mask) {
     auto it = exec.join_rejects.find(join_node);
-    if (it != exec.join_rejects.end()) rejects = &it->second;
+    if (it != exec.join_rejects.end()) inputs.rejects = &it->second;
   } else if (bj->left == k_mask && bj->right == l) {
     auto it = exec.join_rejects_right.find(join_node);
-    if (it != exec.join_rejects_right.end()) rejects = &it->second;
+    if (it != exec.join_rejects_right.end()) inputs.rejects = &it->second;
   }
-  if (rejects == nullptr) {
+  if (inputs.rejects == nullptr) {
     return Status::Internal("reject rows unavailable for " + key.ToString());
   }
 
@@ -67,57 +82,312 @@ Result<Table> RejectSideJoin(const BlockContext& ctx,
     return Status::InvalidArgument("no unique edge between L and R for " +
                                    key.ToString());
   }
-  const AttrId attr = ctx.graph().edges()[static_cast<size_t>(edge)].attr;
+  inputs.attr = ctx.graph().edges()[static_cast<size_t>(edge)].attr;
   auto r_it = ctx.on_path().find(r);
   if (r_it == ctx.on_path().end()) {
     return Status::InvalidArgument("R not on-path for " + key.ToString());
   }
-  const Table& r_table = exec.node_outputs.at(r_it->second);
-  return HashJoin(*rejects, r_table, attr, nullptr);
+  inputs.r_table = &exec.node_outputs.at(r_it->second);
+  return inputs;
+}
+
+// Materializes reject(L wrt k) ⋈ R for a reject-join key (exact taps).
+Result<Table> RejectSideJoin(const BlockContext& ctx,
+                             const ExecutionResult& exec, const StatKey& key) {
+  ETLOPT_ASSIGN_OR_RETURN(const RejectJoinInputs in,
+                          FindRejectJoinInputs(ctx, exec, key));
+  return HashJoin(*in.rejects, *in.r_table, in.attr, nullptr);
+}
+
+// Streams the pairs of reject(L wrt k) ⋈ R without materializing the joined
+// table: builds the R-side hash index (needed by any join evaluation) and
+// hands each matching pair to `emit(left_row, r_row_index)`.
+template <typename Emit>
+Status StreamRejectSideJoin(const RejectJoinInputs& in, Emit&& emit) {
+  const int lkey = in.rejects->schema().IndexOf(in.attr);
+  const int rkey = in.r_table->schema().IndexOf(in.attr);
+  if (lkey < 0 || rkey < 0) {
+    return Status::Internal("join key missing from reject-join input");
+  }
+  std::unordered_map<Value, std::vector<int64_t>> build;
+  build.reserve(static_cast<size_t>(in.r_table->num_rows()));
+  for (int64_t r = 0; r < in.r_table->num_rows(); ++r) {
+    build[in.r_table->at(r, rkey)].push_back(r);
+  }
+  for (int64_t l = 0; l < in.rejects->num_rows(); ++l) {
+    const auto it = build.find(in.rejects->at(l, lkey));
+    if (it == build.end()) continue;
+    for (int64_t r : it->second) {
+      emit(l, r);
+    }
+  }
+  return Status::OK();
+}
+
+// Column lookup plan for extracting a histogram key from the (virtual)
+// joined row of a reject-side join: each attribute resolves to the left
+// (reject) side or, failing that, the R side.
+struct JoinedKeyPlan {
+  struct Col {
+    bool from_left = true;
+    int index = 0;
+  };
+  std::vector<Col> cols;
+};
+
+Result<JoinedKeyPlan> PlanJoinedKey(const RejectJoinInputs& in,
+                                    AttrMask attrs) {
+  JoinedKeyPlan plan;
+  for (int idx : MaskToIndices(attrs)) {
+    JoinedKeyPlan::Col col;
+    const int l = in.rejects->schema().IndexOf(static_cast<AttrId>(idx));
+    if (l >= 0) {
+      col.from_left = true;
+      col.index = l;
+    } else {
+      const int r = in.r_table->schema().IndexOf(static_cast<AttrId>(idx));
+      if (r < 0) {
+        return Status::InvalidArgument(
+            "histogram attribute missing from reject-join schema");
+      }
+      col.from_left = false;
+      col.index = r;
+    }
+    plan.cols.push_back(col);
+  }
+  return plan;
+}
+
+// Per-key tap decision computed up-front so the whole observation either
+// fits the budget exactly or degrades the sketchable taps together.
+struct TapPlan {
+  std::vector<char> sketch;     // aligned with keys
+  sketch::TapSketchConfig config;
+  int64_t exact_bytes_estimate = 0;
+};
+
+int Arity(const StatKey& key) { return PopCount(key.attrs); }
+
+Result<TapPlan> PlanTaps(const BlockContext& ctx, const ExecutionResult& exec,
+                         const std::vector<StatKey>& keys,
+                         const TapOptions& taps) {
+  TapPlan plan;
+  plan.sketch.assign(keys.size(), 0);
+  int sketchable = 0;
+  int max_arity = 1;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const StatKey& key = keys[i];
+    int64_t exact_bytes = 8;  // a counter
+    switch (key.kind) {
+      case StatKind::kCard:
+        break;
+      case StatKind::kDistinct:
+      case StatKind::kHist: {
+        ETLOPT_ASSIGN_OR_RETURN(const Table* table,
+                                PointTable(ctx, exec, key));
+        exact_bytes = key.kind == StatKind::kDistinct
+                          ? sketch::EstimateExactDistinctBytes(
+                                table->num_rows(), Arity(key))
+                          : sketch::EstimateExactHistBytes(table->num_rows(),
+                                                           Arity(key));
+        plan.sketch[i] = 1;
+        ++sketchable;
+        max_arity = std::max(max_arity, Arity(key));
+        break;
+      }
+      case StatKind::kRejectJoinCard:
+      case StatKind::kRejectJoinHist: {
+        ETLOPT_ASSIGN_OR_RETURN(const RejectJoinInputs in,
+                                FindRejectJoinInputs(ctx, exec, key));
+        // The exact tap materializes the side join; its output is bounded
+        // below by the reject rows that match at all, so use the reject
+        // row count as the (optimistic) footprint proxy.
+        const int row_width =
+            in.rejects->schema().size() + in.r_table->schema().size();
+        exact_bytes = in.rejects->num_rows() *
+                      (40 + 8 * static_cast<int64_t>(row_width));
+        if (key.kind == StatKind::kRejectJoinHist) {
+          plan.sketch[i] = 1;
+          ++sketchable;
+          max_arity = std::max(max_arity, Arity(key));
+        }
+        break;
+      }
+    }
+    plan.exact_bytes_estimate += exact_bytes;
+  }
+
+  if (taps.memory_budget_bytes <= 0 ||
+      plan.exact_bytes_estimate <= taps.memory_budget_bytes ||
+      sketchable == 0) {
+    // Budget absent or sufficient: exact taps throughout.
+    plan.sketch.assign(keys.size(), 0);
+    return plan;
+  }
+  plan.config = sketch::TapSketchConfig::ForBudget(
+      taps.memory_budget_bytes / sketchable, max_arity);
+  return plan;
 }
 
 }  // namespace
 
+TapOptions TapOptions::FromEnv() {
+  TapOptions options;
+  const char* value = std::getenv("ETLOPT_TAP_BUDGET");
+  if (value != nullptr && *value != '\0') {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(value, &end, 10);
+    if (end != value && parsed > 0) {
+      options.memory_budget_bytes = parsed;
+    }
+  }
+  return options;
+}
+
 Result<StatStore> ObserveStatistics(const BlockContext& ctx,
                                     const ExecutionResult& exec,
-                                    const std::vector<StatKey>& keys) {
-  StatStore store;
+                                    const std::vector<StatKey>& keys,
+                                    const TapOptions& taps,
+                                    TapReport* report) {
   for (const StatKey& key : keys) {
     if (!IsObservable(key, ctx)) {
       return Status::InvalidArgument("statistic not observable: " +
                                      key.ToString());
     }
+  }
+  ETLOPT_ASSIGN_OR_RETURN(const TapPlan plan, PlanTaps(ctx, exec, keys, taps));
+
+  StatStore store;
+  TapReport local;
+  local.exact_bytes_estimate = plan.exact_bytes_estimate;
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const StatKey& key = keys[i];
+    const bool use_sketch = plan.sketch[i] != 0;
     switch (key.kind) {
       case StatKind::kCard: {
         ETLOPT_ASSIGN_OR_RETURN(const Table* table,
                                 PointTable(ctx, exec, key));
         store.Set(key, StatValue::Count(table->num_rows()));
+        ++local.exact_taps;
+        local.tap_bytes += 8;
         break;
       }
       case StatKind::kDistinct: {
         ETLOPT_ASSIGN_OR_RETURN(const Table* table,
                                 PointTable(ctx, exec, key));
-        store.Set(key, StatValue::Count(table->CountDistinct(key.attrs)));
+        if (use_sketch) {
+          sketch::DistinctTap tap(plan.config);
+          std::vector<int> cols;
+          for (int idx : MaskToIndices(key.attrs)) {
+            cols.push_back(table->schema().IndexOf(static_cast<AttrId>(idx)));
+          }
+          std::vector<Value> probe(cols.size());
+          for (const auto& row : table->rows()) {
+            for (size_t c = 0; c < cols.size(); ++c) {
+              probe[c] = row[static_cast<size_t>(cols[c])];
+            }
+            tap.AddRow(probe);
+          }
+          store.Set(key, StatValue::CountApprox(tap.Estimate(),
+                                                tap.RelError()));
+          ++local.sketch_taps;
+          local.tap_bytes += tap.MemoryBytes();
+        } else {
+          store.Set(key, StatValue::Count(table->CountDistinct(key.attrs)));
+          ++local.exact_taps;
+          local.tap_bytes += sketch::EstimateExactDistinctBytes(
+              table->num_rows(), Arity(key));
+        }
         break;
       }
       case StatKind::kHist: {
         ETLOPT_ASSIGN_OR_RETURN(const Table* table,
                                 PointTable(ctx, exec, key));
-        store.Set(key, StatValue::Hist(table->BuildHistogram(key.attrs)));
+        if (use_sketch) {
+          sketch::HistTap tap(plan.config, Arity(key));
+          std::vector<int> cols;
+          for (int idx : MaskToIndices(key.attrs)) {
+            cols.push_back(table->schema().IndexOf(static_cast<AttrId>(idx)));
+          }
+          std::vector<Value> probe(cols.size());
+          for (const auto& row : table->rows()) {
+            for (size_t c = 0; c < cols.size(); ++c) {
+              probe[c] = row[static_cast<size_t>(cols[c])];
+            }
+            tap.AddRow(probe);
+          }
+          store.Set(key, StatValue::HistApprox(tap.Build(key.attrs),
+                                               tap.RelError()));
+          ++local.sketch_taps;
+          local.tap_bytes += tap.MemoryBytes();
+        } else {
+          store.Set(key, StatValue::Hist(table->BuildHistogram(key.attrs)));
+          ++local.exact_taps;
+          local.tap_bytes += sketch::EstimateExactHistBytes(table->num_rows(),
+                                                            Arity(key));
+        }
         break;
       }
       case StatKind::kRejectJoinCard: {
-        ETLOPT_ASSIGN_OR_RETURN(Table joined, RejectSideJoin(ctx, exec, key));
-        store.Set(key, StatValue::Count(joined.num_rows()));
+        if (taps.memory_budget_bytes > 0) {
+          // Streaming count: never materialize the side join.
+          ETLOPT_ASSIGN_OR_RETURN(const RejectJoinInputs in,
+                                  FindRejectJoinInputs(ctx, exec, key));
+          int64_t count = 0;
+          ETLOPT_RETURN_IF_ERROR(StreamRejectSideJoin(
+              in, [&count](int64_t, int64_t) { ++count; }));
+          store.Set(key, StatValue::Count(count));
+          local.tap_bytes += 8;
+        } else {
+          ETLOPT_ASSIGN_OR_RETURN(Table joined,
+                                  RejectSideJoin(ctx, exec, key));
+          store.Set(key, StatValue::Count(joined.num_rows()));
+          local.tap_bytes += 8;
+        }
+        ++local.exact_taps;  // the count itself is exact either way
         break;
       }
       case StatKind::kRejectJoinHist: {
-        ETLOPT_ASSIGN_OR_RETURN(Table joined, RejectSideJoin(ctx, exec, key));
-        store.Set(key, StatValue::Hist(joined.BuildHistogram(key.attrs)));
+        ETLOPT_ASSIGN_OR_RETURN(const RejectJoinInputs in,
+                                FindRejectJoinInputs(ctx, exec, key));
+        if (use_sketch) {
+          ETLOPT_ASSIGN_OR_RETURN(const JoinedKeyPlan key_plan,
+                                  PlanJoinedKey(in, key.attrs));
+          sketch::HistTap tap(plan.config, Arity(key));
+          std::vector<Value> probe(key_plan.cols.size());
+          ETLOPT_RETURN_IF_ERROR(StreamRejectSideJoin(
+              in, [&](int64_t l, int64_t r) {
+                for (size_t c = 0; c < key_plan.cols.size(); ++c) {
+                  const JoinedKeyPlan::Col& col = key_plan.cols[c];
+                  probe[c] = col.from_left ? in.rejects->at(l, col.index)
+                                           : in.r_table->at(r, col.index);
+                }
+                tap.AddRow(probe);
+              }));
+          store.Set(key, StatValue::HistApprox(tap.Build(key.attrs),
+                                               tap.RelError()));
+          ++local.sketch_taps;
+          local.tap_bytes += tap.MemoryBytes();
+        } else {
+          ETLOPT_ASSIGN_OR_RETURN(Table joined,
+                                  RejectSideJoin(ctx, exec, key));
+          store.Set(key, StatValue::Hist(joined.BuildHistogram(key.attrs)));
+          ++local.exact_taps;
+          local.tap_bytes += sketch::EstimateExactHistBytes(joined.num_rows(),
+                                                            Arity(key));
+        }
         break;
       }
     }
   }
+
+  ETLOPT_COUNTER_ADD("etlopt.tap.exact", local.exact_taps);
+  ETLOPT_COUNTER_ADD("etlopt.tap.sketch", local.sketch_taps);
+  ETLOPT_COUNTER_ADD("etlopt.tap.bytes", local.tap_bytes);
+  ETLOPT_COUNTER_ADD("etlopt.tap.exact_bytes_estimate",
+                     local.exact_bytes_estimate);
+  if (report != nullptr) report->Accumulate(local);
   return store;
 }
 

@@ -10,15 +10,53 @@
 
 namespace etlopt {
 
+// Collection policy for the instrumentation taps. The default (no memory
+// budget) materializes exact collectors — O(distinct) memory per
+// distinct/histogram tap. With a positive budget, ObserveStatistics checks
+// whether the estimated exact-tap footprint fits; when it does not, the
+// distinct/histogram taps switch to streaming sketches (src/sketch: HLL,
+// Count-Min + KMV key sample) whose memory is bounded by the per-tap budget
+// share, and the observed StatValues carry their relative-error parameter.
+// Count taps (Card, RejectJoinCard) are O(1)/streaming either way and stay
+// exact.
+struct TapOptions {
+  // <= 0: always exact (the seed behavior).
+  int64_t memory_budget_bytes = 0;
+
+  // Defaults overridden by ETLOPT_TAP_BUDGET (bytes).
+  static TapOptions FromEnv();
+};
+
+// What the taps of one ObserveStatistics call cost: how many taps ran in
+// each mode, the estimated bytes exact collectors would have held, and the
+// bytes the chosen collectors actually held.
+struct TapReport {
+  int exact_taps = 0;
+  int sketch_taps = 0;
+  int64_t exact_bytes_estimate = 0;
+  int64_t tap_bytes = 0;
+
+  void Accumulate(const TapReport& other) {
+    exact_taps += other.exact_taps;
+    sketch_taps += other.sketch_taps;
+    exact_bytes_estimate += other.exact_bytes_estimate;
+    tap_bytes += other.tap_bytes;
+  }
+};
+
 // Observes the requested (observable) statistics from a run of the initial
 // plan (steps 5-6 of the framework, Fig. 2). Every key must satisfy
 // IsObservable for this block. Counters and histograms read the cached
 // pipeline-point tables; reject-join statistics attach to the designed join
 // of L with k (adding the reject link the paper describes for Fig. 5) and
-// evaluate the small side-join against the on-path R table.
+// evaluate the small side-join against the on-path R table. Under a sketch
+// `taps` budget the side join is never materialized — the reject rows
+// stream against the R-side hash table.
 Result<StatStore> ObserveStatistics(const BlockContext& ctx,
                                     const ExecutionResult& exec,
-                                    const std::vector<StatKey>& keys);
+                                    const std::vector<StatKey>& keys,
+                                    const TapOptions& taps = {},
+                                    TapReport* report = nullptr);
 
 // Ground truth for testing and experiments: the exact cardinality of every
 // SE in the plan space, computed by directly evaluating each SE over the

@@ -66,6 +66,15 @@ Status Estimator::DeriveAll(const StatStore& observed) {
     }
     stall = 0;
     ETLOPT_ASSIGN_OR_RETURN(StatValue value, Evaluate(entry));
+    // Uncertainty propagation: a derivation is at best as precise as its
+    // inputs. Summing input relative errors is the first-order bound for
+    // the products/ratios the CSS rules compose (conservative for sums).
+    double rel_error = 0.0;
+    for (const StatKey& in : entry.inputs) {
+      const StatValue* iv = derived_.Find(in);
+      if (iv != nullptr && iv->is_approx()) rel_error += iv->rel_error();
+    }
+    if (rel_error > 0.0) value.SetApprox(rel_error);
     derived_.Set(entry.target, std::move(value));
     StatProvenance prov;
     prov.observed = false;

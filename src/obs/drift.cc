@@ -36,6 +36,8 @@ DriftOptions DriftOptions::FromEnv() {
   options.qerror_threshold =
       EnvDouble("ETLOPT_DRIFT_QERROR_THRESHOLD", options.qerror_threshold);
   options.ewma_alpha = EnvDouble("ETLOPT_DRIFT_EWMA_ALPHA", options.ewma_alpha);
+  options.sketch_widen_factor =
+      EnvDouble("ETLOPT_DRIFT_SKETCH_WIDEN", options.sketch_widen_factor);
   return options;
 }
 
@@ -61,6 +63,18 @@ NumericStatValues(const RunRecord& record) {
     block.emplace(StatKey::Card(c.se), c.actual);
   }
   return values;
+}
+
+std::vector<std::unordered_map<StatKey, double, StatKeyHash>>
+SketchRelErrors(const RunRecord& record) {
+  std::vector<std::unordered_map<StatKey, double, StatKeyHash>> errors(
+      record.block_stats.size());
+  for (size_t b = 0; b < record.block_stats.size(); ++b) {
+    for (const auto& [key, value] : record.block_stats[b].values()) {
+      if (value.is_approx()) errors[b][key] = value.rel_error();
+    }
+  }
+  return errors;
 }
 
 bool DriftReport::IsDrifted(int block, const StatKey& key) const {
@@ -107,7 +121,7 @@ std::string DriftReport::ToText(const AttrCatalog* catalog) const {
         << PadLeft(rel.str(), 8) << PadLeft(qe.str(), 8) << "  "
         << (f.drifted ? "DRIFT -> re-instrument"
                       : (f.history_runs == 0 ? "no history" : "ok"))
-        << "\n";
+        << (f.sketch_backed ? " (sketch, widened)" : "") << "\n";
   }
   if (any_drift()) {
     out << "  recommendation: re-enable " << reinstrument.size()
@@ -120,12 +134,26 @@ DriftReport DriftDetector::Compare(const std::vector<RunRecord>& history,
                                    const RunRecord& current) const {
   DriftReport report;
   const auto current_values = NumericStatValues(current);
+  const auto current_errors = SketchRelErrors(current);
   std::vector<std::vector<std::unordered_map<StatKey, double, StatKeyHash>>>
       history_values;
+  std::vector<std::vector<std::unordered_map<StatKey, double, StatKeyHash>>>
+      history_errors;
   history_values.reserve(history.size());
+  history_errors.reserve(history.size());
   for (const RunRecord& record : history) {
     history_values.push_back(NumericStatValues(record));
+    history_errors.push_back(SketchRelErrors(record));
   }
+  auto is_sketch_backed = [&](size_t b, const StatKey& key) {
+    if (b < current_errors.size() && current_errors[b].count(key) > 0) {
+      return true;
+    }
+    for (const auto& run : history_errors) {
+      if (b < run.size() && run[b].count(key) > 0) return true;
+    }
+    return false;
+  };
 
   for (size_t b = 0; b < current_values.size(); ++b) {
     std::vector<StatKey> keys;
@@ -159,14 +187,20 @@ DriftReport DriftDetector::Compare(const std::vector<RunRecord>& history,
         finding.previous = it->second;
         ++finding.history_runs;
       }
+      finding.sketch_backed = is_sketch_backed(b, key);
       if (finding.history_runs >= options_.min_history) {
         finding.ewma = ewma;
         finding.rel_change =
             std::abs(finding.current - ewma) / std::max(std::abs(ewma), 1.0);
         finding.qerror = QError(finding.current, ewma);
+        // Sketch-backed comparisons mix approximation noise into the
+        // apparent change; widen the tolerance before declaring drift.
+        const double widen = finding.sketch_backed
+                                 ? std::max(options_.sketch_widen_factor, 1.0)
+                                 : 1.0;
         finding.drifted =
-            finding.rel_change > options_.rel_change_threshold ||
-            finding.qerror > options_.qerror_threshold;
+            finding.rel_change > options_.rel_change_threshold * widen ||
+            finding.qerror > options_.qerror_threshold * widen;
       }
       if (finding.drifted) {
         report.reinstrument.emplace_back(finding.block, key);

@@ -24,9 +24,15 @@ struct DriftOptions {
   double ewma_alpha = 0.3;
   // Runs of history required before a key can be assessed at all.
   int min_history = 1;
+  // Threshold multiplier for statistics that are sketch-collected in the
+  // current run or anywhere in their history: an apparent change smaller
+  // than the sketches' own error bound is noise, not drift, so both
+  // thresholds widen by this factor before comparing.
+  double sketch_widen_factor = 2.0;
 
   // Defaults overridden by ETLOPT_DRIFT_REL_THRESHOLD,
-  // ETLOPT_DRIFT_QERROR_THRESHOLD, and ETLOPT_DRIFT_EWMA_ALPHA.
+  // ETLOPT_DRIFT_QERROR_THRESHOLD, ETLOPT_DRIFT_EWMA_ALPHA, and
+  // ETLOPT_DRIFT_SKETCH_WIDEN.
   static DriftOptions FromEnv();
 };
 
@@ -43,6 +49,9 @@ struct DriftFinding {
   double qerror = 1.0;
   bool drifted = false;
   int history_runs = 0;
+  // True when the current or any history value was sketch-collected; the
+  // drift thresholds applied to this key were widened accordingly.
+  bool sketch_backed = false;
 };
 
 struct DriftReport {
@@ -85,6 +94,11 @@ class DriftDetector {
 // and the lifecycle wiring agree on the comparison domain.
 std::vector<std::unordered_map<StatKey, double, StatKeyHash>>
 NumericStatValues(const RunRecord& record);
+
+// Which of a record's observed statistics were sketch-collected, per block
+// (key present -> approximate, value = its relative-error parameter).
+std::vector<std::unordered_map<StatKey, double, StatKeyHash>>
+SketchRelErrors(const RunRecord& record);
 
 }  // namespace obs
 }  // namespace etlopt

@@ -71,6 +71,12 @@ Result<PlanExplain> BuildPlanExplain(
                          ? "observed"
                          : RuleName(prov->rule);
         entry.feeding = estimator.ObservedLeaves(card_key);
+        // Sketch-backed estimates carry the propagated error bound so the
+        // reader knows the estimate is approximate, and by how much.
+        const StatValue* value = estimator.derived().Find(card_key);
+        if (value != nullptr && value->is_approx()) {
+          entry.rel_error = value->rel_error();
+        }
       }
       if (input.actuals != nullptr) {
         const auto it = input.actuals->find(se);
@@ -133,6 +139,12 @@ std::string FormatPlanExplainText(const PlanExplain& explain,
       out << ")";
       if (!entry.source_run_id.empty()) out << " @" << entry.source_run_id;
     }
+    if (entry.rel_error >= 0) {
+      std::ostringstream e;
+      e.precision(1);
+      e << std::fixed << entry.rel_error * 100.0;
+      out << "  [~±" << e.str() << "%]";
+    }
     if (entry.drifted) out << "  [DRIFT]";
     out << "\n";
   }
@@ -155,6 +167,7 @@ std::string PlanExplainJson(const PlanExplain& explain,
     je.Set("actual", Json::Double(entry.actual));
     je.Set("qerror", Json::Double(entry.qerror));
     je.Set("drifted", Json::Bool(entry.drifted));
+    je.Set("rel_error", Json::Double(entry.rel_error));
     je.Set("rule", Json::Str(entry.rule));
     je.Set("source_run_id", Json::Str(entry.source_run_id));
     Json feeding = Json::Array();

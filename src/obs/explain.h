@@ -34,6 +34,7 @@ struct SeExplainEntry {
   double actual = -1.0;        // -1: unknown
   double qerror = -1.0;        // -1: either side missing
   bool drifted = false;
+  double rel_error = -1.0;     // sketch error bound; -1: exact derivation
   std::string rule;            // deriving CSS rule, or "observed"
   std::vector<StatKey> feeding;   // observed leaf statistics
   std::string source_run_id;      // run id those leaves were stored under

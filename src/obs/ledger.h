@@ -44,7 +44,10 @@ struct RunRecord {
 
   // The statistics observed in this run, per block — complete values
   // (histograms included), so a later process can re-derive every estimate
-  // this run could have made.
+  // this run could have made. Each value carries its collection mode (exact
+  // vs sketch, with the sketch's relative-error parameter) through the
+  // stat_io codec, so cross-run drift comparisons know when they are
+  // comparing approximations rather than exact observations.
   std::vector<StatStore> block_stats;
 
   // Counter snapshot at record time (sorted name -> value).

@@ -1,0 +1,107 @@
+#include "sketch/countmin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sketch/sketch.h"
+#include "util/common.h"
+
+namespace etlopt {
+namespace sketch {
+
+CountMin::CountMin(int width, int depth) : width_(width), depth_(depth) {
+  ETLOPT_CHECK_MSG(width >= 1 && depth >= 1 && depth <= 16,
+                   "Count-Min shape out of range");
+  counters_.assign(static_cast<size_t>(width_) * static_cast<size_t>(depth_),
+                   0);
+}
+
+CountMin CountMin::ForError(double epsilon, double delta) {
+  const int width = std::max(
+      1, static_cast<int>(std::ceil(std::exp(1.0) / epsilon)));
+  const int depth = std::max(
+      1, static_cast<int>(std::ceil(std::log(1.0 / delta))));
+  return CountMin(width, std::min(depth, 16));
+}
+
+size_t CountMin::Index(int row, uint64_t hash) const {
+  // Double hashing: row hashes h1 + i*h2 are pairwise independent enough
+  // for the CM bound; h2 is forced odd so every row permutes the space.
+  const uint64_t h1 = hash;
+  const uint64_t h2 = Mix64(hash ^ 0x9e3779b97f4a7c15ULL) | 1;
+  const uint64_t combined = h1 + static_cast<uint64_t>(row) * h2;
+  return static_cast<size_t>(row) * static_cast<size_t>(width_) +
+         static_cast<size_t>(combined % static_cast<uint64_t>(width_));
+}
+
+void CountMin::AddHash(uint64_t hash, int64_t count) {
+  for (int d = 0; d < depth_; ++d) {
+    counters_[Index(d, hash)] += count;
+  }
+  total_ += count;
+}
+
+int64_t CountMin::Estimate(uint64_t hash) const {
+  int64_t best = INT64_MAX;
+  for (int d = 0; d < depth_; ++d) {
+    best = std::min(best, counters_[Index(d, hash)]);
+  }
+  return best == INT64_MAX ? 0 : best;
+}
+
+double CountMin::EpsilonFraction() const {
+  return std::exp(1.0) / static_cast<double>(width_);
+}
+
+Status CountMin::Merge(const CountMin& other) {
+  if (other.width_ != width_ || other.depth_ != depth_) {
+    return Status::InvalidArgument("Count-Min shape mismatch in merge");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  total_ += other.total_;
+  return Status::OK();
+}
+
+int64_t CountMin::MemoryBytes() const {
+  return static_cast<int64_t>(counters_.size() * sizeof(int64_t)) +
+         static_cast<int64_t>(sizeof(CountMin));
+}
+
+Json CountMin::ToJson() const {
+  Json j = Json::Object();
+  j.Set("type", Json::Str("countmin"));
+  j.Set("w", Json::Int(width_));
+  j.Set("d", Json::Int(depth_));
+  j.Set("total", Json::Int(total_));
+  Json cells = Json::Array();
+  for (int64_t c : counters_) cells.push_back(Json::Int(c));
+  j.Set("cells", std::move(cells));
+  return j;
+}
+
+Result<CountMin> CountMin::FromJson(const Json& j) {
+  if (!j.is_object() || j.GetString("type") != "countmin") {
+    return Status::InvalidArgument("not a Count-Min sketch document");
+  }
+  const int w = static_cast<int>(j.GetInt("w"));
+  const int d = static_cast<int>(j.GetInt("d"));
+  if (w < 1 || d < 1 || d > 16) {
+    return Status::InvalidArgument("Count-Min shape out of range");
+  }
+  CountMin cm(w, d);
+  cm.total_ = j.GetInt("total");
+  const Json* cells = j.Find("cells");
+  if (cells == nullptr || !cells->is_array() ||
+      cells->array().size() != cm.counters_.size()) {
+    return Status::InvalidArgument("Count-Min counter array malformed");
+  }
+  for (size_t i = 0; i < cm.counters_.size(); ++i) {
+    cm.counters_[i] = cells->array()[i].int_value();
+  }
+  return cm;
+}
+
+}  // namespace sketch
+}  // namespace etlopt

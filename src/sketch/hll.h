@@ -1,0 +1,54 @@
+#ifndef ETLOPT_SKETCH_HLL_H_
+#define ETLOPT_SKETCH_HLL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace etlopt {
+namespace sketch {
+
+// HyperLogLog distinct-count sketch (Flajolet et al. 2007) with the
+// small-range linear-counting correction. Constant memory: m = 2^precision
+// one-byte registers, independent of stream length. Standard relative error
+// is 1.04 / sqrt(m) (so precision 12 -> 4 KiB -> ~1.6%); Add is one hash +
+// one register max, and two sketches of the same precision merge by
+// register-wise max, which makes the merged state identical to the sketch
+// of the concatenated streams.
+class Hll {
+ public:
+  static constexpr int kMinPrecision = 4;
+  static constexpr int kMaxPrecision = 18;
+
+  explicit Hll(int precision = 12);
+
+  void AddHash(uint64_t hash);
+
+  int64_t Estimate() const;
+
+  // 1-sigma relative standard error of Estimate: 1.04 / sqrt(m).
+  double StandardError() const;
+
+  // Register-wise max. Requires equal precision.
+  Status Merge(const Hll& other);
+
+  int precision() const { return precision_; }
+  int num_registers() const { return static_cast<int>(registers_.size()); }
+  int64_t MemoryBytes() const;
+
+  const std::vector<uint8_t>& registers() const { return registers_; }
+
+  Json ToJson() const;
+  static Result<Hll> FromJson(const Json& j);
+
+ private:
+  int precision_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace sketch
+}  // namespace etlopt
+
+#endif  // ETLOPT_SKETCH_HLL_H_

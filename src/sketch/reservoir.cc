@@ -1,0 +1,127 @@
+#include "sketch/reservoir.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace etlopt {
+namespace sketch {
+namespace {
+
+bool PriorityGreater(const Reservoir::Item& a, const Reservoir::Item& b) {
+  return a.priority > b.priority;
+}
+
+}  // namespace
+
+Reservoir::Reservoir(int capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  ETLOPT_CHECK_MSG(capacity >= 1, "reservoir capacity must be >= 1");
+  heap_.reserve(static_cast<size_t>(capacity));
+}
+
+void Reservoir::Push(Item item) {
+  if (static_cast<int>(heap_.size()) < capacity_) {
+    heap_.push_back(std::move(item));
+    std::push_heap(heap_.begin(), heap_.end(), PriorityGreater);
+    return;
+  }
+  if (item.priority <= heap_.front().priority) return;
+  std::pop_heap(heap_.begin(), heap_.end(), PriorityGreater);
+  heap_.back() = std::move(item);
+  std::push_heap(heap_.begin(), heap_.end(), PriorityGreater);
+}
+
+void Reservoir::Add(std::vector<Value> row, double weight) {
+  ETLOPT_CHECK_MSG(weight > 0.0, "reservoir weights must be positive");
+  ++total_seen_;
+  total_weight_ += weight;
+  // u in (0,1]: flip NextDouble's [0,1) so log never sees 0.
+  const double u = 1.0 - rng_.NextDouble();
+  Item item;
+  item.priority = std::pow(u, 1.0 / weight);
+  item.weight = weight;
+  item.row = std::move(row);
+  Push(std::move(item));
+}
+
+std::vector<Reservoir::Item> Reservoir::Sorted() const {
+  std::vector<Item> sorted = heap_;
+  std::sort(sorted.begin(), sorted.end(), PriorityGreater);
+  return sorted;
+}
+
+Status Reservoir::Merge(const Reservoir& other) {
+  if (other.capacity_ != capacity_) {
+    return Status::InvalidArgument("reservoir capacity mismatch in merge");
+  }
+  total_seen_ += other.total_seen_;
+  total_weight_ += other.total_weight_;
+  for (const Item& item : other.heap_) {
+    Push(item);
+  }
+  return Status::OK();
+}
+
+int64_t Reservoir::MemoryBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(Reservoir));
+  for (const Item& item : heap_) {
+    bytes += static_cast<int64_t>(sizeof(Item)) +
+             static_cast<int64_t>(item.row.size() * sizeof(Value));
+  }
+  return bytes;
+}
+
+Json Reservoir::ToJson() const {
+  Json j = Json::Object();
+  j.Set("type", Json::Str("reservoir"));
+  j.Set("k", Json::Int(capacity_));
+  j.Set("seen", Json::Int(total_seen_));
+  j.Set("total_weight", Json::Double(total_weight_));
+  Json items = Json::Array();
+  for (const Item& item : Sorted()) {
+    Json e = Json::Object();
+    e.Set("p", Json::Double(item.priority));
+    e.Set("w", Json::Double(item.weight));
+    Json vals = Json::Array();
+    for (Value v : item.row) vals.push_back(Json::Int(v));
+    e.Set("row", std::move(vals));
+    items.push_back(std::move(e));
+  }
+  j.Set("items", std::move(items));
+  return j;
+}
+
+Result<Reservoir> Reservoir::FromJson(const Json& j) {
+  if (!j.is_object() || j.GetString("type") != "reservoir") {
+    return Status::InvalidArgument("not a reservoir sketch document");
+  }
+  const int k = static_cast<int>(j.GetInt("k"));
+  if (k < 1) return Status::InvalidArgument("reservoir capacity out of range");
+  Reservoir r(k);
+  r.total_seen_ = j.GetInt("seen");
+  r.total_weight_ = j.GetDouble("total_weight");
+  const Json* items = j.Find("items");
+  if (items == nullptr || !items->is_array()) {
+    return Status::InvalidArgument("reservoir items malformed");
+  }
+  for (const Json& e : items->array()) {
+    if (!e.is_object()) {
+      return Status::InvalidArgument("reservoir item malformed");
+    }
+    Item item;
+    item.priority = e.GetDouble("p");
+    item.weight = e.GetDouble("w", 1.0);
+    if (const Json* vals = e.Find("row");
+        vals != nullptr && vals->is_array()) {
+      for (const Json& v : vals->array()) item.row.push_back(v.int_value());
+    }
+    if (static_cast<int>(r.heap_.size()) >= k) {
+      return Status::InvalidArgument("reservoir holds more than k items");
+    }
+    r.Push(std::move(item));
+  }
+  return r;
+}
+
+}  // namespace sketch
+}  // namespace etlopt

@@ -1,0 +1,65 @@
+#ifndef ETLOPT_SKETCH_RESERVOIR_H_
+#define ETLOPT_SKETCH_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+#include "util/json.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace etlopt {
+namespace sketch {
+
+// Weighted reservoir sample of capacity k (algorithm A-Res, Efraimidis &
+// Spirakis 2006): each item draws priority u^(1/w) with u uniform in (0,1)
+// and the k largest priorities are kept, so the inclusion probability of an
+// item is proportional to its weight. With unit weights this degenerates to
+// classic uniform reservoir sampling. Priorities ride along with the items,
+// which makes two reservoirs mergeable — keep the k largest priorities of
+// the union — exactly as if one reservoir had seen both streams (given
+// disjoint randomness). Deterministic under an explicit seed.
+class Reservoir {
+ public:
+  explicit Reservoir(int capacity = 256, uint64_t seed = 0x5eedULL);
+
+  struct Item {
+    double priority = 0.0;
+    double weight = 1.0;
+    std::vector<Value> row;
+  };
+
+  void Add(std::vector<Value> row, double weight = 1.0);
+
+  // Items in decreasing priority order.
+  std::vector<Item> Sorted() const;
+
+  const std::vector<Item>& items() const { return heap_; }
+  int capacity() const { return capacity_; }
+  size_t size() const { return heap_.size(); }
+  int64_t total_seen() const { return total_seen_; }
+  double total_weight() const { return total_weight_; }
+
+  // Keeps the k largest priorities of the union. Requires equal capacity.
+  Status Merge(const Reservoir& other);
+
+  int64_t MemoryBytes() const;
+
+  Json ToJson() const;
+  static Result<Reservoir> FromJson(const Json& j);
+
+ private:
+  void Push(Item item);
+
+  int capacity_;
+  Rng rng_;
+  int64_t total_seen_ = 0;
+  double total_weight_ = 0.0;
+  std::vector<Item> heap_;  // min-heap on priority
+};
+
+}  // namespace sketch
+}  // namespace etlopt
+
+#endif  // ETLOPT_SKETCH_RESERVOIR_H_

@@ -1,5 +1,7 @@
 #include "stats/cost_model.h"
 
+#include <algorithm>
+
 #include "util/common.h"
 
 namespace etlopt {
@@ -30,8 +32,14 @@ double CostModel::MemoryCost(const StatKey& key) const {
       return 1.0;  // one counter
     case StatKind::kDistinct:
     case StatKind::kHist:
-    case StatKind::kRejectJoinHist:
-      return static_cast<double>(catalog_->DomainProduct(key.attrs));
+    case StatKind::kRejectJoinHist: {
+      const double exact = static_cast<double>(catalog_->DomainProduct(key.attrs));
+      if (options_.sketch_memory_cap > 0) {
+        return std::min(exact,
+                        static_cast<double>(options_.sketch_memory_cap));
+      }
+      return exact;
+    }
   }
   return 0.0;
 }

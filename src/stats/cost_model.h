@@ -22,6 +22,12 @@ struct CostModelOptions {
   // CPU cost of a statistic whose SE size is unknown (first run, no
   // feedback yet): a coarse pessimistic default.
   int64_t default_se_size = 100000;
+  // When > 0: the collector for a distinct/histogram statistic is allowed
+  // to degrade to a budget-bounded sketch, so its memory cost (in the
+  // paper's integer units) is capped at this value instead of growing with
+  // the attribute domain product. Set by the pipeline from
+  // tap_memory_budget_bytes; 0 preserves the exact-collection cost table.
+  int64_t sketch_memory_cap = 0;
 };
 
 // Implements the paper's Section 5.4 cost table:

@@ -62,6 +62,50 @@ Result<int64_t> Field(const std::string& token, const char* name,
   }
 }
 
+// Parses "name=value" as a double; error on mismatch.
+Result<double> DoubleField(const std::string& token, const char* name,
+                           int lineno) {
+  const std::string prefix = std::string(name) + "=";
+  if (token.rfind(prefix, 0) != 0) {
+    return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                   ": expected " + prefix + "..., got '" +
+                                   token + "'");
+  }
+  try {
+    size_t pos = 0;
+    const double v = std::stod(token.substr(prefix.size()), &pos);
+    if (pos != token.size() - prefix.size()) {
+      throw std::invalid_argument(token);
+    }
+    return v;
+  } catch (...) {
+    return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                   ": bad number in '" + token + "'");
+  }
+}
+
+// Trailing "mode=sketch err=<e>" annotation after value=/buckets=. Absent
+// tokens mean exact collection — the pre-sketch format parses unchanged, so
+// old ledgers and stat files stay loadable.
+Result<double> ParseModeSuffix(std::istringstream& ls, int lineno) {
+  std::string token;
+  double rel_error = 0.0;
+  bool sketch = false;
+  while (ls >> token) {
+    if (token == "mode=exact") {
+      continue;
+    } else if (token == "mode=sketch") {
+      sketch = true;
+    } else if (token.rfind("err=", 0) == 0) {
+      ETLOPT_ASSIGN_OR_RETURN(rel_error, DoubleField(token, "err", lineno));
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                     ": unexpected token '" + token + "'");
+    }
+  }
+  return sketch ? std::max(rel_error, 0.0) : -1.0;  // -1: exact
+}
+
 // Writes "<kind> rels=.. stage=.. [attrs=..] [left=.. k=..]".
 void AppendKeySpec(std::ostream& out, const StatKey& key) {
   out << KindToken(key.kind) << " rels=" << key.rels
@@ -149,13 +193,21 @@ std::string WriteStatStoreText(const StatStore& store) {
   std::ostringstream out;
   for (const StatKey* key : keys) {
     const StatValue& value = *store.Find(*key);
+    // Collection-mode annotation: only sketch-backed values carry it, so
+    // exact stores serialize byte-identically to the pre-sketch format.
+    std::string mode_suffix;
+    if (value.is_approx()) {
+      std::ostringstream m;
+      m << " mode=sketch err=" << value.rel_error();
+      mode_suffix = m.str();
+    }
     out << "stat ";
     AppendKeySpec(out, *key);
     if (value.is_count()) {
-      out << " value=" << value.count() << "\n";
+      out << " value=" << value.count() << mode_suffix << "\n";
     } else {
       const Histogram& hist = value.hist();
-      out << " buckets=" << hist.NumBuckets() << "\n";
+      out << " buckets=" << hist.NumBuckets() << mode_suffix << "\n";
       // Deterministic bucket order.
       std::vector<std::pair<std::vector<Value>, int64_t>> entries(
           hist.buckets().begin(), hist.buckets().end());
@@ -181,10 +233,15 @@ Result<StatStore> ParseStatStoreText(const std::string& text) {
   StatKey pending_key;
   Histogram pending;
   int64_t remaining_buckets = 0;
+  double pending_rel_error = -1.0;  // -1: exact
 
   auto flush = [&]() {
     if (pending_hist) {
-      store.Set(pending_key, StatValue::Hist(std::move(pending)));
+      store.Set(pending_key,
+                pending_rel_error >= 0.0
+                    ? StatValue::HistApprox(std::move(pending),
+                                            pending_rel_error)
+                    : StatValue::Hist(std::move(pending)));
       pending_hist = false;
     }
   };
@@ -244,6 +301,8 @@ Result<StatStore> ParseStatStoreText(const std::string& text) {
     if (is_hist) {
       ETLOPT_ASSIGN_OR_RETURN(remaining_buckets,
                               Field(token, "buckets", lineno));
+      ETLOPT_ASSIGN_OR_RETURN(pending_rel_error,
+                              ParseModeSuffix(ls, lineno));
       pending_key = key;
       pending = Histogram(key.attrs);
       pending_hist = true;
@@ -251,7 +310,11 @@ Result<StatStore> ParseStatStoreText(const std::string& text) {
     } else {
       ETLOPT_ASSIGN_OR_RETURN(const int64_t value,
                               Field(token, "value", lineno));
-      store.Set(key, StatValue::Count(value));
+      ETLOPT_ASSIGN_OR_RETURN(const double rel_error,
+                              ParseModeSuffix(ls, lineno));
+      store.Set(key, rel_error >= 0.0
+                         ? StatValue::CountApprox(value, rel_error)
+                         : StatValue::Count(value));
     }
   }
   if (pending_hist && remaining_buckets > 0) {

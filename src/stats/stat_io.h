@@ -19,9 +19,13 @@ namespace etlopt {
 //   bucket 7 = 13
 //   bucket 9 = 5
 //   stat rejcard rels=4 left=1 k=1 value=17
+//   stat distinct rels=2 stage=-1 attrs=4 value=9984 mode=sketch err=0.0163
 //
 // Masks are decimal; histogram bucket keys list one value per attribute in
-// increasing AttrId order.
+// increasing AttrId order. Sketch-collected values append their collection
+// mode and relative-error parameter ("mode=sketch err=<e>") so cross-run
+// consumers (ledger, drift detection) never mix precisions silently; exact
+// values omit the suffix and the pre-sketch format parses unchanged.
 std::string WriteStatStoreText(const StatStore& store);
 
 Result<StatStore> ParseStatStoreText(const std::string& text);

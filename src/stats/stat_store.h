@@ -10,8 +10,19 @@
 
 namespace etlopt {
 
+// How a statistic value was collected. Exact values come from full
+// materialization (the seed behavior); sketch values come from streaming
+// approximate taps (src/sketch) and carry a relative-error parameter.
+enum class CollectionMode : uint8_t { kExact = 0, kSketch };
+
 // The value of a statistic: a count (Card / Distinct / RejectJoinCard) or a
-// histogram (Hist / RejectJoinHist).
+// histogram (Hist / RejectJoinHist), annotated with its collection mode and
+// (for sketch-backed or derived-from-sketch values) a relative error bound.
+// `rel_error` is the 1-sigma relative standard error for HLL/KMV-backed
+// counts and the one-sided overestimate fraction for Count-Min-backed
+// histograms; derivation through CSS rules accumulates input errors
+// first-order (sums), a conservative bound for the rules' products, ratios
+// and dot products.
 class StatValue {
  public:
   StatValue() : is_count_(true), count_(0) {}
@@ -27,6 +38,18 @@ class StatValue {
     v.hist_ = std::move(hist);
     return v;
   }
+  static StatValue CountApprox(int64_t count, double rel_error) {
+    StatValue v = Count(count);
+    v.mode_ = CollectionMode::kSketch;
+    v.rel_error_ = rel_error;
+    return v;
+  }
+  static StatValue HistApprox(Histogram hist, double rel_error) {
+    StatValue v = Hist(std::move(hist));
+    v.mode_ = CollectionMode::kSketch;
+    v.rel_error_ = rel_error;
+    return v;
+  }
 
   bool is_count() const { return is_count_; }
   int64_t count() const {
@@ -38,10 +61,22 @@ class StatValue {
     return hist_;
   }
 
+  CollectionMode mode() const { return mode_; }
+  bool is_approx() const { return mode_ == CollectionMode::kSketch; }
+  double rel_error() const { return rel_error_; }
+  // Marks a derived value as inheriting approximation error from its
+  // inputs (the estimator's first-order propagation).
+  void SetApprox(double rel_error) {
+    mode_ = CollectionMode::kSketch;
+    rel_error_ = rel_error;
+  }
+
  private:
   bool is_count_;
   int64_t count_ = 0;
   Histogram hist_;
+  CollectionMode mode_ = CollectionMode::kExact;
+  double rel_error_ = 0.0;
 };
 
 // Observed and derived statistic values, keyed by StatKey. One store per

@@ -42,6 +42,13 @@
 //                             actual rows, q-error, and which stored
 //                             statistic fed each estimate
 //   --json                    (explain) machine-readable output
+//
+// Approximate instrumentation (analyze and run):
+//   --approx-taps[=<bytes>]   collect distinct/histogram taps with streaming
+//                             sketches when the estimated exact footprint
+//                             exceeds the byte budget (default 1 MiB);
+//                             reports exact-vs-sketch memory and feeds the
+//                             sketch q-error telemetry
 
 #include <cstdio>
 #include <cstdlib>
@@ -61,6 +68,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "opt/resource.h"
+#include "util/bitmask.h"
 #include "util/random.h"
 
 using namespace etlopt;
@@ -144,6 +152,11 @@ bool ParsePipelineFlag(const std::string& arg, PipelineOptions* options) {
     options->css.enable_fk_rules = false;
   } else if (arg == "--left-deep") {
     options->plan_space.left_deep_only = true;
+  } else if (arg == "--approx-taps") {
+    options->tap_memory_budget_bytes = 1 << 20;  // 1 MiB default
+  } else if (arg.rfind("--approx-taps=", 0) == 0) {
+    options->tap_memory_budget_bytes =
+        std::atoll(arg.c_str() + std::strlen("--approx-taps="));
   } else {
     return false;
   }
@@ -279,10 +292,62 @@ int Run(const std::string& target, int argc, char** argv) {
     }
   }
 
-  std::printf("\nexecuted: %lld rows processed\n",
-              static_cast<long long>(cycle->run.exec.rows_processed));
+  std::printf("\nexecuted: %lld rows (%lld bytes) processed\n",
+              static_cast<long long>(cycle->run.exec.rows_processed),
+              static_cast<long long>(cycle->run.exec.bytes_processed));
   std::printf("plan cost (learned stats): initial %.0f -> optimized %.0f\n",
               cycle->opt.initial_cost, cycle->opt.optimized_cost);
+
+  if (options.tap_memory_budget_bytes > 0) {
+    const TapReport& taps = cycle->run.tap_report;
+    std::printf(
+        "approx taps (budget %lld bytes): %d exact + %d sketch tap(s), "
+        "%lld tap bytes vs %lld exact-estimate bytes",
+        static_cast<long long>(options.tap_memory_budget_bytes),
+        taps.exact_taps, taps.sketch_taps,
+        static_cast<long long>(taps.tap_bytes),
+        static_cast<long long>(taps.exact_bytes_estimate));
+    if (taps.tap_bytes > 0 && taps.exact_bytes_estimate > 0) {
+      std::printf(" (%.1fx reduction)",
+                  static_cast<double>(taps.exact_bytes_estimate) /
+                      static_cast<double>(taps.tap_bytes));
+    }
+    std::printf("\n");
+    // Sketch accuracy: re-observe the sketch-backed statistics exactly and
+    // feed estimate-vs-truth into the q-error telemetry (shown under
+    // --obs-summary, label "sketch").
+    if (taps.sketch_taps > 0) {
+      for (size_t b = 0; b < cycle->analysis->blocks.size() &&
+                         b < cycle->run.block_stats.size();
+           ++b) {
+        const auto& ba = cycle->analysis->blocks[b];
+        const StatStore& approx = cycle->run.block_stats[b];
+        std::vector<StatKey> sketch_keys;
+        for (const auto& [key, value] : approx.values()) {
+          if (value.is_approx()) sketch_keys.push_back(key);
+        }
+        if (sketch_keys.empty()) continue;
+        const Result<StatStore> exact =
+            ObserveStatistics(ba->ctx, cycle->run.exec, sketch_keys);
+        if (!exact.ok()) continue;
+        for (const StatKey& key : sketch_keys) {
+          const StatValue* av = approx.Find(key);
+          const StatValue* ev = exact->Find(key);
+          if (av == nullptr || ev == nullptr) continue;
+          // Counts compare directly; histograms compare the row mass they
+          // summarize (the I1 identity the rescaling preserves).
+          const double est = av->is_count()
+                                 ? static_cast<double>(av->count())
+                                 : static_cast<double>(av->hist().TotalCount());
+          const double act = ev->is_count()
+                                 ? static_cast<double>(ev->count())
+                                 : static_cast<double>(ev->hist().TotalCount());
+          obs::AccuracyTracker::Global().Record("sketch", PopCount(key.rels) - 1,
+                                                est, act);
+        }
+      }
+    }
+  }
 
   if (!ledger_path.empty() || explain) {
     const std::string fingerprint =
@@ -492,6 +557,7 @@ void Usage() {
       "                 [--selector=greedy|ilp] [--metrics-out=<file>]\n"
       "                 [--trace-out=<file>] [--obs-summary]\n"
       "                 [--ledger=<file>] [--explain]\n"
+      "                 [--approx-taps[=<bytes>]]  (default 1 MiB budget)\n"
       "  etlopt_advisor explain <workflow-file|suite-index 1..30>\n"
       "                 --ledger=<file> [--json] [--selector=greedy|ilp]\n"
       "  etlopt_advisor dot <workflow-file>\n"
