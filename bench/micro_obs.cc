@@ -10,6 +10,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault.h"
 
 namespace etlopt {
 namespace {
@@ -120,6 +121,42 @@ void BM_SpanObsDisabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpanObsDisabled);
+
+// The fault-injection guard on the executor hot paths when no spec is
+// installed (ETLOPT_FAULT_SPEC unset): one pointer load + null branch.
+// This is the configuration every production run pays for, so it must be
+// indistinguishable from the uninstrumented baseline.
+void BM_FaultGuardDisabled(benchmark::State& state) {
+  benchmark::DoNotOptimize(fault::FaultInjector::InstallGlobal("").ok());
+  int64_t fired = 0;
+  for (auto _ : state) {
+    const fault::FaultInjector* inj = fault::FaultInjector::Global();
+    if (inj != nullptr && inj->HasRules(fault::Scope::kSource, "orders")) {
+      ++fired;
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultGuardDisabled);
+
+// The same guard with an injector installed whose rules target a different
+// site: the per-row cost of running *near* a fault spec without matching it.
+void BM_FaultGuardNonMatching(benchmark::State& state) {
+  benchmark::DoNotOptimize(
+      fault::FaultInjector::InstallGlobal("source:other:io_error").ok());
+  int64_t fired = 0;
+  for (auto _ : state) {
+    const fault::FaultInjector* inj = fault::FaultInjector::Global();
+    if (inj != nullptr && inj->HasRules(fault::Scope::kSource, "orders")) {
+      ++fired;
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+  benchmark::DoNotOptimize(fault::FaultInjector::InstallGlobal("").ok());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultGuardNonMatching);
 
 }  // namespace
 }  // namespace etlopt

@@ -1,9 +1,12 @@
 #include "core/lifecycle.h"
 
+#include <algorithm>
+#include <cmath>
 #include <optional>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 
 namespace etlopt {
 namespace {
@@ -25,6 +28,43 @@ Result<OptimizedPlan> PlanFromCoverTree(
     plan.choices[se] = choice;
   }
   return plan;
+}
+
+// Sorted (name, value) view of a string->int64 map, for deterministic
+// result fields.
+std::vector<std::pair<std::string, int64_t>> SortedCounts(
+    const std::unordered_map<std::string, int64_t>& counts) {
+  std::vector<std::pair<std::string, int64_t>> sorted(counts.begin(),
+                                                      counts.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+// Low-confidence SE-size feedback from a prior partial run. The salvaged
+// cardinalities reflect a completed prefix of the workflow, so each is
+// scaled up by the run's completion watermark before seeding the selection
+// cost model — a crude full-run extrapolation, but strictly better than
+// the cold-start guess the cost model would otherwise fall back to.
+std::vector<CardMap> PartialRunFeedback(const obs::RunRecord& last,
+                                        size_t num_blocks) {
+  std::vector<CardMap> feedback(num_blocks);
+  const double completion = std::clamp(last.completion, 0.05, 1.0);
+  int64_t seeded = 0;
+  for (const obs::RunRecord::SeCard& card : last.cards) {
+    const double rows = card.actual >= 0 ? card.actual : card.estimated;
+    if (rows < 0 || card.block < 0 ||
+        card.block >= static_cast<int>(num_blocks)) {
+      continue;
+    }
+    feedback[static_cast<size_t>(card.block)][card.se] =
+        static_cast<int64_t>(std::llround(rows / completion));
+    ++seeded;
+  }
+  ETLOPT_COUNTER_ADD("etlopt.core.partial_feedback_keys", seeded);
+  ETLOPT_LOG(Info) << "seeding selection cost model with " << seeded
+                   << " SE size(s) salvaged from partial run '" << last.run_id
+                   << "' (completion " << last.completion << ")";
+  return feedback;
 }
 
 }  // namespace
@@ -64,9 +104,20 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
 
   // ---- Step 4 under the budget (Section 6.1) ----
   phase_span.emplace("lifecycle.budgeted_selection");
+  // A prior partial run's salvage seeds the cost model (watermark-scaled,
+  // low-confidence) so this run's selection is not cold-started.
+  std::vector<CardMap> partial_feedback;
+  if (history != nullptr && !history->empty() && history->back().partial) {
+    partial_feedback = PartialRunFeedback(history->back(), contexts.size());
+  }
   std::vector<SelectionProblem> problems;
   for (size_t b = 0; b < contexts.size(); ++b) {
     CostModel cost_model(&workflow.catalog(), options.cost);
+    if (b < partial_feedback.size()) {
+      for (const auto& [se, rows] : partial_feedback[b]) {
+        cost_model.SetSeSize(se, rows);
+      }
+    }
     SelectionOptions sel_options;
     sel_options.free_source_stats = options.free_source_stats;
     sel_options.force_observe = options.force_observe;
@@ -82,18 +133,32 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
 
   // ---- Run 1: designed plan, instrumented with the affordable set ----
   phase_span.emplace("lifecycle.first_run");
-  Executor executor(&workflow);
+  Executor executor(&workflow, options.executor);
   ETLOPT_ASSIGN_OR_RETURN(const ExecutionResult first_exec,
                           executor.Execute(sources));
   result.executions = 1;
+  if (first_exec.aborted()) {
+    result.abort_kind = first_exec.abort_kind;
+    result.abort_reason = first_exec.abort_reason;
+    result.completion = first_exec.completion_fraction();
+    ETLOPT_LOG(Warning) << "lifecycle first run aborted ("
+                        << AbortKindName(result.abort_kind) << "): "
+                        << result.abort_reason
+                        << "; salvaging statistics from the completed prefix";
+  }
+  result.source_rows_read = SortedCounts(first_exec.source_rows_read);
+  result.source_retries = SortedCounts(first_exec.source_retries);
+  result.quarantined_rows = first_exec.quarantined_rows();
 
+  TapOptions first_run_taps;
+  first_run_taps.salvage = first_exec.aborted();
   result.block_cards.resize(contexts.size());
   for (size_t b = 0; b < contexts.size(); ++b) {
     const std::vector<StatKey> keys =
         result.selections[b].first_run.ObservedKeys(catalogs[b]);
     ETLOPT_ASSIGN_OR_RETURN(
         StatStore observed,
-        ObserveStatistics(contexts[b], first_exec, keys));
+        ObserveStatistics(contexts[b], first_exec, keys, first_run_taps));
     Estimator estimator(&contexts[b], &catalogs[b]);
     ETLOPT_RETURN_IF_ERROR(estimator.DeriveAll(observed));
     result.block_stats.push_back(std::move(observed));
@@ -103,15 +168,22 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
     }
     // On-path SEs are passively monitorable at one counter each ([LEO]-style
     // passive monitoring, §7.3); record them regardless of the selection so
-    // tiny budgets still learn everything the first run exposes.
+    // tiny budgets still learn everything the first run exposes. After an
+    // abort only the completed prefix has outputs to read.
     for (const auto& [se, node] : contexts[b].on_path()) {
-      result.block_cards[b][se] = first_exec.node_outputs.at(node).num_rows();
+      const auto out_it = first_exec.node_outputs.find(node);
+      if (out_it != first_exec.node_outputs.end()) {
+        result.block_cards[b][se] = out_it->second.num_rows();
+      }
     }
   }
 
   // ---- Re-ordered runs for the deferred SEs (trivial CSS counters) ----
+  // An aborted first run skips these: re-executing against the same faulty
+  // sources would abort again, and the salvage path wants the partial
+  // record on disk as fast as possible.
   phase_span.emplace("lifecycle.reorder_runs");
-  for (size_t b = 0; b < contexts.size(); ++b) {
+  for (size_t b = 0; b < contexts.size() && !result.aborted(); ++b) {
     const BudgetedSelection& bsel = result.selections[b];
     if (bsel.deferred.empty()) continue;
     const ExecCoverResult& cover = bsel.reorder_plan;
@@ -140,25 +212,34 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
 
   // ---- Step 7: optimize from the now-complete statistics ----
   phase_span.emplace("lifecycle.reoptimize");
-  std::vector<OptimizedPlan> final_plans(contexts.size());
-  std::vector<PlanRewriter::BlockPlan> rewrites;
-  for (size_t b = 0; b < contexts.size(); ++b) {
-    ETLOPT_ASSIGN_OR_RETURN(
-        final_plans[b],
-        OptimizeJoins(contexts[b], plan_spaces[b], result.block_cards[b],
-                      options.optimizer_cost));
-    result.initial_cost += final_plans[b].initial_cost;
-    result.optimized_cost += final_plans[b].cost;
-    if (blocks[b].joins.size() >= 2) {
-      rewrites.push_back({&blocks[b], &final_plans[b]});
+  if (result.aborted()) {
+    // The statistics are a salvaged prefix — not a basis for re-ordering
+    // joins. Keep the designed plan; the partial ledger record this result
+    // becomes will seed the next lifecycle's cost model instead.
+    result.optimized = workflow;
+  } else {
+    std::vector<OptimizedPlan> final_plans(contexts.size());
+    std::vector<PlanRewriter::BlockPlan> rewrites;
+    for (size_t b = 0; b < contexts.size(); ++b) {
+      ETLOPT_ASSIGN_OR_RETURN(
+          final_plans[b],
+          OptimizeJoins(contexts[b], plan_spaces[b], result.block_cards[b],
+                        options.optimizer_cost));
+      result.initial_cost += final_plans[b].initial_cost;
+      result.optimized_cost += final_plans[b].cost;
+      if (blocks[b].joins.size() >= 2) {
+        rewrites.push_back({&blocks[b], &final_plans[b]});
+      }
     }
+    ETLOPT_ASSIGN_OR_RETURN(result.optimized,
+                            PlanRewriter::Apply(workflow, rewrites));
   }
-  ETLOPT_ASSIGN_OR_RETURN(result.optimized,
-                          PlanRewriter::Apply(workflow, rewrites));
   // ---- Drift check against ledger history ----
   if (history != nullptr && !history->empty()) {
     phase_span.emplace("lifecycle.drift_check");
     obs::RunRecord current;
+    current.partial = result.aborted();
+    current.completion = result.completion;
     current.block_stats = result.block_stats;
     for (size_t b = 0; b < result.block_cards.size(); ++b) {
       for (const auto& [se, rows] : result.block_cards[b]) {

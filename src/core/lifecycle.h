@@ -30,6 +30,21 @@ struct BudgetedLifecycleResult {
   // including which statistic taps to re-enable on the next run. Drifted
   // keys feed PipelineOptions::force_observe of the following cycle.
   obs::DriftReport drift;
+
+  // ---- robustness state (defaults describe a clean lifecycle) ----
+  // When the first (instrumented) run aborted: block_stats and block_cards
+  // hold only what the completed prefix salvaged, the re-ordered runs are
+  // skipped (they would hit the same fault), and `optimized` carries the
+  // designed plan unchanged. The caller appends a partial=true ledger
+  // record; the next lifecycle consumes it as low-confidence feedback.
+  AbortKind abort_kind = AbortKind::kNone;
+  std::string abort_reason;
+  double completion = 1.0;  // nodes completed / nodes total of the first run
+  std::vector<std::pair<std::string, int64_t>> source_rows_read;
+  std::vector<std::pair<std::string, int64_t>> source_retries;
+  int64_t quarantined_rows = 0;
+
+  bool aborted() const { return abort_kind != AbortKind::kNone; }
 };
 
 // Runs the budgeted lifecycle to completion. Each block gets the full

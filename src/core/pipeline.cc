@@ -2,18 +2,46 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <memory>
 
 #include "etl/workflow_io.h"
+#include "obs/checkpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace etlopt {
+namespace {
+
+// Sorted (name, value) view of a string->int64 map, for deterministic
+// record and checkpoint serialization.
+std::vector<std::pair<std::string, int64_t>> SortedCounts(
+    const std::unordered_map<std::string, int64_t>& counts) {
+  std::vector<std::pair<std::string, int64_t>> sorted(counts.begin(),
+                                                      counts.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
 
 Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
   if (options_.tap_memory_budget_bytes <= 0) {
     options_.tap_memory_budget_bytes =
         TapOptions::FromEnv().memory_budget_bytes;
+  }
+  if (options_.checkpoint_every_rows <= 0) {
+    const char* value = std::getenv("ETLOPT_CHECKPOINT_EVERY");
+    if (value != nullptr && *value != '\0') {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(value, &end, 10);
+      if (end != value && parsed > 0) options_.checkpoint_every_rows = parsed;
+    }
+    if (options_.checkpoint_every_rows <= 0) {
+      options_.checkpoint_every_rows = 100000;
+    }
   }
 }
 
@@ -106,26 +134,76 @@ Result<RunOutcome> Pipeline::RunAndObserve(const Analysis& analysis,
                                            const SourceMap& sources) const {
   obs::ScopedSpan span("pipeline.run_and_observe");
   RunOutcome outcome;
-  Executor executor(analysis.workflow.get());
+  Executor executor(analysis.workflow.get(), options_.executor);
   ETLOPT_ASSIGN_OR_RETURN(outcome.exec, executor.Execute(sources));
 
   obs::ScopedSpan observe_span("pipeline.observation");
   TapOptions taps;
   taps.memory_budget_bytes = options_.tap_memory_budget_bytes;
+  // After an abort, observe in salvage mode: collect every statistic whose
+  // pipeline point completed and skip the rest. A dead run still pays back
+  // part of its instrumentation budget.
+  taps.salvage = outcome.exec.aborted();
+
+  std::unique_ptr<obs::CheckpointWriter> writer;
+  obs::TapCheckpoint checkpoint;
+  if (!options_.checkpoint_path.empty()) {
+    writer = std::make_unique<obs::CheckpointWriter>(options_.checkpoint_path);
+    checkpoint.fingerprint = obs::FingerprintWorkflow(*analysis.workflow);
+    checkpoint.workflow = analysis.workflow->name();
+    checkpoint.source_rows_read = SortedCounts(outcome.exec.source_rows_read);
+    taps.checkpoint_every_rows = options_.checkpoint_every_rows;
+  }
+
   int64_t observed = 0;
   for (const auto& ba : analysis.blocks) {
     const std::vector<StatKey> keys =
         ba->selection.ObservedKeys(ba->catalog);
     observed += static_cast<int64_t>(keys.size());
+    if (writer != nullptr) {
+      taps.on_checkpoint = [&](const StatStore& in_progress) {
+        obs::TapCheckpoint snapshot = checkpoint;
+        snapshot.block_stats = outcome.block_stats;  // completed blocks
+        snapshot.block_stats.push_back(in_progress);
+        snapshot.rows_tapped = outcome.tap_report.rows_tapped;
+        const Status flushed = writer->Flush(snapshot);
+        if (!flushed.ok()) {
+          ETLOPT_LOG(Warning) << "tap checkpoint flush failed: "
+                              << flushed.ToString();
+        }
+      };
+    }
     ETLOPT_ASSIGN_OR_RETURN(
         StatStore store, ObserveStatistics(ba->ctx, outcome.exec, keys, taps,
                                            &outcome.tap_report));
     outcome.block_stats.push_back(std::move(store));
   }
+  if (writer != nullptr) {
+    if (outcome.exec.aborted()) {
+      // Leave a final partial snapshot behind: everything the aborted run
+      // managed to observe, plus its rows-read watermarks.
+      obs::TapCheckpoint snapshot = checkpoint;
+      snapshot.partial = true;
+      snapshot.block_stats = outcome.block_stats;
+      snapshot.rows_tapped = outcome.tap_report.rows_tapped;
+      const Status flushed = writer->Flush(snapshot);
+      if (!flushed.ok()) {
+        ETLOPT_LOG(Warning) << "final tap checkpoint flush failed: "
+                            << flushed.ToString();
+      }
+    } else {
+      // Clean completion: the ledger record supersedes the sidecar.
+      (void)writer->Discard();
+    }
+  }
   observe_span.Arg("stats_observed", observed);
   observe_span.Arg("sketch_taps",
                    static_cast<int64_t>(outcome.tap_report.sketch_taps));
   observe_span.Arg("tap_bytes", outcome.tap_report.tap_bytes);
+  if (outcome.tap_report.salvage_skipped > 0) {
+    observe_span.Arg("salvage_skipped",
+                     static_cast<int64_t>(outcome.tap_report.salvage_skipped));
+  }
   ETLOPT_COUNTER_ADD("etlopt.core.stats_observed", observed);
   return outcome;
 }
@@ -145,26 +223,53 @@ Result<OptimizeOutcome> Pipeline::Optimize(const Analysis& analysis,
       est_span.Arg("block", static_cast<int64_t>(ba.block.id));
       ETLOPT_RETURN_IF_ERROR(estimator.DeriveAll(run.block_stats[i]));
     }
-    ETLOPT_ASSIGN_OR_RETURN(
-        CardMap cards,
-        estimator.AllCardinalities(ba.plan_space.subexpressions()));
+    // A degraded run (disabled taps, or an abort's salvaged prefix) leaves
+    // holes in the observed statistics: estimate what the derivation
+    // closure still reaches, and fall back to the designed join order for
+    // any block whose SE coverage came out incomplete. Clean runs keep the
+    // strict all-or-error contract.
+    const bool degraded =
+        run.exec.aborted() || run.tap_report.disabled_taps > 0;
+    bool complete = true;
+    CardMap cards;
+    if (degraded) {
+      for (RelMask se : ba.plan_space.subexpressions()) {
+        const Result<int64_t> card = estimator.Cardinality(se);
+        if (card.ok()) {
+          cards[se] = *card;
+        } else {
+          complete = false;
+        }
+      }
+    } else {
+      ETLOPT_ASSIGN_OR_RETURN(
+          cards, estimator.AllCardinalities(ba.plan_space.subexpressions()));
+    }
     outcome.block_estimates.push_back(
         OptimizeOutcome::BlockEstimates{estimator.derived(),
                                         estimator.provenance()});
     ETLOPT_COUNTER_ADD("etlopt.core.cards_estimated",
                        static_cast<int64_t>(cards.size()));
-    obs::ScopedSpan join_span("pipeline.join_optimization");
-    join_span.Arg("block", static_cast<int64_t>(ba.block.id));
-    ETLOPT_ASSIGN_OR_RETURN(plans[i],
-                            OptimizeJoins(ba.ctx, ba.plan_space, cards,
-                                          options_.optimizer_cost));
-    outcome.initial_cost += plans[i].initial_cost;
-    outcome.optimized_cost += plans[i].cost;
-    outcome.block_cards.push_back(std::move(cards));
-    if (ba.block.joins.size() >= 2) {
-      rewrites.push_back(
-          PlanRewriter::BlockPlan{&ba.block, &plans[i]});
+    if (complete) {
+      obs::ScopedSpan join_span("pipeline.join_optimization");
+      join_span.Arg("block", static_cast<int64_t>(ba.block.id));
+      ETLOPT_ASSIGN_OR_RETURN(plans[i],
+                              OptimizeJoins(ba.ctx, ba.plan_space, cards,
+                                            options_.optimizer_cost));
+      outcome.initial_cost += plans[i].initial_cost;
+      outcome.optimized_cost += plans[i].cost;
+      if (ba.block.joins.size() >= 2) {
+        rewrites.push_back(
+            PlanRewriter::BlockPlan{&ba.block, &plans[i]});
+      }
+    } else {
+      ETLOPT_LOG(Warning)
+          << "block " << ba.block.id << ": statistics cover only "
+          << cards.size() << " of " << ba.plan_space.subexpressions().size()
+          << " SE(s) after degraded instrumentation; keeping the designed "
+             "join order";
     }
+    outcome.block_cards.push_back(std::move(cards));
   }
   {
     obs::ScopedSpan rewrite_span("pipeline.rewrite");
@@ -190,6 +295,41 @@ Result<CycleOutcome> Pipeline::RunCycle(const Workflow& workflow,
   ETLOPT_ASSIGN_OR_RETURN(cycle.run, RunAndObserve(*cycle.analysis, sources));
   cycle.execute_ms = timer.ElapsedMillis();
   timer.Restart();
+  if (cycle.run.aborted()) {
+    // The salvaged statistics are a prefix, not a complete selection — no
+    // basis for a trustworthy re-optimization. Keep the designed plan and
+    // let the caller record a partial=true ledger line; the next run's
+    // lifecycle consumes the salvage as low-confidence feedback.
+    cycle.opt.optimized = *cycle.analysis->workflow;
+    // Still derive every SE cardinality the salvage reaches — these become
+    // the partial record's `cards`, the payload the next run's cost model
+    // is seeded from. Completed-prefix outputs add on-path actuals for free.
+    for (size_t b = 0; b < cycle.analysis->blocks.size(); ++b) {
+      const auto& block = cycle.analysis->blocks[b];
+      CardMap cards;
+      Estimator estimator(&block->ctx, &block->catalog);
+      if (b < cycle.run.block_stats.size() &&
+          estimator.DeriveAll(cycle.run.block_stats[b]).ok()) {
+        for (RelMask se : block->plan_space.subexpressions()) {
+          const Result<int64_t> card = estimator.Cardinality(se);
+          if (card.ok()) cards[se] = *card;
+        }
+      }
+      for (const auto& [se, node] : block->ctx.on_path()) {
+        const auto out_it = cycle.run.exec.node_outputs.find(node);
+        if (out_it != cycle.run.exec.node_outputs.end()) {
+          cards[se] = out_it->second.num_rows();
+        }
+      }
+      cycle.opt.block_cards.push_back(std::move(cards));
+    }
+    cycle.optimize_ms = timer.ElapsedMillis();
+    ETLOPT_LOG(Warning) << "cycle aborted ("
+                        << AbortKindName(cycle.run.exec.abort_kind)
+                        << "): " << cycle.run.exec.abort_reason
+                        << "; keeping the designed plan";
+    return cycle;
+  }
   ETLOPT_ASSIGN_OR_RETURN(cycle.opt, Optimize(*cycle.analysis, cycle.run));
   cycle.optimize_ms = timer.ElapsedMillis();
   return cycle;
@@ -248,6 +388,17 @@ obs::RunRecord MakeRunRecord(const CycleOutcome& cycle, std::string run_id,
   }
   record.block_stats = cycle.run.block_stats;
   record.metrics = obs::MetricsRegistry::Global().CounterValues();
+
+  const ExecutionResult& exec = cycle.run.exec;
+  record.partial = exec.aborted();
+  if (record.partial) {
+    record.abort_reason = std::string(AbortKindName(exec.abort_kind)) + ": " +
+                          exec.abort_reason;
+    record.completion = exec.completion_fraction();
+  }
+  record.source_rows_read = SortedCounts(exec.source_rows_read);
+  record.source_retries = SortedCounts(exec.source_retries);
+  record.quarantined_rows = exec.quarantined_rows();
   return record;
 }
 

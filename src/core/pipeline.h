@@ -39,6 +39,19 @@ struct PipelineOptions {
   // estimated exact footprint exceeds it, and makes Analyze cap the
   // selection cost model's per-statistic memory charge at the sketch sizes.
   int64_t tap_memory_budget_bytes = 0;
+  // Robustness knobs for the executor (retry/backoff policy, quarantine
+  // error-rate bound). Defaults come from the environment; with no
+  // ETLOPT_RETRY_* / ETLOPT_MAX_ERROR_RATE variables set they reproduce
+  // the seed behavior exactly.
+  ExecutorOptions executor = ExecutorOptions::FromEnv();
+  // Tap checkpoint sidecar: when non-empty, RunAndObserve snapshots the
+  // partial tap state there every `checkpoint_every_rows` tapped rows
+  // (crash-safe tmp+fsync+rename), discards the sidecar on clean
+  // completion, and leaves a final partial=true snapshot behind when the
+  // run aborts. The Pipeline constructor consults ETLOPT_CHECKPOINT_EVERY
+  // when checkpoint_every_rows is not positive.
+  std::string checkpoint_path;
+  int64_t checkpoint_every_rows = 0;
 };
 
 // Per-block analysis artifacts (steps 1-4 of Fig. 2).
@@ -58,13 +71,18 @@ struct Analysis {
   std::vector<std::unique_ptr<BlockAnalysis>> blocks;
 };
 
-// One instrumented run (steps 5-6).
+// One instrumented run (steps 5-6). When the execution aborted mid-flight
+// (exec.aborted()), block_stats holds the statistics salvaged from the
+// completed prefix — keys whose pipeline points fell past the abort are
+// simply absent (tap_report.salvage_skipped counts them).
 struct RunOutcome {
   ExecutionResult exec;
   std::vector<StatStore> block_stats;  // aligned with Analysis::blocks
   // Tap collection accounting across all blocks: how many taps ran exact
   // vs. sketch, and the bytes each mode held.
   TapReport tap_report;
+
+  bool aborted() const { return exec.aborted(); }
 };
 
 // Step 7: cost-based re-optimization from the learned statistics.
@@ -91,6 +109,11 @@ struct CycleOutcome {
   double analyze_ms = 0.0;
   double execute_ms = 0.0;
   double optimize_ms = 0.0;
+
+  // True when the run aborted: `opt` then carries the designed plan
+  // unchanged (there is no complete statistics set to re-optimize from) and
+  // MakeRunRecord emits a partial=true record.
+  bool aborted() const { return run.aborted(); }
 };
 
 // The end-to-end optimization loop of Figure 2: analyze the workflow,

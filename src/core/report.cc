@@ -108,6 +108,45 @@ std::string FormatObsSummary() {
       out << "  " << label << ": " << WithThousands(c->Get()) << "\n";
     }
   }
+  // Robustness counters: retries/quarantine from the resilient sources,
+  // degraded taps, checkpoint flushes, and salvage bookkeeping. All zero on
+  // a clean run with no fault spec, so the section only prints when
+  // something fired.
+  const struct {
+    const char* label;
+    const char* counter;
+  } robustness[] = {
+      {"runs aborted", "etlopt.engine.aborts"},
+      {"source open retries", "etlopt.engine.source.retries"},
+      {"source timeouts", "etlopt.engine.source.timeouts"},
+      {"source io errors", "etlopt.engine.source.io_errors"},
+      {"rows quarantined", "etlopt.engine.source.quarantined"},
+      {"taps downgraded to sketch", "etlopt.tap.downgraded"},
+      {"taps disabled", "etlopt.tap.disabled"},
+      {"taps skipped in salvage", "etlopt.tap.salvage_skipped"},
+      {"checkpoint flushes", "etlopt.obs.checkpoint.flushes"},
+      {"ledger lines skipped", "etlopt.obs.ledger.skipped_lines"},
+      {"partial-run feedback keys", "etlopt.core.partial_feedback_keys"},
+  };
+  bool robustness_header = false;
+  for (const auto& [label, counter] : robustness) {
+    const obs::Counter* c = registry.FindCounter(counter);
+    if (c == nullptr || c->Get() == 0) continue;
+    if (!robustness_header) {
+      out << "  -- robustness --\n";
+      robustness_header = true;
+    }
+    out << "  " << label << ": " << WithThousands(c->Get()) << "\n";
+    // Per-source breakdown: the executor also bumps a labeled twin
+    // ("<counter>{source=\"name\"}") for retries and quarantined rows.
+    const std::string labeled_prefix = std::string(counter) + "{";
+    for (const auto& [name, value] : registry.CounterValues()) {
+      if (value != 0 && name.rfind(labeled_prefix, 0) == 0) {
+        out << "    " << name.substr(labeled_prefix.size() - 1) << ": "
+            << WithThousands(value) << "\n";
+      }
+    }
+  }
   // Instrumentation overhead normalized by data volume: how many collector
   // bytes each megabyte flowing through the engine cost.
   const obs::Counter* tap_bytes = registry.FindCounter("etlopt.tap.bytes");

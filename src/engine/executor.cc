@@ -1,11 +1,19 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
 #include <numeric>
+#include <sstream>
+#include <thread>
 #include <unordered_map>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault.h"
+#include "util/logging.h"
+#include "util/random.h"
 #include "util/timer.h"
 
 namespace etlopt {
@@ -18,9 +26,81 @@ int64_t ElapsedNs(const Timer& timer) {
   return ns <= 0.0 ? 0 : static_cast<int64_t>(ns);
 }
 
+double EnvDoubleOr(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end != value ? parsed : fallback;
+}
+
+// The fault-injection identity of an operator: lowercased OpKindName + node
+// id ("join5"), so specs can target one node or, via prefix match, every
+// node of a kind.
+std::string OpFaultName(const WorkflowNode& node) {
+  std::string name = OpKindName(node.kind);
+  for (char& c : name) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return name + std::to_string(node.id);
+}
+
+// Backoff before retry `attempt` (1-based): exponential with deterministic
+// jitter, capped. Returns the delay actually slept, for telemetry.
+double BackoffAndSleep(const RetryPolicy& policy, int attempt, Rng& rng) {
+  double delay = policy.initial_backoff_ms;
+  for (int i = 1; i < attempt; ++i) delay *= policy.backoff_multiplier;
+  delay = std::min(delay, policy.max_backoff_ms);
+  if (policy.jitter_fraction > 0.0) {
+    // Uniform in [1 - j, 1 + j): decorrelates retry storms across sources.
+    delay *= 1.0 + policy.jitter_fraction * (2.0 * rng.NextDouble() - 1.0);
+  }
+  if (delay > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(delay * 1000.0)));
+  }
+  return delay;
+}
+
 }  // namespace
 
-Executor::Executor(const Workflow* workflow) : wf_(workflow) {
+RetryPolicy RetryPolicy::FromEnv() {
+  RetryPolicy policy;
+  const double attempts =
+      EnvDoubleOr("ETLOPT_RETRY_MAX_ATTEMPTS", policy.max_attempts);
+  if (attempts >= 1.0) policy.max_attempts = static_cast<int>(attempts);
+  policy.initial_backoff_ms =
+      EnvDoubleOr("ETLOPT_RETRY_BACKOFF_MS", policy.initial_backoff_ms);
+  policy.max_backoff_ms =
+      EnvDoubleOr("ETLOPT_RETRY_MAX_BACKOFF_MS", policy.max_backoff_ms);
+  return policy;
+}
+
+ExecutorOptions ExecutorOptions::FromEnv() {
+  ExecutorOptions options;
+  options.retry = RetryPolicy::FromEnv();
+  const double rate =
+      EnvDoubleOr("ETLOPT_MAX_ERROR_RATE", options.max_error_rate);
+  if (rate >= 0.0 && rate <= 1.0) options.max_error_rate = rate;
+  return options;
+}
+
+const char* AbortKindName(AbortKind kind) {
+  switch (kind) {
+    case AbortKind::kNone:
+      return "none";
+    case AbortKind::kCrash:
+      return "crash";
+    case AbortKind::kErrorRate:
+      return "error_rate";
+    case AbortKind::kSourceFailed:
+      return "source_failed";
+  }
+  return "unknown";
+}
+
+Executor::Executor(const Workflow* workflow, ExecutorOptions options)
+    : wf_(workflow), options_(std::move(options)) {
   ETLOPT_CHECK(wf_ != nullptr);
 }
 
@@ -159,6 +239,23 @@ Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {
   obs::ScopedSpan exec_span("engine.execute");
   exec_span.Arg("workflow", wf_->name());
   exec_span.Arg("nodes", static_cast<int64_t>(wf_->nodes().size()));
+  result.nodes_total = static_cast<int>(wf_->nodes().size());
+  // One pointer load when no spec is installed — the entire robustness layer
+  // costs the un-faulted hot path a single null check per operator.
+  fault::FaultInjector* inj = fault::FaultInjector::Global();
+  // Deterministic backoff jitter (and nothing else) comes from this stream.
+  Rng backoff_rng(inj != nullptr ? inj->seed() : 0x5eedULL);
+
+  auto abort_run = [&](AbortKind kind, std::string reason,
+                       const WorkflowNode& node) {
+    result.abort_kind = kind;
+    result.abort_reason = std::move(reason);
+    result.abort_node = node.id;
+    ETLOPT_COUNTER_ADD("etlopt.engine.aborts", 1);
+    ETLOPT_LOG(Warning) << "run aborted (" << AbortKindName(kind) << ") at "
+                        << OpFaultName(node) << ": " << result.abort_reason;
+  };
+
   for (const WorkflowNode& node : wf_->nodes()) {
     const Schema& out_schema = wf_->output_schema(node.id);
     Table out{out_schema};
@@ -181,7 +278,85 @@ Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {
           return Status::InvalidArgument("source '" + node.table_name +
                                          "' schema mismatch");
         }
-        out = it->second;
+        if (inj == nullptr ||
+            !inj->HasRules(fault::Scope::kSource, node.table_name)) {
+          // The seed fast path: no faults configured for this source. Under
+          // an installed injector still record the watermark — a crash
+          // elsewhere in the workflow salvages per-source progress from it.
+          out = it->second;
+          if (inj != nullptr) {
+            result.source_rows_read[node.table_name] = out.num_rows();
+          }
+          break;
+        }
+        // ---- resilient read: retry/backoff, then row-level quarantine ----
+        const std::string& name = node.table_name;
+        int attempt = 1;
+        for (;; ++attempt) {
+          const fault::Kind fk = inj->OnSourceOpen(name);
+          if (fk == fault::Kind::kNone) break;
+          ETLOPT_COUNTER_ADD(fk == fault::Kind::kTimeout
+                                 ? "etlopt.engine.source.timeouts"
+                                 : "etlopt.engine.source.io_errors",
+                             1);
+          if (attempt >= options_.retry.max_attempts) {
+            abort_run(AbortKind::kSourceFailed,
+                      "source '" + name + "' failed " +
+                          std::to_string(attempt) + " attempt(s) (" +
+                          fault::KindName(fk) + ")",
+                      node);
+            break;
+          }
+          ++result.source_retries[name];
+          ETLOPT_COUNTER_ADD("etlopt.engine.source.retries", 1);
+          if (obs::ObsEnabled()) {
+            obs::MetricsRegistry::Global()
+                .GetCounter(obs::MetricName("etlopt.engine.source.retries",
+                                            {{"source", name}}))
+                .Increment();
+          }
+          const double slept =
+              BackoffAndSleep(options_.retry, attempt, backoff_rng);
+          ETLOPT_LOG(Info) << "source '" << name << "' " << fault::KindName(fk)
+                           << ", retrying (attempt " << attempt + 1 << "/"
+                           << options_.retry.max_attempts << ") after "
+                           << slept << "ms";
+        }
+        if (result.aborted()) break;
+
+        Table quarantine{node.source_schema};
+        const bool row_faults = inj->HasRules(fault::Scope::kSource, name);
+        for (const auto& row : it->second.rows()) {
+          if (row_faults &&
+              inj->OnSourceRow(name) == fault::Kind::kMalformedRow) {
+            quarantine.AddRow(row);
+            continue;
+          }
+          out.AddRow(row);
+        }
+        const int64_t scanned = it->second.num_rows();
+        const int64_t bad = quarantine.num_rows();
+        result.source_rows_read[name] = scanned;
+        if (bad > 0) {
+          ETLOPT_COUNTER_ADD("etlopt.engine.source.quarantined", bad);
+          if (obs::ObsEnabled()) {
+            obs::MetricsRegistry::Global()
+                .GetCounter(obs::MetricName("etlopt.engine.source.quarantined",
+                                            {{"source", name}}))
+                .Add(bad);
+          }
+          const double error_rate =
+              scanned > 0 ? static_cast<double>(bad) / scanned : 0.0;
+          result.quarantined[name] = std::move(quarantine);
+          if (scanned >= options_.min_rows_for_error_rate &&
+              error_rate > options_.max_error_rate) {
+            std::ostringstream reason;
+            reason << "source '" << name << "' error rate " << error_rate
+                   << " exceeds max_error_rate " << options_.max_error_rate
+                   << " (" << bad << "/" << scanned << " rows quarantined)";
+            abort_run(AbortKind::kErrorRate, reason.str(), node);
+          }
+        }
         break;
       }
       case OpKind::kFilter: {
@@ -299,6 +474,19 @@ Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {
         break;
       }
     }
+    // Crash points fire after the operator ran but before its output is
+    // published — the salvage surface is exactly the completed prefix.
+    if (!result.aborted() && inj != nullptr) {
+      const int64_t weight = rows_in > 0 ? rows_in : out.num_rows();
+      if (inj->OnOperator(OpFaultName(node), weight) == fault::Kind::kCrash) {
+        result.join_rejects.erase(node.id);
+        result.join_rejects_right.erase(node.id);
+        result.targets.erase(node.target_name);
+        abort_run(AbortKind::kCrash,
+                  "injected crash fault at " + OpFaultName(node), node);
+      }
+    }
+    if (result.aborted()) break;
     // Bytes entering the operator: mirrors rows_processed (sources read no
     // upstream node output, so they contribute none).
     for (NodeId in : node.inputs) {
@@ -331,6 +519,12 @@ Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {
       }
     }
     result.node_outputs[node.id] = std::move(out);
+    ++result.nodes_completed;
+  }
+  if (result.aborted() && exec_span.active()) {
+    exec_span.Arg("abort", AbortKindName(result.abort_kind));
+    exec_span.Arg("nodes_completed",
+                  static_cast<int64_t>(result.nodes_completed));
   }
   ETLOPT_COUNTER_ADD("etlopt.engine.executions", 1);
   ETLOPT_COUNTER_ADD("etlopt.engine.rows_processed", result.rows_processed);

@@ -13,6 +13,50 @@ namespace etlopt {
 // Source bindings: table name -> data.
 using SourceMap = std::unordered_map<std::string, Table>;
 
+// Retry policy for transient source failures (io_error / timeout): attempt,
+// back off exponentially with jitter, attempt again. Backoff durations are
+// drawn deterministically from a seeded stream so fault-injected runs are
+// reproducible.
+struct RetryPolicy {
+  int max_attempts = 4;            // total attempts per source read
+  double initial_backoff_ms = 1.0; // delay before the 2nd attempt
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 100.0;
+  double jitter_fraction = 0.25;   // +/- uniform share of the delay
+
+  // Defaults overridden by ETLOPT_RETRY_MAX_ATTEMPTS /
+  // ETLOPT_RETRY_BACKOFF_MS / ETLOPT_RETRY_MAX_BACKOFF_MS.
+  static RetryPolicy FromEnv();
+};
+
+// Robustness knobs of one Executor. The defaults reproduce the seed
+// behavior exactly when no fault injector is installed.
+struct ExecutorOptions {
+  RetryPolicy retry;
+  // Fraction of a source's rows allowed to divert to the quarantine sink
+  // before the run aborts (the paper's reject-link semantics, bounded): a
+  // few malformed rows are an expected property of foreign sources, a
+  // majority means the extract is garbage and continuing would poison every
+  // statistic downstream.
+  double max_error_rate = 0.05;
+  // Error-rate enforcement only kicks in past this many read rows, so a
+  // single bad row in a tiny table does not abort the run.
+  int64_t min_rows_for_error_rate = 20;
+
+  // Defaults overridden by ETLOPT_MAX_ERROR_RATE.
+  static ExecutorOptions FromEnv();
+};
+
+// Why an execution stopped early. kNone means the run completed.
+enum class AbortKind : uint8_t {
+  kNone = 0,
+  kCrash,          // injected crash fault (process-death stand-in)
+  kErrorRate,      // quarantine exceeded ExecutorOptions::max_error_rate
+  kSourceFailed,   // transient source errors outlived the retry budget
+};
+
+const char* AbortKindName(AbortKind kind);
+
 // Everything produced by one run of a workflow. `node_outputs` caches every
 // node's output so the instrumentation layer can observe any pipeline point
 // after the fact — semantically equivalent to the per-tuple handlers that
@@ -32,17 +76,60 @@ struct ExecutionResult {
   // Total bytes those tuples occupied (8 bytes per value, per the row
   // layout): the denominator for per-MB instrumentation overhead reporting.
   int64_t bytes_processed = 0;
+
+  // ---- robustness accounting (all empty/zero on a clean, un-faulted run) --
+  // Malformed rows diverted per source — the error-sink tables mirroring
+  // the paper's reject links, kept for audit instead of silently dropped.
+  std::unordered_map<std::string, Table> quarantined;
+  // Transient-failure retries absorbed per source.
+  std::unordered_map<std::string, int64_t> source_retries;
+  // Rows scanned per source (quarantined rows included) — the per-source
+  // progress watermarks a partial ledger record carries.
+  std::unordered_map<std::string, int64_t> source_rows_read;
+
+  // When the run stopped early: what happened and where. node_outputs then
+  // holds only the operators that completed before the abort — the salvage
+  // surface for partial-statistics collection.
+  AbortKind abort_kind = AbortKind::kNone;
+  std::string abort_reason;
+  NodeId abort_node = kInvalidNode;
+  // Nodes the workflow has in total vs. nodes that completed: the coarse
+  // run-completion watermark.
+  int nodes_total = 0;
+  int nodes_completed = 0;
+
+  bool aborted() const { return abort_kind != AbortKind::kNone; }
+  int64_t quarantined_rows() const {
+    int64_t total = 0;
+    for (const auto& [name, table] : quarantined) total += table.num_rows();
+    return total;
+  }
+  double completion_fraction() const {
+    return nodes_total <= 0
+               ? 1.0
+               : static_cast<double>(nodes_completed) / nodes_total;
+  }
 };
 
 // Single-threaded row-at-a-time executor for ETL workflows.
+//
+// Failure semantics: unrecoverable *configuration* errors (unbound source,
+// schema mismatch) return a non-OK Result as before. Injected *runtime*
+// faults that stop the run mid-flight (crash points, quarantine overflow,
+// retry exhaustion) return an OK Result whose ExecutionResult carries
+// abort_kind != kNone plus everything computed up to the abort — callers
+// salvage statistics from the completed prefix instead of losing the run.
 class Executor {
  public:
-  explicit Executor(const Workflow* workflow);
+  explicit Executor(const Workflow* workflow, ExecutorOptions options = {});
 
   Result<ExecutionResult> Execute(const SourceMap& sources) const;
 
+  const ExecutorOptions& options() const { return options_; }
+
  private:
   const Workflow* wf_;
+  ExecutorOptions options_;
 };
 
 // Executes a join of two tables on a shared attribute (hash join; build on

@@ -8,9 +8,35 @@
 #include "planspace/observability.h"
 #include "sketch/tap.h"
 #include "util/bitmask.h"
+#include "util/fault.h"
+#include "util/logging.h"
 
 namespace etlopt {
 namespace {
+
+// Fault-injection identity of a tap: the stat_io kind token, so specs read
+// "tap:distinct:oom" in the same vocabulary the codec uses.
+const char* TapFaultName(StatKind kind) {
+  switch (kind) {
+    case StatKind::kCard:
+      return "card";
+    case StatKind::kDistinct:
+      return "distinct";
+    case StatKind::kHist:
+      return "hist";
+    case StatKind::kRejectJoinCard:
+      return "rejcard";
+    case StatKind::kRejectJoinHist:
+      return "rejhist";
+  }
+  return "?";
+}
+
+// Per-tap byte allowance for the OOM-downgrade fallback: when an exact
+// collector's allocation is failed by injection, the retry uses a sketch
+// bounded to this much memory (a deliberately small ask — the premise is
+// that memory is tight).
+constexpr int64_t kDowngradeTapBytes = 64 * 1024;
 
 // The pipeline-point table for a Card/Distinct/Hist key.
 Result<const Table*> PointTable(const BlockContext& ctx,
@@ -229,6 +255,42 @@ Result<TapPlan> PlanTaps(const BlockContext& ctx, const ExecutionResult& exec,
   return plan;
 }
 
+// Whether every table a key's tap reads survived the run — false for keys
+// whose pipeline points fall past an abort. Salvage mode filters on this.
+bool KeyInputsAvailable(const BlockContext& ctx, const ExecutionResult& exec,
+                        const StatKey& key) {
+  switch (key.kind) {
+    case StatKind::kCard:
+    case StatKind::kDistinct:
+    case StatKind::kHist:
+      return PointTable(ctx, exec, key).ok();
+    case StatKind::kRejectJoinCard:
+    case StatKind::kRejectJoinHist:
+      return FindRejectJoinInputs(ctx, exec, key).ok();
+  }
+  return false;
+}
+
+// Rows one key's tap consumed — the checkpoint cadence currency. Callers
+// only ask for keys whose inputs are available.
+int64_t TappedRows(const BlockContext& ctx, const ExecutionResult& exec,
+                   const StatKey& key) {
+  switch (key.kind) {
+    case StatKind::kCard:
+    case StatKind::kDistinct:
+    case StatKind::kHist: {
+      const Result<const Table*> table = PointTable(ctx, exec, key);
+      return table.ok() ? (*table)->num_rows() : 0;
+    }
+    case StatKind::kRejectJoinCard:
+    case StatKind::kRejectJoinHist: {
+      const Result<RejectJoinInputs> in = FindRejectJoinInputs(ctx, exec, key);
+      return in.ok() ? in->rejects->num_rows() + in->r_table->num_rows() : 0;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 TapOptions TapOptions::FromEnv() {
@@ -249,21 +311,69 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
                                     const std::vector<StatKey>& keys,
                                     const TapOptions& taps,
                                     TapReport* report) {
+  TapReport local;
+  std::vector<StatKey> observable;
+  observable.reserve(keys.size());
   for (const StatKey& key : keys) {
+    if (taps.salvage && !KeyInputsAvailable(ctx, exec, key)) {
+      // The run aborted before this key's pipeline point materialized —
+      // skip it and salvage the rest.
+      ++local.salvage_skipped;
+      continue;
+    }
     if (!IsObservable(key, ctx)) {
       return Status::InvalidArgument("statistic not observable: " +
                                      key.ToString());
     }
+    observable.push_back(key);
   }
-  ETLOPT_ASSIGN_OR_RETURN(const TapPlan plan, PlanTaps(ctx, exec, keys, taps));
+  ETLOPT_ASSIGN_OR_RETURN(const TapPlan plan,
+                          PlanTaps(ctx, exec, observable, taps));
 
   StatStore store;
-  TapReport local;
   local.exact_bytes_estimate = plan.exact_bytes_estimate;
+  fault::FaultInjector* inj = fault::FaultInjector::Global();
+  int64_t rows_since_flush = 0;
 
-  for (size_t i = 0; i < keys.size(); ++i) {
-    const StatKey& key = keys[i];
-    const bool use_sketch = plan.sketch[i] != 0;
+  for (size_t i = 0; i < observable.size(); ++i) {
+    const StatKey& key = observable[i];
+    bool use_sketch = plan.sketch[i] != 0;
+    sketch::TapSketchConfig tap_config = plan.config;
+    if (inj != nullptr) {
+      const char* tap_name = TapFaultName(key.kind);
+      const fault::Kind fk = inj->OnTap(tap_name);
+      if (fk != fault::Kind::kNone) {
+        // Allocation for this tap failed. An exact distinct or reject-
+        // histogram collector can retry as a bounded-memory sketch (a
+        // second, smaller allocation — consulted separately); anything
+        // else is disabled and the run continues un-instrumented for this
+        // key. Plain join histograms are never downgraded: they feed the
+        // exact union-division rules (J4/J5), whose every-bucket-divides
+        // invariant a lossy sketch cannot honor.
+        const bool sketchable = !use_sketch &&
+                                (key.kind == StatKind::kDistinct ||
+                                 key.kind == StatKind::kRejectJoinHist);
+        if (sketchable && inj->OnTap(tap_name) == fault::Kind::kNone) {
+          use_sketch = true;
+          tap_config =
+              sketch::TapSketchConfig::ForBudget(kDowngradeTapBytes,
+                                                 Arity(key));
+          ++local.downgraded_taps;
+          ETLOPT_COUNTER_ADD("etlopt.tap.downgraded", 1);
+          ETLOPT_LOG(Info) << "tap " << key.ToString()
+                           << ": exact collector allocation failed ("
+                           << fault::KindName(fk)
+                           << "), downgraded to sketch";
+        } else {
+          ++local.disabled_taps;
+          ETLOPT_COUNTER_ADD("etlopt.tap.disabled", 1);
+          ETLOPT_LOG(Warning) << "tap " << key.ToString() << " disabled ("
+                              << fault::KindName(fk)
+                              << "); run continues un-instrumented";
+          continue;
+        }
+      }
+    }
     switch (key.kind) {
       case StatKind::kCard: {
         ETLOPT_ASSIGN_OR_RETURN(const Table* table,
@@ -277,7 +387,7 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
         ETLOPT_ASSIGN_OR_RETURN(const Table* table,
                                 PointTable(ctx, exec, key));
         if (use_sketch) {
-          sketch::DistinctTap tap(plan.config);
+          sketch::DistinctTap tap(tap_config);
           std::vector<int> cols;
           for (int idx : MaskToIndices(key.attrs)) {
             cols.push_back(table->schema().IndexOf(static_cast<AttrId>(idx)));
@@ -305,7 +415,7 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
         ETLOPT_ASSIGN_OR_RETURN(const Table* table,
                                 PointTable(ctx, exec, key));
         if (use_sketch) {
-          sketch::HistTap tap(plan.config, Arity(key));
+          sketch::HistTap tap(tap_config, Arity(key));
           std::vector<int> cols;
           for (int idx : MaskToIndices(key.attrs)) {
             cols.push_back(table->schema().IndexOf(static_cast<AttrId>(idx)));
@@ -354,7 +464,7 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
         if (use_sketch) {
           ETLOPT_ASSIGN_OR_RETURN(const JoinedKeyPlan key_plan,
                                   PlanJoinedKey(in, key.attrs));
-          sketch::HistTap tap(plan.config, Arity(key));
+          sketch::HistTap tap(tap_config, Arity(key));
           std::vector<Value> probe(key_plan.cols.size());
           ETLOPT_RETURN_IF_ERROR(StreamRejectSideJoin(
               in, [&](int64_t l, int64_t r) {
@@ -380,6 +490,17 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
         break;
       }
     }
+    // Checkpoint cadence: snapshot the partial store every N tapped rows so
+    // a mid-observation death loses at most one cadence worth of taps.
+    const int64_t tapped = TappedRows(ctx, exec, key);
+    local.rows_tapped += tapped;
+    rows_since_flush += tapped;
+    if (taps.checkpoint_every_rows > 0 && taps.on_checkpoint != nullptr &&
+        rows_since_flush >= taps.checkpoint_every_rows) {
+      taps.on_checkpoint(store);
+      ++local.checkpoint_flushes;
+      rows_since_flush = 0;
+    }
   }
 
   ETLOPT_COUNTER_ADD("etlopt.tap.exact", local.exact_taps);
@@ -387,6 +508,9 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
   ETLOPT_COUNTER_ADD("etlopt.tap.bytes", local.tap_bytes);
   ETLOPT_COUNTER_ADD("etlopt.tap.exact_bytes_estimate",
                      local.exact_bytes_estimate);
+  if (local.salvage_skipped > 0) {
+    ETLOPT_COUNTER_ADD("etlopt.tap.salvage_skipped", local.salvage_skipped);
+  }
   if (report != nullptr) report->Accumulate(local);
   return store;
 }

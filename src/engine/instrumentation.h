@@ -1,6 +1,7 @@
 #ifndef ETLOPT_ENGINE_INSTRUMENTATION_H_
 #define ETLOPT_ENGINE_INSTRUMENTATION_H_
 
+#include <functional>
 #include <vector>
 
 #include "engine/executor.h"
@@ -23,6 +24,19 @@ struct TapOptions {
   // <= 0: always exact (the seed behavior).
   int64_t memory_budget_bytes = 0;
 
+  // ---- robustness wiring (all off by default) ----
+  // Salvage mode, used after an aborted run: keys whose pipeline-point
+  // tables fell past the abort are skipped (and counted in
+  // TapReport::salvage_skipped) instead of failing the whole observation —
+  // the completed prefix still yields its statistics.
+  bool salvage = false;
+  // Periodic tap checkpointing: after every `checkpoint_every_rows` tapped
+  // rows, `on_checkpoint` receives the statistics observed so far, so a
+  // caller (core/pipeline) can flush them to a crash-safe sidecar. <= 0 or
+  // a null callback disables checkpointing.
+  int64_t checkpoint_every_rows = 0;
+  std::function<void(const StatStore& partial)> on_checkpoint;
+
   // Defaults overridden by ETLOPT_TAP_BUDGET (bytes).
   static TapOptions FromEnv();
 };
@@ -35,12 +49,30 @@ struct TapReport {
   int sketch_taps = 0;
   int64_t exact_bytes_estimate = 0;
   int64_t tap_bytes = 0;
+  // ---- robustness accounting ----
+  // Exact taps that hit an injected allocation failure and fell back to the
+  // bounded-memory sketch collector.
+  int downgraded_taps = 0;
+  // Taps lost entirely (allocation failed for sketch too, or the tap kind
+  // has no sketch form): the run continued un-instrumented for these keys.
+  int disabled_taps = 0;
+  // Keys skipped in salvage mode because their inputs fell past an abort.
+  int salvage_skipped = 0;
+  // Rows fed through taps (the checkpoint cadence counter).
+  int64_t rows_tapped = 0;
+  // on_checkpoint invocations.
+  int64_t checkpoint_flushes = 0;
 
   void Accumulate(const TapReport& other) {
     exact_taps += other.exact_taps;
     sketch_taps += other.sketch_taps;
     exact_bytes_estimate += other.exact_bytes_estimate;
     tap_bytes += other.tap_bytes;
+    downgraded_taps += other.downgraded_taps;
+    disabled_taps += other.disabled_taps;
+    salvage_skipped += other.salvage_skipped;
+    rows_tapped += other.rows_tapped;
+    checkpoint_flushes += other.checkpoint_flushes;
   }
 };
 

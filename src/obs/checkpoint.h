@@ -1,0 +1,69 @@
+#ifndef ETLOPT_OBS_CHECKPOINT_H_
+#define ETLOPT_OBS_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/stat_store.h"
+#include "util/status.h"
+
+namespace etlopt {
+namespace obs {
+
+// Crash-safe sidecar for in-flight instrumentation. The run ledger records
+// a run only after it completes; a run killed mid-observation would lose
+// every statistic its taps had already paid for. The tap layer therefore
+// snapshots its partial state to this sidecar every N tapped rows — each
+// flush is tmp + fsync + rename, so the file on disk is always one
+// complete, parseable snapshot. A clean run discards the sidecar at the
+// end; finding one at startup means the previous run died mid-flight and
+// its statistics are salvageable.
+struct TapCheckpoint {
+  std::string run_id;       // in-flight run (may be empty pre-ledger)
+  std::string fingerprint;  // workflow identity, as in the ledger
+  std::string workflow;     // display name
+  // False only once the run completed (a final "done" flush, normally
+  // replaced by Discard); a sidecar found on disk is in practice partial.
+  bool partial = true;
+  // Tapped-row progress watermark at flush time.
+  int64_t rows_tapped = 0;
+  // Per-source rows read by the run being checkpointed (sorted by name).
+  std::vector<std::pair<std::string, int64_t>> source_rows_read;
+  // Statistics observed so far, per block — blocks observed completely plus
+  // the partially-observed block's prefix. Values travel in the stat_io
+  // text codec, like the ledger's stats field.
+  std::vector<StatStore> block_stats;
+
+  std::string ToJson() const;
+  static Result<TapCheckpoint> FromJson(const std::string& text);
+};
+
+// Writes snapshots of one run's tap state to a fixed sidecar path. Each
+// Flush atomically replaces the previous snapshot.
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+  int64_t flushes() const { return flushes_; }
+
+  Status Flush(const TapCheckpoint& checkpoint);
+
+  // Removes the sidecar — the clean-completion path. Missing file is OK.
+  Status Discard();
+
+ private:
+  std::string path_;
+  int64_t flushes_ = 0;
+};
+
+// Loads a sidecar left behind by a run that died mid-flight. NotFound when
+// no sidecar exists (the previous run completed cleanly).
+Result<TapCheckpoint> LoadTapCheckpoint(const std::string& path);
+
+}  // namespace obs
+}  // namespace etlopt
+
+#endif  // ETLOPT_OBS_CHECKPOINT_H_

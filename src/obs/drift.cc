@@ -38,6 +38,8 @@ DriftOptions DriftOptions::FromEnv() {
   options.ewma_alpha = EnvDouble("ETLOPT_DRIFT_EWMA_ALPHA", options.ewma_alpha);
   options.sketch_widen_factor =
       EnvDouble("ETLOPT_DRIFT_SKETCH_WIDEN", options.sketch_widen_factor);
+  options.partial_widen_factor =
+      EnvDouble("ETLOPT_DRIFT_PARTIAL_WIDEN", options.partial_widen_factor);
   return options;
 }
 
@@ -121,7 +123,8 @@ std::string DriftReport::ToText(const AttrCatalog* catalog) const {
         << PadLeft(rel.str(), 8) << PadLeft(qe.str(), 8) << "  "
         << (f.drifted ? "DRIFT -> re-instrument"
                       : (f.history_runs == 0 ? "no history" : "ok"))
-        << (f.sketch_backed ? " (sketch, widened)" : "") << "\n";
+        << (f.sketch_backed ? " (sketch, widened)" : "")
+        << (f.partial_backed ? " (partial run, widened)" : "") << "\n";
   }
   if (any_drift()) {
     out << "  recommendation: re-enable " << reinstrument.size()
@@ -173,7 +176,9 @@ DriftReport DriftDetector::Compare(const std::vector<RunRecord>& history,
       // EWMA over the key's history, oldest first.
       bool seeded = false;
       double ewma = 0.0;
-      for (const auto& run : history_values) {
+      bool partial_history = false;
+      for (size_t h = 0; h < history_values.size(); ++h) {
+        const auto& run = history_values[h];
         if (b >= run.size()) continue;
         const auto it = run[b].find(key);
         if (it == run[b].end()) continue;
@@ -186,18 +191,25 @@ DriftReport DriftDetector::Compare(const std::vector<RunRecord>& history,
         }
         finding.previous = it->second;
         ++finding.history_runs;
+        if (history[h].partial) partial_history = true;
       }
       finding.sketch_backed = is_sketch_backed(b, key);
+      finding.partial_backed = current.partial || partial_history;
       if (finding.history_runs >= options_.min_history) {
         finding.ewma = ewma;
         finding.rel_change =
             std::abs(finding.current - ewma) / std::max(std::abs(ewma), 1.0);
         finding.qerror = QError(finding.current, ewma);
         // Sketch-backed comparisons mix approximation noise into the
-        // apparent change; widen the tolerance before declaring drift.
-        const double widen = finding.sketch_backed
-                                 ? std::max(options_.sketch_widen_factor, 1.0)
-                                 : 1.0;
+        // apparent change, and partial-backed ones compare a completed-
+        // prefix view against full runs; widen the tolerance before
+        // declaring drift (the factors stack when both apply).
+        double widen = finding.sketch_backed
+                           ? std::max(options_.sketch_widen_factor, 1.0)
+                           : 1.0;
+        if (finding.partial_backed) {
+          widen *= std::max(options_.partial_widen_factor, 1.0);
+        }
         finding.drifted =
             finding.rel_change > options_.rel_change_threshold * widen ||
             finding.qerror > options_.qerror_threshold * widen;

@@ -29,10 +29,15 @@ struct DriftOptions {
   // than the sketches' own error bound is noise, not drift, so both
   // thresholds widen by this factor before comparing.
   double sketch_widen_factor = 2.0;
+  // Threshold multiplier applied when the current run or any contributing
+  // history record is partial (salvaged from an aborted run): statistics
+  // from an incomplete run reflect a prefix of the data, so an apparent
+  // change may just be the missing suffix. Stacks with the sketch factor.
+  double partial_widen_factor = 2.0;
 
   // Defaults overridden by ETLOPT_DRIFT_REL_THRESHOLD,
-  // ETLOPT_DRIFT_QERROR_THRESHOLD, ETLOPT_DRIFT_EWMA_ALPHA, and
-  // ETLOPT_DRIFT_SKETCH_WIDEN.
+  // ETLOPT_DRIFT_QERROR_THRESHOLD, ETLOPT_DRIFT_EWMA_ALPHA,
+  // ETLOPT_DRIFT_SKETCH_WIDEN, and ETLOPT_DRIFT_PARTIAL_WIDEN.
   static DriftOptions FromEnv();
 };
 
@@ -52,6 +57,9 @@ struct DriftFinding {
   // True when the current or any history value was sketch-collected; the
   // drift thresholds applied to this key were widened accordingly.
   bool sketch_backed = false;
+  // True when the current run or any contributing history run was partial
+  // (salvaged after an abort); thresholds were widened accordingly.
+  bool partial_backed = false;
 };
 
 struct DriftReport {

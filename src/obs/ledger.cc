@@ -8,8 +8,10 @@
 #include <sstream>
 
 #include "etl/workflow_io.h"
+#include "obs/metrics.h"
 #include "stats/stat_io.h"
 #include "util/json.h"
+#include "util/logging.h"
 
 namespace etlopt {
 namespace obs {
@@ -81,6 +83,30 @@ std::string RunRecord::ToJsonLine() const {
     jmetrics.Set(name, Json::Int(value));
   }
   j.Set("metrics", std::move(jmetrics));
+  // Robustness fields ride along only when they carry information, so the
+  // clean-run line format is byte-identical to the pre-robustness era.
+  if (partial) {
+    j.Set("partial", Json::Bool(true));
+    j.Set("abort_reason", Json::Str(abort_reason));
+    j.Set("completion", Json::Double(completion));
+  }
+  if (!source_rows_read.empty()) {
+    Json watermarks = Json::Object();
+    for (const auto& [source, rows] : source_rows_read) {
+      watermarks.Set(source, Json::Int(rows));
+    }
+    j.Set("watermarks", std::move(watermarks));
+  }
+  if (!source_retries.empty()) {
+    Json retries = Json::Object();
+    for (const auto& [source, count] : source_retries) {
+      retries.Set(source, Json::Int(count));
+    }
+    j.Set("retries", std::move(retries));
+  }
+  if (quarantined_rows > 0) {
+    j.Set("quarantined", Json::Int(quarantined_rows));
+  }
   return j.Dump();
 }
 
@@ -133,6 +159,29 @@ Result<RunRecord> RunRecord::FromJsonLine(const std::string& line) {
       }
     }
   }
+  if (const Json* partial = j.Find("partial");
+      partial != nullptr && partial->is_bool() && partial->bool_value()) {
+    record.partial = true;
+    record.abort_reason = j.GetString("abort_reason");
+    record.completion = j.GetDouble("completion", 1.0);
+  }
+  if (const Json* watermarks = j.Find("watermarks");
+      watermarks != nullptr && watermarks->is_object()) {
+    for (const auto& [source, rows] : watermarks->members()) {
+      if (rows.is_number()) {
+        record.source_rows_read.emplace_back(source, rows.int_value());
+      }
+    }
+  }
+  if (const Json* retries = j.Find("retries");
+      retries != nullptr && retries->is_object()) {
+    for (const auto& [source, count] : retries->members()) {
+      if (count.is_number()) {
+        record.source_retries.emplace_back(source, count.int_value());
+      }
+    }
+  }
+  record.quarantined_rows = j.GetInt("quarantined", 0);
   return record;
 }
 
@@ -141,13 +190,21 @@ Result<LedgerLoadResult> RunLedger::Load() const {
   std::ifstream in(path_);
   if (!in) return result;  // first run: no ledger yet
   std::string line;
+  int line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty()) continue;
     Result<RunRecord> record = RunRecord::FromJsonLine(line);
     if (!record.ok()) {
-      // A torn append (crash mid-write of the pre-rename era) or manual
-      // corruption: skip the line rather than losing the whole history.
+      // A torn append (crash mid-write of the pre-rename era), an editor
+      // mishap, or plain garbage anywhere in the file: skip the line rather
+      // than losing the whole history, but say so — silent tolerance hides
+      // real corruption.
       ++result.skipped_lines;
+      ETLOPT_COUNTER_ADD("etlopt.obs.ledger.skipped_lines", 1);
+      ETLOPT_LOG(Warning) << "ledger '" << path_ << "' line " << line_number
+                          << " unreadable, skipped: "
+                          << record.status().ToString();
       continue;
     }
     result.records.push_back(std::move(*record));

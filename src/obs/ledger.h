@@ -53,6 +53,23 @@ struct RunRecord {
   // Counter snapshot at record time (sorted name -> value).
   std::vector<std::pair<std::string, int64_t>> metrics;
 
+  // ---- robustness fields (defaults describe a clean run; serialized only
+  // when they deviate, so clean-run ledger lines are unchanged) ----
+  // True when the run aborted mid-flight (crash fault, quarantine overflow,
+  // retry exhaustion) and block_stats holds statistics salvaged from the
+  // completed prefix. Consumers treat such statistics as low-confidence:
+  // the estimator scales them by the completion watermark and the drift
+  // detector widens its thresholds (DriftOptions::partial_widen_factor).
+  bool partial = false;
+  std::string abort_reason;  // human-readable cause, empty when clean
+  // Fraction of workflow nodes that completed before the abort (1.0 clean).
+  double completion = 1.0;
+  // Per-source rows-read watermarks and absorbed retries (sorted by name).
+  std::vector<std::pair<std::string, int64_t>> source_rows_read;
+  std::vector<std::pair<std::string, int64_t>> source_retries;
+  // Malformed rows diverted to the quarantine sink across all sources.
+  int64_t quarantined_rows = 0;
+
   std::string ToJsonLine() const;
   static Result<RunRecord> FromJsonLine(const std::string& line);
 };

@@ -1,0 +1,278 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace etlopt {
+namespace fault {
+namespace {
+
+std::mutex g_mu;
+std::unique_ptr<FaultInjector> g_owned;          // guarded by g_mu
+std::atomic<FaultInjector*> g_injector{nullptr};  // fast-path view
+std::atomic<bool> g_initialized{false};
+
+// Per-rule PRNG stream: decorrelated from the global seed and the rule's
+// position so editing one rule never perturbs another's Bernoulli draws.
+uint64_t RuleSeed(uint64_t seed, size_t index) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool NameMatches(const Rule& rule, const std::string& name) {
+  if (rule.name == "*" || rule.name == name) return true;
+  // Prefix match lets "join" hit "join5" (OpKindName + node id).
+  return name.size() > rule.name.size() &&
+         name.compare(0, rule.name.size(), rule.name) == 0;
+}
+
+Result<Scope> ParseScope(const std::string& token) {
+  if (token == "source") return Scope::kSource;
+  if (token == "op") return Scope::kOp;
+  if (token == "tap") return Scope::kTap;
+  return Status::InvalidArgument("unknown fault scope '" + token + "'");
+}
+
+Result<int64_t> ParseInt(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v < 0) {
+    return Status::InvalidArgument("bad " + what + " value '" + text + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseProb(const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || v < 0.0 || v > 1.0) {
+    return Status::InvalidArgument("bad probability '" + text +
+                                   "' (want [0,1])");
+  }
+  return v;
+}
+
+Status ParseParam(const std::string& token, Rule* rule) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument("bad fault param '" + token +
+                                   "' (want k=v)");
+  }
+  const std::string key = token.substr(0, eq);
+  const std::string value = token.substr(eq + 1);
+  if (key == "p") {
+    ETLOPT_ASSIGN_OR_RETURN(rule->p, ParseProb(value));
+  } else if (key == "count") {
+    ETLOPT_ASSIGN_OR_RETURN(rule->count, ParseInt(value, "count"));
+  } else if (key == "every") {
+    ETLOPT_ASSIGN_OR_RETURN(rule->every, ParseInt(value, "every"));
+    if (rule->every == 0) {
+      return Status::InvalidArgument("every=0 is not a cadence");
+    }
+  } else {
+    return Status::InvalidArgument("unknown fault param '" + key + "'");
+  }
+  return Status::OK();
+}
+
+Result<Rule> ParseRule(const std::string& element) {
+  const std::vector<std::string> parts = SplitString(element, ':');
+  if (parts.size() < 3 || parts.size() > 4) {
+    return Status::InvalidArgument(
+        "bad fault element '" + element +
+        "' (want scope:name:kind[:param,...])");
+  }
+  Rule rule;
+  ETLOPT_ASSIGN_OR_RETURN(rule.scope, ParseScope(parts[0]));
+  rule.name = parts[1];
+  if (rule.name.empty()) {
+    return Status::InvalidArgument("empty fault target in '" + element + "'");
+  }
+  const std::string& kind = parts[2];
+  if (kind == "io_error") {
+    rule.kind = Kind::kIoError;
+  } else if (kind == "timeout") {
+    rule.kind = Kind::kTimeout;
+  } else if (kind == "malformed_row") {
+    rule.kind = Kind::kMalformedRow;
+  } else if (kind == "crash") {
+    rule.kind = Kind::kCrash;
+  } else if (kind.rfind("crash_after_rows=", 0) == 0) {
+    rule.kind = Kind::kCrash;
+    ETLOPT_ASSIGN_OR_RETURN(
+        rule.after_rows,
+        ParseInt(kind.substr(std::strlen("crash_after_rows=")),
+                 "crash_after_rows"));
+  } else if (kind == "oom") {
+    rule.kind = Kind::kOom;
+  } else {
+    return Status::InvalidArgument("unknown fault kind '" + kind + "'");
+  }
+  if (parts.size() == 4) {
+    for (const std::string& param : SplitString(parts[3], ',')) {
+      ETLOPT_RETURN_IF_ERROR(ParseParam(param, &rule));
+    }
+  }
+  return rule;
+}
+
+}  // namespace
+
+const char* KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kIoError:
+      return "io_error";
+    case Kind::kTimeout:
+      return "timeout";
+    case Kind::kMalformedRow:
+      return "malformed_row";
+    case Kind::kCrash:
+      return "crash";
+    case Kind::kOom:
+      return "oom";
+  }
+  return "unknown";
+}
+
+bool Rule::ConsumeEvent(Rng& rng, int64_t weight) {
+  events += weight;
+  bool fire;
+  if (kind == Kind::kCrash && after_rows >= 0) {
+    // Row-accumulating threshold: fire once, when the matched operators
+    // have cumulatively consumed after_rows input rows.
+    fire = fired == 0 && events >= after_rows;
+  } else if (count >= 0) {
+    fire = fired < count;
+  } else if (p >= 0.0) {
+    fire = rng.NextDouble() < p;
+  } else if (every > 0) {
+    fire = events % every == 0;
+  } else {
+    fire = true;
+  }
+  if (fire) ++fired;
+  return fire;
+}
+
+Result<FaultInjector> FaultInjector::Parse(const std::string& spec) {
+  FaultInjector injector;
+  injector.seed_ = 0x5eedULL;
+  for (const std::string& raw : SplitString(spec, ';')) {
+    const std::string element = TrimString(raw);
+    if (element.empty()) continue;
+    if (element.rfind("seed=", 0) == 0) {
+      ETLOPT_ASSIGN_OR_RETURN(
+          const int64_t seed,
+          ParseInt(element.substr(std::strlen("seed=")), "seed"));
+      injector.seed_ = static_cast<uint64_t>(seed);
+      continue;
+    }
+    ETLOPT_ASSIGN_OR_RETURN(Rule rule, ParseRule(element));
+    injector.rules_.push_back(std::move(rule));
+  }
+  injector.rngs_.clear();
+  injector.rngs_.reserve(injector.rules_.size());
+  for (size_t i = 0; i < injector.rules_.size(); ++i) {
+    injector.rngs_.emplace_back(RuleSeed(injector.seed_, i));
+  }
+  return injector;
+}
+
+FaultInjector* FaultInjector::Global() {
+  if (!g_initialized.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (!g_initialized.load(std::memory_order_relaxed)) {
+      const char* spec = std::getenv("ETLOPT_FAULT_SPEC");
+      if (spec != nullptr && *spec != '\0') {
+        Result<FaultInjector> parsed = Parse(spec);
+        if (parsed.ok() && parsed->has_rules()) {
+          g_owned = std::make_unique<FaultInjector>(std::move(*parsed));
+          g_injector.store(g_owned.get(), std::memory_order_release);
+        } else if (!parsed.ok()) {
+          ETLOPT_LOG(Error) << "ignoring unparsable ETLOPT_FAULT_SPEC: "
+                            << parsed.status().ToString();
+        }
+      }
+      g_initialized.store(true, std::memory_order_release);
+    }
+  }
+  return g_injector.load(std::memory_order_acquire);
+}
+
+Status FaultInjector::InstallGlobal(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (TrimString(spec).empty()) {
+    g_injector.store(nullptr, std::memory_order_release);
+    g_owned.reset();
+    g_initialized.store(true, std::memory_order_release);
+    return Status::OK();
+  }
+  ETLOPT_ASSIGN_OR_RETURN(FaultInjector parsed, Parse(spec));
+  // Swap only after a clean parse; readers never observe a half-built
+  // injector.
+  g_injector.store(nullptr, std::memory_order_release);
+  g_owned = std::make_unique<FaultInjector>(std::move(parsed));
+  g_injector.store(g_owned->has_rules() ? g_owned.get() : nullptr,
+                   std::memory_order_release);
+  g_initialized.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void FaultInjector::ResetState() {
+  for (Rule& rule : rules_) {
+    rule.events = 0;
+    rule.fired = 0;
+  }
+  for (size_t i = 0; i < rngs_.size(); ++i) {
+    rngs_[i] = Rng(RuleSeed(seed_, i));
+  }
+}
+
+bool FaultInjector::HasRules(Scope scope, const std::string& name) const {
+  for (const Rule& rule : rules_) {
+    if (rule.scope == scope && NameMatches(rule, name)) return true;
+  }
+  return false;
+}
+
+Kind FaultInjector::Consult(Scope scope, const std::string& name,
+                            std::initializer_list<Kind> kinds,
+                            int64_t weight) {
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    Rule& rule = rules_[i];
+    if (rule.scope != scope || !NameMatches(rule, name)) continue;
+    bool relevant = false;
+    for (Kind k : kinds) relevant |= rule.kind == k;
+    if (!relevant) continue;
+    if (rule.ConsumeEvent(rngs_[i], weight)) return rule.kind;
+  }
+  return Kind::kNone;
+}
+
+Kind FaultInjector::OnSourceOpen(const std::string& source) {
+  return Consult(Scope::kSource, source, {Kind::kIoError, Kind::kTimeout}, 1);
+}
+
+Kind FaultInjector::OnSourceRow(const std::string& source) {
+  return Consult(Scope::kSource, source, {Kind::kMalformedRow}, 1);
+}
+
+Kind FaultInjector::OnOperator(const std::string& op, int64_t rows_in) {
+  return Consult(Scope::kOp, op, {Kind::kCrash}, rows_in);
+}
+
+Kind FaultInjector::OnTap(const std::string& tap_kind) {
+  return Consult(Scope::kTap, tap_kind, {Kind::kOom, Kind::kCrash}, 1);
+}
+
+}  // namespace fault
+}  // namespace etlopt

@@ -1,0 +1,131 @@
+#ifndef ETLOPT_UTIL_FAULT_H_
+#define ETLOPT_UTIL_FAULT_H_
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace etlopt {
+namespace fault {
+
+// Deterministic, seedable fault injection. Production ETL runs against
+// sources the engine does not control — flat files and foreign DBMSs that
+// time out, truncate and disappear — and every recovery path in the engine
+// (retry/backoff, row quarantine, tap disablement, crash salvage) must be
+// exercisable from a test. The injector is configured once from a spec
+// string (env ETLOPT_FAULT_SPEC or the advisor's --fault-spec) and consulted
+// by the executor and the instrumentation taps; with no spec installed,
+// Injector() returns nullptr and every call site reduces to one pointer
+// load + branch (see BM_FaultGuardDisabled in bench/micro_obs).
+//
+// Spec grammar (elements separated by ';'):
+//
+//   spec    := element (';' element)*
+//   element := 'seed=' N
+//            | scope ':' name ':' kind (':' param (',' param)*)?
+//   scope   := 'source' | 'op' | 'tap'
+//   kind    := 'io_error' | 'timeout' | 'malformed_row'
+//            | 'crash' | 'crash_after_rows=' N | 'oom'
+//   param   := 'p=' F | 'count=' N | 'every=' N
+//
+// `name` selects the injection target: a source table name, an operator
+// ("join", or "join5" for node 5 — prefix match on OpKindName + node id), a
+// tap kind ("card", "distinct", "hist", "rejcard", "rejhist"), or '*' for
+// any. Firing policy per rule: `count=N` fails the first N events
+// (deterministic — the transient-fault staple for retry tests), `p=F` fires
+// each event with probability F from the rule's own seeded PRNG stream,
+// `every=N` fires every Nth event, and no param means every event fires.
+// `crash_after_rows=N` fires once the matched operators have cumulatively
+// processed >= N input rows.
+//
+// Examples:
+//   source:orders:io_error:count=2       first two read attempts fail
+//   source:orders:malformed_row:p=0.01   ~1% of rows divert to quarantine
+//   op:join2:crash_after_rows=5000       crash once join node 2 saw 5k rows
+//   tap:*:oom                            every instrumentation tap fails
+//   seed=42                              pin the Bernoulli streams
+
+enum class Scope : uint8_t { kSource = 0, kOp, kTap };
+
+enum class Kind : uint8_t {
+  kNone = 0,
+  kIoError,       // transient source failure — absorbed by retry/backoff
+  kTimeout,       // ditto, counted separately
+  kMalformedRow,  // row-level corruption — diverted to the quarantine sink
+  kCrash,         // hard mid-run abort (optionally after N rows)
+  kOom,           // tap allocation failure — tap disabled, run continues
+};
+
+const char* KindName(Kind kind);
+
+struct Rule {
+  Scope scope = Scope::kSource;
+  std::string name;  // match target, or "*"
+  Kind kind = Kind::kNone;
+  double p = -1.0;          // Bernoulli firing probability, < 0 = unset
+  int64_t count = -1;       // fire the first `count` events, < 0 = unset
+  int64_t every = -1;       // fire every Nth event, < 0 = unset
+  int64_t after_rows = -1;  // kCrash: cumulative-row threshold, < 0 = unset
+
+  // Runtime state (single run; the executor is single-threaded).
+  int64_t events = 0;  // events consulted (rows, for kCrash)
+  int64_t fired = 0;
+
+  // Consumes one event (of `weight` units, for row-accumulating crash
+  // rules) and decides whether the fault fires.
+  bool ConsumeEvent(Rng& rng, int64_t weight);
+};
+
+class FaultInjector {
+ public:
+  // Parses a spec string. An empty spec yields an injector with no rules.
+  static Result<FaultInjector> Parse(const std::string& spec);
+
+  // The process-global injector, configured from ETLOPT_FAULT_SPEC on first
+  // use. Returns nullptr when no spec is installed — the fast path. A spec
+  // that fails to parse logs an error and leaves injection disabled.
+  static FaultInjector* Global();
+
+  // Installs (or, with an empty spec, clears) the global injector — the
+  // advisor's --fault-spec and the test harness use this. Strict: a parse
+  // error leaves the previous injector in place.
+  static Status InstallGlobal(const std::string& spec);
+
+  // Resets every rule's event/fired counters (a fresh "run").
+  void ResetState();
+
+  bool has_rules() const { return !rules_.empty(); }
+  uint64_t seed() const { return seed_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  // True when any rule could fire for this scope/name — call sites use it
+  // to skip per-row bookkeeping entirely for unaffected sources/ops.
+  bool HasRules(Scope scope, const std::string& name) const;
+
+  // ---- consultation hooks (return kNone when nothing fires) ----
+  // One source read attempt: io_error / timeout rules.
+  Kind OnSourceOpen(const std::string& source);
+  // One source row: malformed_row rules.
+  Kind OnSourceRow(const std::string& source);
+  // One operator finished processing `rows_in` input rows: crash rules.
+  Kind OnOperator(const std::string& op, int64_t rows_in);
+  // One instrumentation tap (name = StatKindName): oom / crash rules.
+  Kind OnTap(const std::string& tap_kind);
+
+ private:
+  Kind Consult(Scope scope, const std::string& name,
+               std::initializer_list<Kind> kinds, int64_t weight);
+
+  std::vector<Rule> rules_;
+  std::vector<Rng> rngs_;  // one deterministic stream per rule
+  uint64_t seed_ = 0;
+};
+
+}  // namespace fault
+}  // namespace etlopt
+
+#endif  // ETLOPT_UTIL_FAULT_H_

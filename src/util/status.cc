@@ -23,6 +23,8 @@ const char* CodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kInfeasible:
       return "Infeasible";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

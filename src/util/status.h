@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kInfeasible,  // e.g. an ILP with no feasible integral solution
+  kAborted,     // a run stopped mid-flight (crash fault, quarantine overflow)
 };
 
 // A lightweight status value in the style of absl::Status / arrow::Status.
@@ -54,6 +55,9 @@ class Status {
   }
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,6 @@
 #include "util/string_util.h"
 
+#include <cctype>
 #include <cstdlib>
 
 namespace etlopt {
@@ -12,6 +13,33 @@ std::string Join(const std::vector<std::string>& parts,
     out += parts[i];
   }
   return out;
+}
+
+std::vector<std::string> SplitString(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (;;) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string TrimString(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
 }
 
 std::string WithThousands(int64_t value) {

@@ -11,6 +11,13 @@ namespace etlopt {
 std::string Join(const std::vector<std::string>& parts,
                  const std::string& sep);
 
+// Splits on a separator character. Empty pieces are kept ("a;;b" -> three
+// pieces); an empty input yields one empty piece.
+std::vector<std::string> SplitString(const std::string& text, char sep);
+
+// Strips leading/trailing ASCII whitespace.
+std::string TrimString(const std::string& text);
+
 // Formats an integer with thousands separators: 1811197 -> "1,811,197".
 std::string WithThousands(int64_t value);
 

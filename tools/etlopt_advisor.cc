@@ -49,6 +49,21 @@
 //                             exceeds the byte budget (default 1 MiB);
 //                             reports exact-vs-sketch memory and feeds the
 //                             sketch q-error telemetry
+//
+// Robustness options (run; see docs/robustness.md):
+//   --fault-spec=<spec>       install a deterministic fault injector (same
+//                             grammar as ETLOPT_FAULT_SPEC); a malformed
+//                             spec exits 1 before anything runs
+//   --max-error-rate=<f>      abort when quarantined/scanned rows of any
+//                             source exceed this fraction (default 0.05)
+//   --checkpoint=<file>       tap checkpoint sidecar path; left behind with
+//                             partial statistics when the run aborts
+//   --checkpoint-every=<n>    rows between checkpoint flushes (default
+//                             100000, or ETLOPT_CHECKPOINT_EVERY)
+//
+// Exit codes: 0 success, 1 usage/configuration/IO error, 3 the run aborted
+// mid-flight (partial statistics were salvaged; the ledger record, when
+// --ledger is given, is marked partial=true).
 
 #include <cstdio>
 #include <cstdlib>
@@ -69,6 +84,7 @@
 #include "obs/trace.h"
 #include "opt/resource.h"
 #include "util/bitmask.h"
+#include "util/fault.h"
 #include "util/random.h"
 
 using namespace etlopt;
@@ -248,6 +264,21 @@ int Run(const std::string& target, int argc, char** argv) {
       ledger_path = arg.substr(std::strlen("--ledger="));
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg.rfind("--fault-spec=", 0) == 0) {
+      const Status st = fault::FaultInjector::InstallGlobal(
+          arg.substr(std::strlen("--fault-spec=")));
+      if (!st.ok()) return Fail("invalid --fault-spec: " + st.ToString());
+    } else if (arg.rfind("--max-error-rate=", 0) == 0) {
+      options.executor.max_error_rate =
+          std::atof(arg.c_str() + std::strlen("--max-error-rate="));
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      options.checkpoint_path = arg.substr(std::strlen("--checkpoint="));
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      options.checkpoint_every_rows =
+          std::atoll(arg.c_str() + std::strlen("--checkpoint-every="));
+      if (options.checkpoint_every_rows <= 0) {
+        return Fail("--checkpoint-every requires a positive row count");
+      }
     } else {
       return Fail("unknown option '" + arg + "'");
     }
@@ -275,6 +306,21 @@ int Run(const std::string& target, int argc, char** argv) {
   if (!cycle.ok()) return Fail(cycle.status().ToString());
 
   std::printf("%s", FormatAnalysisReport(*cycle->analysis).c_str());
+
+  if (cycle->aborted()) {
+    const ExecutionResult& exec = cycle->run.exec;
+    std::printf(
+        "\nRUN ABORTED (%s): %s\n"
+        "  completed %d of %d node(s); salvaged partial statistics "
+        "(%d tap(s) skipped)\n",
+        AbortKindName(exec.abort_kind), exec.abort_reason.c_str(),
+        exec.nodes_completed, exec.nodes_total,
+        cycle->run.tap_report.salvage_skipped);
+    if (!options.checkpoint_path.empty()) {
+      std::printf("  checkpoint sidecar left at %s\n",
+                  options.checkpoint_path.c_str());
+    }
+  }
 
   // Estimator accuracy: with the executed tables in hand, ground truth for
   // every SE is computable — feed the q-error telemetry (and the ledger
@@ -412,7 +458,12 @@ int Run(const std::string& target, int argc, char** argv) {
                   ledger_path.c_str());
     }
   }
-  return obs_sinks.Finish();
+  const int sink_status = obs_sinks.Finish();
+  if (sink_status != 0) return sink_status;
+  // Exit 3 distinguishes "the run aborted but salvage worked" from
+  // configuration errors (exit 1): the ledger record and checkpoint are on
+  // disk, and the next run can consume them.
+  return cycle->aborted() ? 3 : 0;
 }
 
 // Offline provenance: re-derives every estimate from ledger history alone,
@@ -558,6 +609,8 @@ void Usage() {
       "                 [--trace-out=<file>] [--obs-summary]\n"
       "                 [--ledger=<file>] [--explain]\n"
       "                 [--approx-taps[=<bytes>]]  (default 1 MiB budget)\n"
+      "                 [--fault-spec=<spec>] [--max-error-rate=<f>]\n"
+      "                 [--checkpoint=<file>] [--checkpoint-every=<rows>]\n"
       "  etlopt_advisor explain <workflow-file|suite-index 1..30>\n"
       "                 --ledger=<file> [--json] [--selector=greedy|ilp]\n"
       "  etlopt_advisor dot <workflow-file>\n"
