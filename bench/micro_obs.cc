@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/fault.h"
 
@@ -157,6 +158,35 @@ void BM_FaultGuardNonMatching(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FaultGuardNonMatching);
+
+// The profiler guard on the executor's per-operator path when profiling is
+// off (the default): two relaxed loads + a branch, taken once per operator
+// rather than per row. Must stay at the same order as the fault guard.
+void BM_ProfilerGuardDisabled(benchmark::State& state) {
+  obs::SetProfilerEnabled(false);
+  int64_t ns = 0;
+  for (auto _ : state) {
+    if (obs::ProfilerEnabled()) ns += obs::ProfileNowNs();
+    benchmark::DoNotOptimize(ns);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerGuardDisabled);
+
+// The enabled cost per operator: two steady-clock reads bracketing the
+// operator body — what `advisor run --profile` adds to each node.
+void BM_ProfilerTimestampEnabled(benchmark::State& state) {
+  obs::SetObsEnabled(true);
+  obs::SetProfilerEnabled(true);
+  int64_t ns = 0;
+  for (auto _ : state) {
+    if (obs::ProfilerEnabled()) ns += obs::ProfileNowNs();
+    benchmark::DoNotOptimize(ns);
+  }
+  obs::SetProfilerEnabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerTimestampEnabled);
 
 }  // namespace
 }  // namespace etlopt

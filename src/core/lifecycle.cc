@@ -111,8 +111,15 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
     partial_feedback = PartialRunFeedback(history->back(), contexts.size());
   }
   std::vector<SelectionProblem> problems;
+  CostModelOptions cost_options = options.cost;
+  if (!options.calibration.empty() && cost_options.cpu_ns_per_row <= 0.0) {
+    // Calibrated overlay: the CPU charge per observed tuple becomes measured
+    // tap nanoseconds (fit from profiled ledger runs) instead of the
+    // paper's abstract unit cost.
+    cost_options.cpu_ns_per_row = options.calibration.NsPerRow("tap");
+  }
   for (size_t b = 0; b < contexts.size(); ++b) {
-    CostModel cost_model(&workflow.catalog(), options.cost);
+    CostModel cost_model(&workflow.catalog(), cost_options);
     if (b < partial_feedback.size()) {
       for (const auto& [se, rows] : partial_feedback[b]) {
         cost_model.SetSeSize(se, rows);
@@ -152,13 +159,15 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
 
   TapOptions first_run_taps;
   first_run_taps.salvage = first_exec.aborted();
+  TapReport first_tap_report;
   result.block_cards.resize(contexts.size());
   for (size_t b = 0; b < contexts.size(); ++b) {
     const std::vector<StatKey> keys =
         result.selections[b].first_run.ObservedKeys(catalogs[b]);
     ETLOPT_ASSIGN_OR_RETURN(
         StatStore observed,
-        ObserveStatistics(contexts[b], first_exec, keys, first_run_taps));
+        ObserveStatistics(contexts[b], first_exec, keys, first_run_taps,
+                          &first_tap_report));
     Estimator estimator(&contexts[b], &catalogs[b]);
     ETLOPT_RETURN_IF_ERROR(estimator.DeriveAll(observed));
     result.block_stats.push_back(std::move(observed));
@@ -176,6 +185,12 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
         result.block_cards[b][se] = out_it->second.num_rows();
       }
     }
+  }
+  if (!first_exec.profile.empty()) {
+    result.profile = first_exec.profile;
+    result.profile.tap_ns = first_tap_report.observe_ns;
+    obs::AnnotatePredictions(options.calibration, &result.profile);
+    obs::RecordCostAccuracy(result.profile);
   }
 
   // ---- Re-ordered runs for the deferred SEs (trivial CSS counters) ----

@@ -30,6 +30,10 @@ struct BudgetedLifecycleResult {
   // including which statistic taps to re-enable on the next run. Drifted
   // keys feed PipelineOptions::force_observe of the following cycle.
   obs::DriftReport drift;
+  // Per-operator profile of the first (instrumented) run, annotated with
+  // calibrated predictions when PipelineOptions::calibration is set. Empty
+  // unless obs::ProfilerEnabled().
+  obs::RunProfile profile;
 
   // ---- robustness state (defaults describe a clean lifecycle) ----
   // When the first (instrumented) run aborted: block_stats and block_cards

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "etl/workflow_io.h"
+#include "obs/build_info.h"
 #include "obs/checkpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -42,6 +43,9 @@ Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
     if (options_.checkpoint_every_rows <= 0) {
       options_.checkpoint_every_rows = 100000;
     }
+  }
+  if (options_.calibration.empty()) {
+    options_.calibration = obs::CostCalibration::FromEnv();
   }
 }
 
@@ -88,6 +92,11 @@ Result<std::unique_ptr<Analysis>> Pipeline::Analyze(
       // than the budget (cost units are integers, 8 bytes each).
       cost_options.sketch_memory_cap =
           std::max<int64_t>(1, options_.tap_memory_budget_bytes / 8);
+    }
+    if (!options_.calibration.empty() && cost_options.cpu_ns_per_row <= 0.0) {
+      // Calibrated tap cost: the CPU charge per observed tuple becomes
+      // measured nanoseconds instead of the paper's abstract unit cost.
+      cost_options.cpu_ns_per_row = options_.calibration.NsPerRow("tap");
     }
     CostModel cost_model(&analysis->workflow->catalog(), cost_options);
     if (size_feedback != nullptr &&
@@ -205,6 +214,16 @@ Result<RunOutcome> Pipeline::RunAndObserve(const Analysis& analysis,
                      static_cast<int64_t>(outcome.tap_report.salvage_skipped));
   }
   ETLOPT_COUNTER_ADD("etlopt.core.stats_observed", observed);
+  if (!outcome.exec.profile.empty()) {
+    // Attribute the measured instrumentation time to the profile, then
+    // annotate every operator with the calibrated prediction that was live
+    // for this run (pessimistic defaults on an uncalibrated run — that gap
+    // is exactly what the accuracy tracker's cost q-error measures).
+    outcome.exec.profile.tap_ns = outcome.tap_report.observe_ns;
+    obs::AnnotatePredictions(options_.calibration, &outcome.exec.profile);
+    obs::RecordCostAccuracy(outcome.exec.profile);
+    obs::EmitProfileCounters(outcome.exec.profile);
+  }
   return outcome;
 }
 
@@ -399,6 +418,8 @@ obs::RunRecord MakeRunRecord(const CycleOutcome& cycle, std::string run_id,
   record.source_rows_read = SortedCounts(exec.source_rows_read);
   record.source_retries = SortedCounts(exec.source_retries);
   record.quarantined_rows = exec.quarantined_rows();
+  record.profile = exec.profile;
+  record.build = obs::CurrentBuildInfo();
   return record;
 }
 

@@ -7,6 +7,7 @@
 #include "css/generator.h"
 #include "engine/instrumentation.h"
 #include "estimator/estimator.h"
+#include "obs/calibrate.h"
 #include "obs/ledger.h"
 #include "opt/greedy_selector.h"
 #include "opt/ilp_selector.h"
@@ -52,6 +53,13 @@ struct PipelineOptions {
   // when checkpoint_every_rows is not positive.
   std::string checkpoint_path;
   int64_t checkpoint_every_rows = 0;
+  // Cost-model calibration fit from profiled ledger runs (obs/calibrate.h).
+  // When non-empty, Analyze scales the selection cost model's CPU charge to
+  // calibrated tap nanoseconds, and RunAndObserve annotates the run profile
+  // with per-operator predicted times (tracked as "cost" / "plan_cost"
+  // q-error by the accuracy tracker). The Pipeline constructor consults
+  // ETLOPT_CALIBRATION (a file path) when this is empty.
+  obs::CostCalibration calibration;
 };
 
 // Per-block analysis artifacts (steps 1-4 of Fig. 2).

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "obs/accuracy.h"
+#include "obs/build_info.h"
 #include "obs/metrics.h"
 #include "opt/exec_cover.h"
 #include "util/string_util.h"
@@ -83,6 +84,7 @@ std::string FormatAnalysisReport(const Analysis& analysis,
 std::string FormatObsSummary() {
   std::ostringstream out;
   out << "=== observability summary ===\n";
+  out << "build: " << obs::CurrentBuildInfo().Summary() << "\n";
   const auto& registry = obs::MetricsRegistry::Global();
   const struct {
     const char* label;

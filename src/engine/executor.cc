@@ -243,6 +243,9 @@ Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {
   // One pointer load when no spec is installed — the entire robustness layer
   // costs the un-faulted hot path a single null check per operator.
   fault::FaultInjector* inj = fault::FaultInjector::Global();
+  // Hoisted once per run: the disabled profiler costs each operator a branch
+  // on this cached bool, nothing more (benched in bench/micro_obs.cc).
+  const bool profiling = obs::ProfilerEnabled();
   // Deterministic backoff jitter (and nothing else) comes from this stream.
   Rng backoff_rng(inj != nullptr ? inj->seed() : 0x5eedULL);
 
@@ -267,6 +270,8 @@ Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {
     for (NodeId in : node.inputs) {
       rows_in += result.node_outputs.at(in).num_rows();
     }
+    int64_t op_start_ns = 0;
+    if (profiling) op_start_ns = obs::ProfileNowNs();
     switch (node.kind) {
       case OpKind::kSource: {
         auto it = sources.find(node.table_name);
@@ -474,6 +479,10 @@ Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {
         break;
       }
     }
+    // Self time stops here: fault bookkeeping, byte accounting, and metric
+    // emission below are harness cost, not operator cost.
+    int64_t op_self_ns = 0;
+    if (profiling) op_self_ns = obs::ProfileNowNs() - op_start_ns;
     // Crash points fire after the operator ran but before its output is
     // published — the salvage surface is exactly the completed prefix.
     if (!result.aborted() && inj != nullptr) {
@@ -489,11 +498,26 @@ Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {
     if (result.aborted()) break;
     // Bytes entering the operator: mirrors rows_processed (sources read no
     // upstream node output, so they contribute none).
+    int64_t op_bytes = 0;
     for (NodeId in : node.inputs) {
       const Table& t = result.node_outputs.at(in);
-      result.bytes_processed += t.num_rows() * 8 * t.schema().size();
+      op_bytes += t.num_rows() * 8 * t.schema().size();
     }
+    result.bytes_processed += op_bytes;
     const int64_t rows_out = out.num_rows();
+    if (profiling) {
+      obs::OpProfile op;
+      op.node = static_cast<int>(node.id);
+      op.op = OpKindName(node.kind);
+      op.label = OpFaultName(node);
+      op.inputs.reserve(node.inputs.size());
+      for (NodeId in : node.inputs) op.inputs.push_back(static_cast<int>(in));
+      op.self_ns = op_self_ns;
+      op.rows_in = rows_in;
+      op.rows_out = rows_out;
+      op.bytes = op_bytes;
+      result.profile.ops.push_back(std::move(op));
+    }
     if (op_span.active()) {
       op_span.Arg("node", static_cast<int64_t>(node.id));
       op_span.Arg("rows_in", rows_in);

@@ -6,6 +6,7 @@
 
 #include "engine/table.h"
 #include "etl/workflow.h"
+#include "obs/profile.h"
 #include "util/status.h"
 
 namespace etlopt {
@@ -76,6 +77,11 @@ struct ExecutionResult {
   // Total bytes those tuples occupied (8 bytes per value, per the row
   // layout): the denominator for per-MB instrumentation overhead reporting.
   int64_t bytes_processed = 0;
+
+  // Per-operator profile (self wall time, rows, bytes), populated only when
+  // obs::ProfilerEnabled() — empty otherwise. tap_ns is filled in later by
+  // the pipeline once instrumentation has run over the cached outputs.
+  obs::RunProfile profile;
 
   // ---- robustness accounting (all empty/zero on a clean, un-faulted run) --
   // Malformed rows diverted per source — the error-sink tables mirroring

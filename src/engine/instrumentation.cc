@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "planspace/observability.h"
 #include "sketch/tap.h"
 #include "util/bitmask.h"
@@ -311,6 +312,7 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
                                     const std::vector<StatKey>& keys,
                                     const TapOptions& taps,
                                     TapReport* report) {
+  const int64_t observe_start_ns = obs::ProfileNowNs();
   TapReport local;
   std::vector<StatKey> observable;
   observable.reserve(keys.size());
@@ -511,6 +513,7 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
   if (local.salvage_skipped > 0) {
     ETLOPT_COUNTER_ADD("etlopt.tap.salvage_skipped", local.salvage_skipped);
   }
+  local.observe_ns = obs::ProfileNowNs() - observe_start_ns;
   if (report != nullptr) report->Accumulate(local);
   return store;
 }

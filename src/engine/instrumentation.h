@@ -62,6 +62,11 @@ struct TapReport {
   int64_t rows_tapped = 0;
   // on_checkpoint invocations.
   int64_t checkpoint_flushes = 0;
+  // Wall time ObserveStatistics spent inside the taps — the measured
+  // instrumentation overhead, kept separate from operator self time in the
+  // run profile (RunProfile::tap_ns) and fit as the "tap" pseudo-class by
+  // the cost-model calibration.
+  int64_t observe_ns = 0;
 
   void Accumulate(const TapReport& other) {
     exact_taps += other.exact_taps;
@@ -73,6 +78,7 @@ struct TapReport {
     salvage_skipped += other.salvage_skipped;
     rows_tapped += other.rows_tapped;
     checkpoint_flushes += other.checkpoint_flushes;
+    observe_ns += other.observe_ns;
   }
 };
 

@@ -107,6 +107,19 @@ std::string RunRecord::ToJsonLine() const {
   if (quarantined_rows > 0) {
     j.Set("quarantined", Json::Int(quarantined_rows));
   }
+  if (!profile.empty()) {
+    j.Set("profile", ProfileToJson(profile));
+  }
+  if (!build.git_sha.empty()) {
+    Json jbuild = Json::Object();
+    jbuild.Set("sha", Json::Str(build.git_sha));
+    jbuild.Set("compiler", Json::Str(build.compiler));
+    jbuild.Set("type", Json::Str(build.build_type));
+    if (!build.sanitizers.empty()) {
+      jbuild.Set("sanitizers", Json::Str(build.sanitizers));
+    }
+    j.Set("build", std::move(jbuild));
+  }
   return j.Dump();
 }
 
@@ -182,6 +195,17 @@ Result<RunRecord> RunRecord::FromJsonLine(const std::string& line) {
     }
   }
   record.quarantined_rows = j.GetInt("quarantined", 0);
+  if (const Json* profile = j.Find("profile");
+      profile != nullptr && profile->is_object()) {
+    record.profile = ProfileFromJson(*profile);
+  }
+  if (const Json* build = j.Find("build");
+      build != nullptr && build->is_object()) {
+    record.build.git_sha = build->GetString("sha");
+    record.build.compiler = build->GetString("compiler");
+    record.build.build_type = build->GetString("type");
+    record.build.sanitizers = build->GetString("sanitizers");
+  }
   return record;
 }
 

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "etl/workflow.h"
+#include "obs/build_info.h"
+#include "obs/profile.h"
 #include "stats/stat_store.h"
 #include "util/status.h"
 
@@ -69,6 +71,19 @@ struct RunRecord {
   std::vector<std::pair<std::string, int64_t>> source_retries;
   // Malformed rows diverted to the quarantine sink across all sources.
   int64_t quarantined_rows = 0;
+
+  // Per-operator profile of the run (self time, rows, bytes, tap overhead,
+  // and the calibrated prediction that was live when the run executed).
+  // Empty when profiling was off; serialized only when non-empty, so
+  // unprofiled ledger lines are unchanged. This is the raw material for
+  // offline cost-model calibration and the advisor's accuracy report.
+  RunProfile profile;
+
+  // Identity of the binary that produced the run (git sha, compiler, build
+  // type, sanitizers). Empty git_sha means a pre-provenance record; the
+  // advisor's report uses BuildInfo::ComparableWith to flag cross-build
+  // timing comparisons. Serialized only when populated.
+  BuildInfo build;
 
   std::string ToJsonLine() const;
   static Result<RunRecord> FromJsonLine(const std::string& line);

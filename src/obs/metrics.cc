@@ -268,10 +268,21 @@ std::string MetricsRegistry::ExportPrometheus() const {
     }
     out << base << "_bucket{" << labels << "le=\"+Inf\"} " << h->Count()
         << "\n";
-    out << base << "_sum" << (labels.empty() ? "" : "{" + labels.substr(0, labels.size() - 1) + "}")
-        << " " << h->Sum() << "\n";
-    out << base << "_count" << (labels.empty() ? "" : "{" + labels.substr(0, labels.size() - 1) + "}")
-        << " " << h->Count() << "\n";
+    const std::string label_suffix =
+        labels.empty() ? ""
+                       : "{" + labels.substr(0, labels.size() - 1) + "}";
+    out << base << "_sum" << label_suffix << " " << h->Sum() << "\n";
+    out << base << "_count" << label_suffix << " " << h->Count() << "\n";
+    // Derived quantiles (log2-bucket interpolation): scrapers get latency
+    // percentiles without reconstructing them from the cumulative buckets.
+    if (h->Count() > 0) {
+      out << base << "_p50" << label_suffix << " "
+          << FormatDouble(h->ApproxQuantile(0.50)) << "\n";
+      out << base << "_p95" << label_suffix << " "
+          << FormatDouble(h->ApproxQuantile(0.95)) << "\n";
+      out << base << "_p99" << label_suffix << " "
+          << FormatDouble(h->ApproxQuantile(0.99)) << "\n";
+    }
   }
   return out.str();
 }
@@ -301,7 +312,10 @@ std::string MetricsRegistry::ExportJson() const {
     out << "\"" << JsonEscape(name) << "\":{\"count\":" << h->Count()
         << ",\"sum\":" << h->Sum();
     if (h->Count() > 0) {
-      out << ",\"min\":" << h->Min() << ",\"max\":" << h->Max();
+      out << ",\"min\":" << h->Min() << ",\"max\":" << h->Max()
+          << ",\"p50\":" << FormatDouble(h->ApproxQuantile(0.50))
+          << ",\"p95\":" << FormatDouble(h->ApproxQuantile(0.95))
+          << ",\"p99\":" << FormatDouble(h->ApproxQuantile(0.99));
     }
     out << ",\"buckets\":[";
     bool bfirst = true;

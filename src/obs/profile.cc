@@ -1,0 +1,241 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/accuracy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace etlopt {
+namespace obs {
+
+#ifndef ETLOPT_OBS_DISABLED
+namespace {
+
+bool InitialProfileFromEnv() {
+  const char* v = std::getenv("ETLOPT_PROFILE");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool>& ProfilerFlag() {
+  static std::atomic<bool> enabled{InitialProfileFromEnv()};
+  return enabled;
+}
+
+}  // namespace
+
+bool ProfilerEnabled() {
+  return ObsEnabled() && ProfilerFlag().load(std::memory_order_relaxed);
+}
+
+void SetProfilerEnabled(bool on) {
+  ProfilerFlag().store(on, std::memory_order_relaxed);
+}
+#endif  // ETLOPT_OBS_DISABLED
+
+int64_t ProfileNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t RunProfile::TotalSelfNs() const {
+  int64_t total = 0;
+  for (const OpProfile& op : ops) total += op.self_ns;
+  return total;
+}
+
+int64_t RunProfile::Weight(const OpProfile& op) {
+  const int64_t rows = op.rows_in > 0 ? op.rows_in : op.rows_out;
+  return rows > 0 ? rows : 1;
+}
+
+std::vector<int64_t> CumulativeNs(const RunProfile& profile) {
+  std::unordered_map<int, size_t> by_node;
+  for (size_t i = 0; i < profile.ops.size(); ++i) {
+    by_node[profile.ops[i].node] = i;
+  }
+  // Workflow node order is topological, so every input's cumulative value
+  // is final before its consumer reads it.
+  std::vector<int64_t> cum(profile.ops.size(), 0);
+  for (size_t i = 0; i < profile.ops.size(); ++i) {
+    cum[i] = profile.ops[i].self_ns;
+    for (int in : profile.ops[i].inputs) {
+      const auto it = by_node.find(in);
+      if (it != by_node.end() && it->second < i) cum[i] += cum[it->second];
+    }
+  }
+  return cum;
+}
+
+std::string FoldedStacks(const RunProfile& profile) {
+  // Consumer edges: producer node -> first consumer index. A node feeding
+  // multiple consumers is attributed to the first (the collapsed-stack
+  // format wants a tree; the full DAG is in the ledger profile).
+  std::unordered_map<int, size_t> consumer;
+  for (size_t i = 0; i < profile.ops.size(); ++i) {
+    for (int in : profile.ops[i].inputs) {
+      consumer.emplace(in, i);
+    }
+  }
+  std::ostringstream out;
+  for (const OpProfile& op : profile.ops) {
+    // Frames leaf-last: walk up the consumer chain to the terminal node,
+    // then emit root-first.
+    std::vector<const std::string*> frames{&op.label};
+    int node = op.node;
+    for (size_t guard = 0; guard <= profile.ops.size(); ++guard) {
+      const auto it = consumer.find(node);
+      if (it == consumer.end()) break;
+      frames.push_back(&profile.ops[it->second].label);
+      node = profile.ops[it->second].node;
+    }
+    for (size_t f = frames.size(); f-- > 0;) {
+      out << *frames[f];
+      if (f != 0) out << ';';
+    }
+    out << ' ' << op.self_ns << '\n';
+  }
+  if (profile.tap_ns > 0) {
+    out << "tap.observe " << profile.tap_ns << '\n';
+  }
+  return out.str();
+}
+
+std::string FormatProfileTable(const RunProfile& profile) {
+  std::ostringstream out;
+  out << "per-operator profile (self/cumulative wall time):\n";
+  if (profile.ops.empty()) {
+    out << "  (no profiled operators)\n";
+    return out.str();
+  }
+  const std::vector<int64_t> cum = CumulativeNs(profile);
+  const double total =
+      std::max<double>(1.0, static_cast<double>(profile.TotalSelfNs()));
+  char line[200];
+  std::snprintf(line, sizeof(line),
+                "  %-14s %10s %6s %10s %9s %9s %8s %10s %7s\n", "op",
+                "self_ns", "self%", "cum_ns", "rows_in", "rows_out", "ns/row",
+                "pred_ns", "qerr");
+  out << line;
+  for (size_t i = 0; i < profile.ops.size(); ++i) {
+    const OpProfile& op = profile.ops[i];
+    const double ns_per_row = static_cast<double>(op.self_ns) /
+                              static_cast<double>(RunProfile::Weight(op));
+    char pred[32];
+    char qerr[32];
+    if (op.pred_ns >= 0.0) {
+      std::snprintf(pred, sizeof(pred), "%.0f", op.pred_ns);
+      std::snprintf(qerr, sizeof(qerr), "%.2f",
+                    QError(op.pred_ns, static_cast<double>(op.self_ns)));
+    } else {
+      std::snprintf(pred, sizeof(pred), "-");
+      std::snprintf(qerr, sizeof(qerr), "-");
+    }
+    std::snprintf(line, sizeof(line),
+                  "  %-14s %10lld %5.1f%% %10lld %9lld %9lld %8.1f %10s %7s\n",
+                  op.label.c_str(), static_cast<long long>(op.self_ns),
+                  100.0 * static_cast<double>(op.self_ns) / total,
+                  static_cast<long long>(cum[i]),
+                  static_cast<long long>(op.rows_in),
+                  static_cast<long long>(op.rows_out), ns_per_row, pred, qerr);
+    out << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  total self %lld ns, tap overhead %lld ns\n",
+                static_cast<long long>(profile.TotalSelfNs()),
+                static_cast<long long>(profile.tap_ns));
+  out << line;
+  return out.str();
+}
+
+void EmitProfileCounters(const RunProfile& profile) {
+  Tracer& tracer = Tracer::Global();
+  if (!ObsEnabled() || !tracer.enabled()) return;
+  const int64_t now = tracer.NowNs();
+  const int tid = tracer.CurrentTid();
+  for (const OpProfile& op : profile.ops) {
+    TraceEvent event;
+    event.name = "profile.op";
+    event.ph = 'C';
+    event.start_ns = now;
+    event.dur_ns = 0;
+    event.tid = tid;
+    event.args.emplace_back(op.label + ".self_ns",
+                            std::to_string(op.self_ns));
+    event.args.emplace_back(op.label + ".rows_out",
+                            std::to_string(op.rows_out));
+    tracer.Append(std::move(event));
+  }
+  if (profile.tap_ns > 0) {
+    TraceEvent event;
+    event.name = "profile.tap";
+    event.ph = 'C';
+    event.start_ns = now;
+    event.dur_ns = 0;
+    event.tid = tid;
+    event.args.emplace_back("tap_ns", std::to_string(profile.tap_ns));
+    tracer.Append(std::move(event));
+  }
+}
+
+Json ProfileToJson(const RunProfile& profile) {
+  Json j = Json::Object();
+  j.Set("tap_ns", Json::Int(profile.tap_ns));
+  Json ops = Json::Array();
+  for (const OpProfile& op : profile.ops) {
+    Json jo = Json::Object();
+    jo.Set("node", Json::Int(op.node));
+    jo.Set("op", Json::Str(op.op));
+    jo.Set("label", Json::Str(op.label));
+    if (!op.inputs.empty()) {
+      Json ins = Json::Array();
+      for (int in : op.inputs) ins.push_back(Json::Int(in));
+      jo.Set("inputs", std::move(ins));
+    }
+    jo.Set("self_ns", Json::Int(op.self_ns));
+    jo.Set("rows_in", Json::Int(op.rows_in));
+    jo.Set("rows_out", Json::Int(op.rows_out));
+    jo.Set("bytes", Json::Int(op.bytes));
+    if (op.pred_ns >= 0.0) jo.Set("pred_ns", Json::Double(op.pred_ns));
+    ops.push_back(std::move(jo));
+  }
+  j.Set("ops", std::move(ops));
+  return j;
+}
+
+RunProfile ProfileFromJson(const Json& j) {
+  RunProfile profile;
+  if (!j.is_object()) return profile;
+  profile.tap_ns = j.GetInt("tap_ns");
+  const Json* ops = j.Find("ops");
+  if (ops == nullptr || !ops->is_array()) return profile;
+  for (const Json& jo : ops->array()) {
+    if (!jo.is_object()) continue;
+    OpProfile op;
+    op.node = static_cast<int>(jo.GetInt("node", -1));
+    op.op = jo.GetString("op");
+    op.label = jo.GetString("label");
+    if (const Json* ins = jo.Find("inputs");
+        ins != nullptr && ins->is_array()) {
+      for (const Json& in : ins->array()) {
+        if (in.is_number()) op.inputs.push_back(static_cast<int>(in.int_value()));
+      }
+    }
+    op.self_ns = jo.GetInt("self_ns");
+    op.rows_in = jo.GetInt("rows_in");
+    op.rows_out = jo.GetInt("rows_out");
+    op.bytes = jo.GetInt("bytes");
+    op.pred_ns = jo.GetDouble("pred_ns", -1.0);
+    profile.ops.push_back(std::move(op));
+  }
+  return profile;
+}
+
+}  // namespace obs
+}  // namespace etlopt

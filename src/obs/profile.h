@@ -1,0 +1,93 @@
+#ifndef ETLOPT_OBS_PROFILE_H_
+#define ETLOPT_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace etlopt {
+namespace obs {
+
+// Process-wide profiler switch, mirroring the Tracer's enablement contract:
+// off by default (profiles cost memory per run), turned on by the advisor /
+// test harness, and started on by the ETLOPT_PROFILE environment variable.
+// The disabled check is two relaxed loads + a branch — cheap enough to sit
+// on the executor's per-operator path (benched in bench/micro_obs.cc next
+// to the fault guard).
+#ifdef ETLOPT_OBS_DISABLED
+inline constexpr bool ProfilerEnabled() { return false; }
+inline void SetProfilerEnabled(bool) {}
+#else
+bool ProfilerEnabled();
+void SetProfilerEnabled(bool on);
+#endif
+
+// Monotonic nanoseconds for profile timestamps (steady clock, same base the
+// executor's self-time deltas are taken on).
+int64_t ProfileNowNs();
+
+// One operator instance of one run: where the cycles went and how much data
+// moved through. `pred_ns` is the calibrated cost-model prediction for this
+// operator (obs/calibrate.h AnnotatePredictions); -1 until annotated.
+struct OpProfile {
+  int node = -1;        // WorkflowNode id
+  std::string op;       // OpKindName ("Join", "Filter", ...)
+  std::string label;    // lowercased op + node id ("join5"), the fault-
+                        // injection naming convention reused for frames
+  std::vector<int> inputs;  // producing node ids (plan-tree edges)
+  int64_t self_ns = 0;  // wall time inside the operator itself
+  int64_t rows_in = 0;
+  int64_t rows_out = 0;
+  int64_t bytes = 0;    // bytes entering the operator (8 per value)
+  double pred_ns = -1.0;
+};
+
+// The per-operator profile of one executed run, in workflow node order
+// (i.e. topological). Tap overhead — the time ObserveStatistics spent
+// reading the cached pipeline points — is attributed separately: it is
+// instrumentation cost, not plan cost.
+struct RunProfile {
+  std::vector<OpProfile> ops;
+  int64_t tap_ns = 0;
+
+  bool empty() const { return ops.empty() && tap_ns == 0; }
+  // Sum of operator self times (tap_ns excluded).
+  int64_t TotalSelfNs() const;
+
+  // The profiled weight of op i: rows_in for interior operators, rows_out
+  // for sources (which have no upstream), floored at 1 — the row basis both
+  // the calibration fit and its predictions use.
+  static int64_t Weight(const OpProfile& op);
+};
+
+// Cumulative (inclusive) nanoseconds per op, aligned with profile.ops:
+// self time plus the cumulative time of every input, over the plan tree.
+// Operators feeding multiple consumers are counted into each consumer
+// (standard inclusive-time semantics).
+std::vector<int64_t> CumulativeNs(const RunProfile& profile);
+
+// Collapsed-stack ("folded") rendering for flamegraph tooling: one line per
+// operator, frames root-first along the consumer chain to the terminal
+// node, weighted by self time. Tap overhead appears as its own
+// "tap.observe" frame.
+std::string FoldedStacks(const RunProfile& profile);
+
+// Fixed-width per-operator table (self/cumulative ns, rows, ns/row, and —
+// once annotated — predicted ns with its q-error).
+std::string FormatProfileTable(const RunProfile& profile);
+
+// Chrome-trace counter events ("ph":"C") for every operator's self time and
+// row counts, appended to the global Tracer (no-op when it is disabled).
+void EmitProfileCounters(const RunProfile& profile);
+
+// Ledger codec. ProfileFromJson is tolerant: missing fields default.
+Json ProfileToJson(const RunProfile& profile);
+RunProfile ProfileFromJson(const Json& j);
+
+}  // namespace obs
+}  // namespace etlopt
+
+#endif  // ETLOPT_OBS_PROFILE_H_

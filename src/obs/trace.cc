@@ -110,13 +110,37 @@ std::string Tracer::ChromeTraceJson() const {
   out << std::fixed << std::setprecision(3);
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
+  // Metadata first: name the process and every thread that recorded an
+  // event, so Perfetto / chrome://tracing open with labeled rows instead of
+  // bare pid/tid integers.
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"etlopt\"}}";
+  first = false;
+  {
+    std::vector<int> tids;
+    for (const TraceEvent& e : events_) tids.push_back(e.tid);
+    for (const auto& [id, span] : open_spans_) {
+      (void)id;
+      tids.push_back(span.tid);
+    }
+    std::sort(tids.begin(), tids.end());
+    tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+    for (int tid : tids) {
+      const std::string label =
+          tid == 1 ? "main" : "worker-" + std::to_string(tid);
+      out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+          << tid << ",\"args\":{\"name\":" << JsonQuote(label) << "}}";
+    }
+  }
   for (const TraceEvent& e : events_) {
     if (!first) out << ",";
     first = false;
-    out << "{\"name\":" << JsonQuote(e.name)
-        << ",\"cat\":\"etlopt\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
-        << ",\"ts\":" << static_cast<double>(e.start_ns) / 1000.0
-        << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
+    out << "{\"name\":" << JsonQuote(e.name) << ",\"cat\":\"etlopt\",\"ph\":\""
+        << e.ph << "\",\"pid\":1,\"tid\":" << e.tid
+        << ",\"ts\":" << static_cast<double>(e.start_ns) / 1000.0;
+    if (e.ph == 'X') {
+      out << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
+    }
     if (!e.args.empty()) {
       out << ",\"args\":{";
       bool afirst = true;

@@ -16,14 +16,18 @@
 namespace etlopt {
 namespace obs {
 
-// One completed span, ready for Chrome trace_event serialization (a "ph":"X"
-// complete event). Nesting is implied by timestamp containment per thread,
-// which is how chrome://tracing and Perfetto reconstruct the hierarchy.
+// One recorded event, ready for Chrome trace_event serialization. The
+// default phase is "X" (a complete span, the ScopedSpan product); "C"
+// counter events carry numeric series in their args instead of a duration
+// (the profiler's per-operator export). Span nesting is implied by
+// timestamp containment per thread, which is how chrome://tracing and
+// Perfetto reconstruct the hierarchy.
 struct TraceEvent {
   const char* name;  // must outlive the tracer (string literals)
   int64_t start_ns;  // relative to tracer epoch
   int64_t dur_ns;
   int tid;
+  char ph = 'X';     // trace_event phase: 'X' complete, 'C' counter
   // Pre-rendered JSON values: (key, value-token) where value-token is a
   // number or a quoted string.
   std::vector<std::pair<std::string, std::string>> args;
@@ -56,9 +60,11 @@ class Tracer {
   void Clear();
 
   // Full Chrome trace JSON ({"traceEvents":[...]}): loadable in
-  // chrome://tracing and ui.perfetto.dev. ts/dur are microseconds. Spans
-  // still open (a run aborted mid-span, or serialization from inside a
-  // span) are emitted as unmatched "ph":"B" events, which both viewers
+  // chrome://tracing and ui.perfetto.dev. ts/dur are microseconds. The
+  // document leads with "ph":"M" metadata events naming the process
+  // ("etlopt") and every thread seen, so traces open with labeled rows.
+  // Spans still open (a run aborted mid-span, or serialization from inside
+  // a span) are emitted as unmatched "ph":"B" events, which both viewers
   // tolerate — a partial trace is always a complete JSON document.
   std::string ChromeTraceJson() const;
 

@@ -45,13 +45,15 @@ double CostModel::MemoryCost(const StatKey& key) const {
 }
 
 double CostModel::CpuCost(const StatKey& key) const {
+  const double per_row =
+      options_.cpu_ns_per_row > 0.0 ? options_.cpu_ns_per_row : 1.0;
   if (key.is_reject()) {
     // The side-join scans the rejected rows (bounded by |L|) and probes R.
     const int64_t left = SeSize(key.reject_left, kTopStage);
     const int64_t right = SeSize(key.rels, kTopStage);
-    return static_cast<double>(left + right);
+    return per_row * static_cast<double>(left + right);
   }
-  return static_cast<double>(SeSize(key.rels, key.stage));
+  return per_row * static_cast<double>(SeSize(key.rels, key.stage));
 }
 
 double CostModel::Cost(const StatKey& key) const {

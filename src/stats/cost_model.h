@@ -28,6 +28,12 @@ struct CostModelOptions {
   // the attribute domain product. Set by the pipeline from
   // tap_memory_budget_bytes; 0 preserves the exact-collection cost table.
   int64_t sketch_memory_cap = 0;
+  // When > 0: calibrated wall-nanoseconds one observed tuple costs at a tap
+  // (fit from profiled runs, see obs/calibrate.h). CpuCost then returns
+  // nanoseconds instead of abstract tuple counts — relative selector
+  // rankings are unchanged for uniform taps, but budgets and reports speak
+  // measured time. 0 preserves the paper's unit-cost-per-tuple table.
+  double cpu_ns_per_row = 0.0;
 };
 
 // Implements the paper's Section 5.4 cost table:

@@ -14,6 +14,7 @@
 #include "engine/executor.h"
 #include "obs/accuracy.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "test_util.h"
 
@@ -42,6 +43,16 @@ struct JsonValue {
   }
   bool has(const std::string& key) const { return object.count(key) > 0; }
 };
+
+// Payload events of a Chrome-trace document: everything except the "ph":"M"
+// process/thread-naming metadata the serializer always leads with.
+std::vector<const JsonValue*> PayloadEvents(const JsonValue& root) {
+  std::vector<const JsonValue*> events;
+  for (const JsonValue& e : root.at("traceEvents").array) {
+    if (e.at("ph").str != "M") events.push_back(&e);
+  }
+  return events;
+}
 
 class JsonParser {
  public:
@@ -404,6 +415,48 @@ TEST(ObsExportTest, PrometheusSanitizesNamesAndEmitsCumulativeBuckets) {
       << text;
 }
 
+TEST(ObsExportTest, HistogramQuantilesInJsonAndPrometheus) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::LogHistogram& h = registry.GetHistogram("test.obs.quant.hist");
+  h.Reset();
+  // 98 fast samples, 2 slow outliers: p50 sits in the dense bucket while
+  // p99 must climb into the tail.
+  for (int i = 0; i < 98; ++i) h.Record(10);
+  h.Record(1000);
+  h.Record(100000);
+
+  const JsonValue root = ParseJsonOrDie(registry.ExportJson());
+  const JsonValue& hist = root.at("histograms").at("test.obs.quant.hist");
+  ASSERT_TRUE(hist.has("p50"));
+  ASSERT_TRUE(hist.has("p95"));
+  ASSERT_TRUE(hist.has("p99"));
+  const double p50 = hist.at("p50").number;
+  const double p95 = hist.at("p95").number;
+  const double p99 = hist.at("p99").number;
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Quantiles interpolate within log buckets but stay clamped to the
+  // observed range; p50 stays near the dense value, p99 reaches the tail.
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 16.0);  // upper bound of 10's power-of-two bucket
+  EXPECT_GT(p99, 500.0);
+  EXPECT_LE(p99, 100000.0);
+
+  const std::string text = registry.ExportPrometheus();
+  EXPECT_NE(text.find("test_obs_quant_hist_p50 "), std::string::npos) << text;
+  EXPECT_NE(text.find("test_obs_quant_hist_p95 "), std::string::npos) << text;
+  EXPECT_NE(text.find("test_obs_quant_hist_p99 "), std::string::npos) << text;
+
+  // An empty histogram exports no quantile keys (they would be lies).
+  h.Reset();
+  const JsonValue empty_root = ParseJsonOrDie(registry.ExportJson());
+  const JsonValue& empty_hist =
+      empty_root.at("histograms").at("test.obs.quant.hist");
+  EXPECT_FALSE(empty_hist.has("p50"));
+  EXPECT_EQ(registry.ExportPrometheus().find("test_obs_quant_hist_p50"),
+            std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Tracer
 // ---------------------------------------------------------------------------
@@ -426,16 +479,16 @@ TEST(ObsTracerTest, NestedSpansProduceValidChromeTrace) {
   ASSERT_EQ(tracer.NumEvents(), 2u);
 
   const JsonValue root = ParseJsonOrDie(tracer.ChromeTraceJson());
-  const std::vector<JsonValue>& events = root.at("traceEvents").array;
+  const std::vector<const JsonValue*> events = PayloadEvents(root);
   ASSERT_EQ(events.size(), 2u);
   const JsonValue* outer_ev = nullptr;
   const JsonValue* inner_ev = nullptr;
-  for (const JsonValue& e : events) {
-    EXPECT_EQ(e.at("ph").str, "X");
-    EXPECT_TRUE(e.has("ts"));
-    EXPECT_TRUE(e.has("dur"));
-    if (e.at("name").str == "test.outer") outer_ev = &e;
-    if (e.at("name").str == "test.inner") inner_ev = &e;
+  for (const JsonValue* e : events) {
+    EXPECT_EQ(e->at("ph").str, "X");
+    EXPECT_TRUE(e->has("ts"));
+    EXPECT_TRUE(e->has("dur"));
+    if (e->at("name").str == "test.outer") outer_ev = e;
+    if (e->at("name").str == "test.inner") inner_ev = e;
   }
   ASSERT_NE(outer_ev, nullptr);
   ASSERT_NE(inner_ev, nullptr);
@@ -479,17 +532,17 @@ TEST(ObsTracerTest, UnclosedSpansSerializeAsBeginEvents) {
   const std::string json = tracer.ChromeTraceJson();
   JsonValue root;
   ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
-  const std::vector<JsonValue>& events = root.at("traceEvents").array;
+  const std::vector<const JsonValue*> events = PayloadEvents(root);
   ASSERT_EQ(events.size(), 2u);
   bool saw_open = false;
-  for (const JsonValue& e : events) {
-    if (e.at("name").str == "test.still_open") {
+  for (const JsonValue* e : events) {
+    if (e->at("name").str == "test.still_open") {
       saw_open = true;
-      EXPECT_EQ(e.at("ph").str, "B");  // unmatched begin: viewers tolerate it
-      EXPECT_TRUE(e.has("ts"));
-      EXPECT_FALSE(e.has("dur"));
+      EXPECT_EQ(e->at("ph").str, "B");  // unmatched begin: viewers tolerate it
+      EXPECT_TRUE(e->has("ts"));
+      EXPECT_FALSE(e->has("dur"));
     } else {
-      EXPECT_EQ(e.at("ph").str, "X");
+      EXPECT_EQ(e->at("ph").str, "X");
     }
   }
   EXPECT_TRUE(saw_open);
@@ -499,9 +552,10 @@ TEST(ObsTracerTest, UnclosedSpansSerializeAsBeginEvents) {
   EXPECT_EQ(tracer.NumOpenSpans(), 0u);
   JsonValue after;
   ASSERT_TRUE(JsonParser(tracer.ChromeTraceJson()).Parse(&after));
-  ASSERT_EQ(after.at("traceEvents").array.size(), 2u);
-  for (const JsonValue& e : after.at("traceEvents").array) {
-    EXPECT_EQ(e.at("ph").str, "X");
+  const std::vector<const JsonValue*> after_events = PayloadEvents(after);
+  ASSERT_EQ(after_events.size(), 2u);
+  for (const JsonValue* e : after_events) {
+    EXPECT_EQ(e->at("ph").str, "X");
   }
   tracer.SetEnabled(false);
   tracer.Clear();
@@ -524,11 +578,78 @@ TEST(ObsTracerTest, WriteChromeTraceIsAtomicAndLoadable) {
   buf << in.rdbuf();
   JsonValue root;
   ASSERT_TRUE(JsonParser(buf.str()).Parse(&root)) << buf.str();
-  ASSERT_EQ(root.at("traceEvents").array.size(), 1u);
-  EXPECT_EQ(root.at("traceEvents").array[0].at("ph").str, "B");
+  const std::vector<const JsonValue*> events = PayloadEvents(root);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0]->at("ph").str, "B");
   // The temp file was renamed away, not left behind.
   EXPECT_FALSE(std::ifstream(path + ".tmp").good());
   std::remove(path.c_str());
+  tracer.Clear();
+}
+
+TEST(ObsTracerTest, MetadataEventsNameProcessAndThreads) {
+  obs::SetObsEnabled(true);
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  { obs::ScopedSpan span("test.meta"); }
+  tracer.SetEnabled(false);
+
+  const JsonValue root = ParseJsonOrDie(tracer.ChromeTraceJson());
+  const std::vector<JsonValue>& events = root.at("traceEvents").array;
+  ASSERT_GE(events.size(), 3u);  // process_name + >=1 thread_name + span
+  // Metadata leads the document so viewers label rows before any slice.
+  EXPECT_EQ(events[0].at("ph").str, "M");
+  EXPECT_EQ(events[0].at("name").str, "process_name");
+  EXPECT_EQ(events[0].at("args").at("name").str, "etlopt");
+  bool named_main = false;
+  for (const JsonValue& e : events) {
+    if (e.at("ph").str != "M" || e.at("name").str != "thread_name") continue;
+    EXPECT_TRUE(e.has("tid"));
+    if (e.at("tid").number == 1.0) {
+      named_main = true;
+      EXPECT_EQ(e.at("args").at("name").str, "main");
+    }
+  }
+  EXPECT_TRUE(named_main);
+  tracer.Clear();
+}
+
+TEST(ObsTracerTest, ProfileCounterEventsCarryNoDuration) {
+  obs::SetObsEnabled(true);
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+
+  obs::RunProfile profile;
+  obs::OpProfile op;
+  op.node = 2;
+  op.op = "Join";
+  op.label = "join2";
+  op.self_ns = 5000;
+  op.rows_out = 40;
+  profile.ops.push_back(op);
+  profile.tap_ns = 300;
+  obs::EmitProfileCounters(profile);
+  tracer.SetEnabled(false);
+
+  const JsonValue root = ParseJsonOrDie(tracer.ChromeTraceJson());
+  const JsonValue* op_event = nullptr;
+  const JsonValue* tap_event = nullptr;
+  for (const JsonValue* e : PayloadEvents(root)) {
+    if (e->at("name").str == "profile.op") op_event = e;
+    if (e->at("name").str == "profile.tap") tap_event = e;
+  }
+  ASSERT_NE(op_event, nullptr);
+  ASSERT_NE(tap_event, nullptr);
+  // Counter samples: phase "C", a timestamp, and no duration field.
+  EXPECT_EQ(op_event->at("ph").str, "C");
+  EXPECT_TRUE(op_event->has("ts"));
+  EXPECT_FALSE(op_event->has("dur"));
+  EXPECT_DOUBLE_EQ(op_event->at("args").at("join2.self_ns").number, 5000.0);
+  EXPECT_DOUBLE_EQ(op_event->at("args").at("join2.rows_out").number, 40.0);
+  EXPECT_EQ(tap_event->at("ph").str, "C");
+  EXPECT_DOUBLE_EQ(tap_event->at("args").at("tap_ns").number, 300.0);
   tracer.Clear();
 }
 

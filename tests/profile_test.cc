@@ -1,0 +1,474 @@
+// Tests for the per-operator profiler (obs/profile.h), the cost-model
+// calibration loop (obs/calibrate.h), and the advisor's offline accuracy
+// report (obs/run_report.h) — including the two-run end-to-end check that a
+// calibration fit from run 1 strictly shrinks run 2's per-plan cost q-error.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "engine/executor.h"
+#include "gtest/gtest.h"
+#include "obs/accuracy.h"
+#include "obs/calibrate.h"
+#include "obs/ledger.h"
+#include "obs/profile.h"
+#include "obs/run_report.h"
+#include "test_util.h"
+#include "util/json.h"
+
+namespace etlopt {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+// RAII profiler switch: every test that profiles restores the global
+// disabled default on exit so no other test inherits the flag.
+class ProfilerGuard {
+ public:
+  ProfilerGuard() { obs::SetProfilerEnabled(true); }
+  ~ProfilerGuard() { obs::SetProfilerEnabled(false); }
+};
+
+// ---------------------------------------------------------------------------
+// Profiler capture
+// ---------------------------------------------------------------------------
+
+TEST(ProfilerTest, DisabledByDefaultLeavesProfileEmpty) {
+  ASSERT_FALSE(obs::ProfilerEnabled());
+  const auto ex = testing_util::MakePaperExample();
+  Executor executor(&ex.workflow);
+  const auto result = executor.Execute(ex.sources);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->profile.empty());
+}
+
+TEST(ProfilerTest, CapturesEveryOperatorWithRowsAndBytes) {
+  ProfilerGuard guard;
+  const auto ex = testing_util::MakePaperExample();
+  Executor executor(&ex.workflow);
+  const auto result = executor.Execute(ex.sources);
+  ASSERT_TRUE(result.ok());
+  const obs::RunProfile& profile = result->profile;
+  ASSERT_EQ(profile.ops.size(),
+            static_cast<size_t>(ex.workflow.num_nodes()));
+
+  int64_t bytes = 0;
+  int joins = 0;
+  for (const obs::OpProfile& op : profile.ops) {
+    EXPECT_GE(op.self_ns, 0);
+    EXPECT_GE(op.node, 0);
+    EXPECT_FALSE(op.op.empty());
+    EXPECT_FALSE(op.label.empty());
+    bytes += op.bytes;
+    if (op.op == "Join") {
+      ++joins;
+      EXPECT_GT(op.rows_in, 0);
+      EXPECT_EQ(op.inputs.size(), 2u);
+    }
+    // The calibration row basis: rows_in for interior ops, rows_out for
+    // sources, never below 1.
+    EXPECT_GE(obs::RunProfile::Weight(op), 1);
+  }
+  EXPECT_EQ(joins, 2);
+  EXPECT_EQ(bytes, result->bytes_processed);
+  EXPECT_GE(profile.TotalSelfNs(), 0);
+}
+
+TEST(ProfilerTest, CumulativeTimeIsSelfPlusInputs) {
+  ProfilerGuard guard;
+  const auto ex = testing_util::MakePaperExample();
+  Executor executor(&ex.workflow);
+  const auto result = executor.Execute(ex.sources);
+  ASSERT_TRUE(result.ok());
+  const obs::RunProfile& profile = result->profile;
+  const std::vector<int64_t> cum = obs::CumulativeNs(profile);
+  ASSERT_EQ(cum.size(), profile.ops.size());
+  for (size_t i = 0; i < profile.ops.size(); ++i) {
+    // Inclusive time can never be below self time.
+    EXPECT_GE(cum[i], profile.ops[i].self_ns);
+    if (profile.ops[i].inputs.empty()) {
+      EXPECT_EQ(cum[i], profile.ops[i].self_ns);
+    }
+  }
+}
+
+TEST(ProfilerTest, FoldedStacksAndTableRenderEveryFrame) {
+  ProfilerGuard guard;
+  const auto ex = testing_util::MakePaperExample();
+  Executor executor(&ex.workflow);
+  auto result = executor.Execute(ex.sources);
+  ASSERT_TRUE(result.ok());
+  result->profile.tap_ns = 1234;
+
+  const std::string folded = obs::FoldedStacks(result->profile);
+  for (const obs::OpProfile& op : result->profile.ops) {
+    EXPECT_NE(folded.find(op.label), std::string::npos) << op.label;
+  }
+  EXPECT_NE(folded.find("tap.observe"), std::string::npos);
+  // Folded lines are "frames... weight\n": same line count as frames.
+  const std::string table = obs::FormatProfileTable(result->profile);
+  for (const obs::OpProfile& op : result->profile.ops) {
+    EXPECT_NE(table.find(op.label), std::string::npos) << op.label;
+  }
+}
+
+TEST(ProfilerTest, JsonRoundTripPreservesOpsAndTapNs) {
+  obs::RunProfile profile;
+  obs::OpProfile op;
+  op.node = 3;
+  op.op = "Join";
+  op.label = "join3";
+  op.inputs = {0, 1};
+  op.self_ns = 42000;
+  op.rows_in = 440;
+  op.rows_out = 400;
+  op.bytes = 3520;
+  op.pred_ns = 41000.0;
+  profile.ops.push_back(op);
+  profile.tap_ns = 777;
+
+  const obs::RunProfile back = obs::ProfileFromJson(obs::ProfileToJson(profile));
+  ASSERT_EQ(back.ops.size(), 1u);
+  EXPECT_EQ(back.ops[0].node, 3);
+  EXPECT_EQ(back.ops[0].op, "Join");
+  EXPECT_EQ(back.ops[0].label, "join3");
+  EXPECT_EQ(back.ops[0].inputs, std::vector<int>({0, 1}));
+  EXPECT_EQ(back.ops[0].self_ns, 42000);
+  EXPECT_EQ(back.ops[0].rows_in, 440);
+  EXPECT_EQ(back.ops[0].rows_out, 400);
+  EXPECT_EQ(back.ops[0].bytes, 3520);
+  EXPECT_DOUBLE_EQ(back.ops[0].pred_ns, 41000.0);
+  EXPECT_EQ(back.tap_ns, 777);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration
+// ---------------------------------------------------------------------------
+
+obs::RunRecord ProfiledRecord(const std::string& run_id) {
+  obs::RunRecord record;
+  record.run_id = run_id;
+  record.workflow = "wf";
+  record.fingerprint = "abcd0123abcd0123";
+  obs::OpProfile source;
+  source.node = 0;
+  source.op = "Source";
+  source.label = "source0";
+  source.self_ns = 1000;
+  source.rows_out = 100;  // weight 100 -> 10 ns/row
+  record.profile.ops.push_back(source);
+  obs::OpProfile join;
+  join.node = 1;
+  join.op = "Join";
+  join.label = "join1";
+  join.inputs = {0};
+  join.self_ns = 40000;
+  join.rows_in = 200;  // weight 200 -> 200 ns/row
+  join.rows_out = 150;
+  record.profile.ops.push_back(join);
+  record.profile.tap_ns = 2500;  // over 250 tapped rows -> 10 ns/row
+  return record;
+}
+
+TEST(CalibrationTest, RatioFitPerClassAndTapPseudoClass) {
+  const std::vector<obs::RunRecord> records = {ProfiledRecord("run-1"),
+                                               ProfiledRecord("run-2")};
+  const obs::CostCalibration cal = obs::FitCalibration(records);
+  EXPECT_EQ(cal.runs, 2);
+  EXPECT_DOUBLE_EQ(cal.NsPerRow("Source"), 10.0);
+  EXPECT_DOUBLE_EQ(cal.NsPerRow("Join"), 200.0);
+  // The tap pseudo-class: observe ns over the rows the taps saw (rows_out
+  // totals), fitted alongside the operator classes.
+  EXPECT_DOUBLE_EQ(cal.NsPerRow("tap"), 2.0 * 2500 / (2.0 * 250));
+  // Unfitted classes fall back to the pessimistic default.
+  EXPECT_DOUBLE_EQ(cal.NsPerRow("Filter"),
+                   obs::CostCalibration::kDefaultNsPerRow);
+  EXPECT_DOUBLE_EQ(cal.PredictNs("Join", 10), 2000.0);
+}
+
+TEST(CalibrationTest, FitSkipsRecordsWithoutProfiles) {
+  obs::RunRecord bare;
+  bare.run_id = "run-1";
+  const obs::CostCalibration cal = obs::FitCalibration({bare});
+  EXPECT_EQ(cal.runs, 0);
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(CalibrationTest, JsonAndFileRoundTrip) {
+  const obs::CostCalibration cal =
+      obs::FitCalibration({ProfiledRecord("run-1")});
+  const auto back = obs::CostCalibration::FromJson(cal.ToJson());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->runs, cal.runs);
+  EXPECT_EQ(back->classes.size(), cal.classes.size());
+  EXPECT_DOUBLE_EQ(back->NsPerRow("Join"), cal.NsPerRow("Join"));
+
+  const std::string path = TempPath("calibration.json");
+  ASSERT_TRUE(cal.Save(path).ok());
+  const auto loaded = obs::CostCalibration::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->NsPerRow("Source"), cal.NsPerRow("Source"));
+  std::remove(path.c_str());
+}
+
+TEST(CalibrationTest, FromEnvLoadsNamedOverlay) {
+  const std::string path = TempPath("calibration_env.json");
+  const obs::CostCalibration cal =
+      obs::FitCalibration({ProfiledRecord("run-1")});
+  ASSERT_TRUE(cal.Save(path).ok());
+  ::setenv("ETLOPT_CALIBRATION", path.c_str(), 1);
+  const obs::CostCalibration from_env = obs::CostCalibration::FromEnv();
+  ::unsetenv("ETLOPT_CALIBRATION");
+  EXPECT_FALSE(from_env.empty());
+  EXPECT_DOUBLE_EQ(from_env.NsPerRow("Join"), cal.NsPerRow("Join"));
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(obs::CostCalibration::FromEnv().empty());
+}
+
+TEST(CalibrationTest, AnnotatePredictionsAndPlanQError) {
+  obs::RunRecord record = ProfiledRecord("run-1");
+  const obs::CostCalibration cal = obs::FitCalibration({record});
+  obs::AnnotatePredictions(cal, &record.profile);
+  for (const obs::OpProfile& op : record.profile.ops) {
+    EXPECT_GE(op.pred_ns, 0.0) << op.label;
+  }
+  // A ratio fit is exact on its own fitting data when each class has one
+  // op: the per-plan q-error collapses to 1.
+  EXPECT_DOUBLE_EQ(obs::PlanCostQError(record.profile), 1.0);
+
+  // Un-annotated profiles report no q-error rather than a fake 1.0.
+  obs::RunProfile blank = ProfiledRecord("run-2").profile;
+  EXPECT_DOUBLE_EQ(obs::PlanCostQError(blank), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Ledger round trip of profile + build provenance
+// ---------------------------------------------------------------------------
+
+TEST(LedgerProfileTest, ProfileAndBuildSurviveLedgerRoundTrip) {
+  const std::string path = TempPath("profile_roundtrip.ledger.jsonl");
+  std::remove(path.c_str());
+  obs::RunLedger ledger(path);
+
+  obs::RunRecord record = ProfiledRecord("run-1");
+  record.build.git_sha = "deadbeef";
+  record.build.compiler = "GNU 13.2.0";
+  record.build.build_type = "Release";
+  record.build.sanitizers = "asan,ubsan";
+  ASSERT_TRUE(ledger.Append(record).ok());
+
+  const auto loaded = ledger.Load();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->records.size(), 1u);
+  const obs::RunRecord& back = loaded->records[0];
+  ASSERT_EQ(back.profile.ops.size(), 2u);
+  EXPECT_EQ(back.profile.ops[1].op, "Join");
+  EXPECT_EQ(back.profile.ops[1].self_ns, 40000);
+  EXPECT_EQ(back.profile.tap_ns, 2500);
+  EXPECT_EQ(back.build.git_sha, "deadbeef");
+  EXPECT_EQ(back.build.compiler, "GNU 13.2.0");
+  EXPECT_EQ(back.build.build_type, "Release");
+  EXPECT_EQ(back.build.sanitizers, "asan,ubsan");
+  std::remove(path.c_str());
+}
+
+TEST(LedgerProfileTest, RecordsWithoutProfilesStayLean) {
+  obs::RunRecord record;
+  record.run_id = "run-1";
+  const std::string line = record.ToJsonLine();
+  EXPECT_EQ(line.find("\"profile\""), std::string::npos);
+  EXPECT_EQ(line.find("\"build\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Two-run end-to-end: profile, fit, re-run calibrated
+// ---------------------------------------------------------------------------
+
+TEST(CalibrationE2ETest, CalibratedSecondRunShrinksPlanCostQError) {
+  ProfilerGuard guard;
+  const std::string path = TempPath("calibrate_e2e.ledger.jsonl");
+  std::remove(path.c_str());
+  obs::RunLedger ledger(path);
+
+  // ---- Run 1: uncalibrated. Predictions come from the pessimistic
+  // per-class default, so the per-plan cost q-error is large. ----
+  const auto ex1 = testing_util::MakePaperExample(7, 400, 40, 25);
+  Pipeline pipeline1;
+  const Result<CycleOutcome> cycle1 =
+      pipeline1.RunCycle(ex1.workflow, ex1.sources);
+  ASSERT_TRUE(cycle1.ok()) << cycle1.status().ToString();
+  ASSERT_FALSE(cycle1->run.exec.profile.empty());
+  const double q1 = obs::PlanCostQError(cycle1->run.exec.profile);
+  ASSERT_GT(q1, 1.0);
+
+  const obs::RunRecord record1 = MakeRunRecord(*cycle1, "run-1");
+  ASSERT_FALSE(record1.profile.empty());
+  EXPECT_FALSE(record1.build.git_sha.empty());
+  ASSERT_TRUE(ledger.Append(record1).ok());
+
+  // ---- Fit a calibration from the ledger, as `advisor calibrate` does. --
+  const auto loaded = ledger.Load();
+  ASSERT_TRUE(loaded.ok());
+  const obs::CostCalibration cal = obs::FitCalibration(loaded->records);
+  ASSERT_EQ(cal.runs, 1);
+  ASSERT_FALSE(cal.empty());
+
+  // ---- Run 2: same workload under the overlay. The fitted per-class
+  // rates land near the measured ones, so the q-error must strictly
+  // shrink (by orders of magnitude; strict < keeps the test robust). ----
+  PipelineOptions options2;
+  options2.calibration = cal;
+  Pipeline pipeline2(options2);
+  const auto ex2 = testing_util::MakePaperExample(7, 400, 40, 25);
+  const Result<CycleOutcome> cycle2 =
+      pipeline2.RunCycle(ex2.workflow, ex2.sources);
+  ASSERT_TRUE(cycle2.ok());
+  ASSERT_FALSE(cycle2->run.exec.profile.empty());
+  const double q2 = obs::PlanCostQError(cycle2->run.exec.profile);
+  ASSERT_GT(q2, 0.0);
+  EXPECT_LT(q2, q1) << "calibrated run must beat the default cost model";
+
+  const obs::RunRecord record2 = MakeRunRecord(*cycle2, "run-2");
+  ASSERT_TRUE(ledger.Append(record2).ok());
+
+  // ---- The advisor report renders both runs from the ledger alone. ----
+  const auto reloaded = ledger.Load();
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded->records.size(), 2u);
+  const std::string report = obs::FormatRunReportMarkdown(reloaded->records);
+  EXPECT_NE(report.find("run-1"), std::string::npos);
+  EXPECT_NE(report.find("run-2"), std::string::npos);
+  EXPECT_NE(report.find("card q-error"), std::string::npos);
+  EXPECT_NE(report.find("cost q-error"), std::string::npos);
+
+  const Json doc = obs::RunReportJson(reloaded->records);
+  EXPECT_EQ(doc.GetString("kind"), "etlopt-run-report");
+  const Json* workflows = doc.Find("workflows");
+  ASSERT_NE(workflows, nullptr);
+  ASSERT_EQ(workflows->array().size(), 1u);
+  const Json* runs = workflows->array()[0].Find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->array().size(), 2u);
+  const double jq1 = runs->array()[0].GetDouble("plan_cost_qerror");
+  const double jq2 = runs->array()[1].GetDouble("plan_cost_qerror");
+  EXPECT_GT(jq1, 0.0);
+  EXPECT_GT(jq2, 0.0);
+  EXPECT_LT(jq2, jq1);
+  std::remove(path.c_str());
+}
+
+TEST(CalibrationE2ETest, CalibrationScalesSelectionCostModelUniformly) {
+  // The overlay converts tap budgeting from unit-costs to nanoseconds; the
+  // scaling is uniform, so the selected statistics stay identical.
+  const auto ex = testing_util::MakePaperExample();
+  Pipeline plain;
+  const auto base = plain.Analyze(ex.workflow);
+  ASSERT_TRUE(base.ok());
+
+  obs::CostCalibration cal;
+  cal.classes["tap"] = {1000, 5000, 5.0};
+  cal.runs = 1;
+  PipelineOptions options;
+  options.calibration = cal;
+  Pipeline calibrated(options);
+  const auto scaled = calibrated.Analyze(ex.workflow);
+  ASSERT_TRUE(scaled.ok());
+
+  ASSERT_EQ((*base)->blocks.size(), (*scaled)->blocks.size());
+  for (size_t b = 0; b < (*base)->blocks.size(); ++b) {
+    const SelectionResult& s0 = (*base)->blocks[b]->selection;
+    const SelectionResult& s1 = (*scaled)->blocks[b]->selection;
+    EXPECT_EQ(s0.observed, s1.observed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run report dashboard
+// ---------------------------------------------------------------------------
+
+TEST(RunReportTest, EmptyLedgerRendersPlaceholder) {
+  const std::string report = obs::FormatRunReportMarkdown({});
+  EXPECT_NE(report.find("empty ledger"), std::string::npos);
+  const Json doc = obs::RunReportJson({});
+  const Json* workflows = doc.Find("workflows");
+  ASSERT_NE(workflows, nullptr);
+  EXPECT_TRUE(workflows->array().empty());
+}
+
+TEST(RunReportTest, FlagsBuildMismatchAgainstLatestProvenance) {
+  obs::RunRecord old_build = ProfiledRecord("run-1");
+  old_build.build.git_sha = "00000000";
+  old_build.build.compiler = "GNU 12.0.0";
+  old_build.build.build_type = "Debug";
+  obs::RunRecord new_build = ProfiledRecord("run-2");
+  new_build.build.git_sha = "11111111";
+  new_build.build.compiler = "GNU 13.2.0";
+  new_build.build.build_type = "Release";
+
+  const Json doc = obs::RunReportJson({old_build, new_build});
+  const Json* workflows = doc.Find("workflows");
+  ASSERT_NE(workflows, nullptr);
+  ASSERT_EQ(workflows->array().size(), 1u);
+  const Json* runs = workflows->array()[0].Find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->array().size(), 2u);
+  // run-2 is the reference build; run-1 differs in compiler + build type.
+  EXPECT_EQ(runs->array()[0].GetString("build_sha"), "00000000");
+  const Json* cmp0 = runs->array()[0].Find("build_comparable");
+  const Json* cmp1 = runs->array()[1].Find("build_comparable");
+  ASSERT_NE(cmp0, nullptr);
+  ASSERT_NE(cmp1, nullptr);
+  EXPECT_FALSE(cmp0->bool_value());
+  EXPECT_TRUE(cmp1->bool_value());
+
+  const std::string report =
+      obs::FormatRunReportMarkdown({old_build, new_build});
+  EXPECT_NE(report.find("build-mismatch"), std::string::npos);
+}
+
+TEST(RunReportTest, WorstCalibratedClassesAreRankedAndBounded) {
+  obs::RunRecord record = ProfiledRecord("run-1");
+  // Annotate with a deliberately bad overlay so per-class q-errors differ.
+  obs::CostCalibration bad;
+  bad.classes["Source"] = {100, 1000, 10.0};   // exact -> q-error 1
+  bad.classes["Join"] = {200, 8000000, 40000.0};  // 200x over -> q-error 200
+  bad.runs = 1;
+  obs::AnnotatePredictions(bad, &record.profile);
+
+  obs::RunReportOptions options;
+  options.top_k = 1;
+  const Json doc = obs::RunReportJson({record}, options);
+  const Json* workflows = doc.Find("workflows");
+  ASSERT_NE(workflows, nullptr);
+  ASSERT_EQ(workflows->array().size(), 1u);
+  const Json* worst = workflows->array()[0].Find("worst_calibrated");
+  ASSERT_NE(worst, nullptr);
+  ASSERT_EQ(worst->array().size(), 1u);
+  EXPECT_EQ(worst->array()[0].GetString("class"), "Join");
+}
+
+// ---------------------------------------------------------------------------
+// Build provenance
+// ---------------------------------------------------------------------------
+
+TEST(BuildInfoTest, CurrentBuildCarriesProvenance) {
+  const obs::BuildInfo info = obs::CurrentBuildInfo();
+  EXPECT_FALSE(info.git_sha.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_FALSE(info.Summary().empty());
+  EXPECT_TRUE(info.ComparableWith(info));
+
+  obs::BuildInfo other = info;
+  other.git_sha = "different";
+  EXPECT_TRUE(info.ComparableWith(other)) << "sha alone never disqualifies";
+  other.build_type = info.build_type + "-not";
+  EXPECT_FALSE(info.ComparableWith(other));
+}
+
+}  // namespace
+}  // namespace etlopt

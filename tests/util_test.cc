@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <set>
+#include <string>
 
 #include "util/bitmask.h"
+#include "util/json.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -125,6 +127,97 @@ TEST(StringUtilTest, Padding) {
   EXPECT_EQ(PadLeft("7", 3), "  7");
   EXPECT_EQ(PadRight("7", 3), "7  ");
   EXPECT_EQ(PadLeft("1234", 3), "1234");
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser edge cases
+// ---------------------------------------------------------------------------
+
+TEST(JsonEdgeCaseTest, UnicodeEscapesDecodeToUtf8) {
+  // 1-byte (A), 2-byte (é = U+00E9), and 3-byte (€ = U+20AC) code points,
+  // upper- and lower-case hex digits.
+  const auto parsed = Json::Parse(R"("\u0041\u00e9\u20AC")");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->string_value(), "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonEdgeCaseTest, MalformedUnicodeEscapesAreRejected) {
+  EXPECT_FALSE(Json::Parse(R"("\u12")").ok());     // truncated
+  EXPECT_FALSE(Json::Parse(R"("\u12gz")").ok());   // non-hex digit
+  EXPECT_FALSE(Json::Parse(R"("\x41")").ok());     // unknown escape
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+}
+
+TEST(JsonEdgeCaseTest, DeepNestingIsBoundedNotUnbounded) {
+  // 64 levels parse; 70 trip the depth guard instead of overflowing the
+  // parser's stack on corrupted input.
+  std::string ok_doc(64, '[');
+  ok_doc += std::string(64, ']');
+  EXPECT_TRUE(Json::Parse(ok_doc).ok());
+
+  std::string deep_doc(70, '[');
+  deep_doc += std::string(70, ']');
+  const auto deep = Json::Parse(deep_doc);
+  ASSERT_FALSE(deep.ok());
+  EXPECT_NE(deep.status().ToString().find("nesting too deep"),
+            std::string::npos);
+}
+
+TEST(JsonEdgeCaseTest, ExponentNumbersParseAsDoubles) {
+  const auto small = Json::Parse("1.5e3");
+  ASSERT_TRUE(small.ok());
+  EXPECT_TRUE(small->is_number());
+  EXPECT_DOUBLE_EQ(small->double_value(), 1500.0);
+
+  const auto negative = Json::Parse("-2E-2");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_DOUBLE_EQ(negative->double_value(), -0.02);
+}
+
+TEST(JsonEdgeCaseTest, Int64OverflowFallsBackToDouble) {
+  // One past int64 max: stoll throws, the parser degrades to double
+  // rather than rejecting the document.
+  const auto big = Json::Parse("9223372036854775808");
+  ASSERT_TRUE(big.ok());
+  EXPECT_TRUE(big->is_number());
+  EXPECT_DOUBLE_EQ(big->double_value(), 9223372036854775808.0);
+
+  // int64 max itself still round-trips exactly as an integer.
+  const auto max = Json::Parse("9223372036854775807");
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max->int_value(), INT64_MAX);
+}
+
+TEST(JsonEdgeCaseTest, TrailingGarbageIsRejected) {
+  const auto trailing = Json::Parse("{\"a\":1} extra");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.status().ToString().find("trailing characters"),
+            std::string::npos);
+  EXPECT_FALSE(Json::Parse("[1,2]3").ok());
+  // Trailing whitespace alone is fine.
+  EXPECT_TRUE(Json::Parse("{\"a\":1}  \n").ok());
+}
+
+TEST(JsonEdgeCaseTest, DumpParseRoundTripPreservesStructure) {
+  Json doc = Json::Object();
+  doc.Set("text", Json::Str("line\nbreak \"quoted\" \x01"));
+  doc.Set("neg", Json::Int(-42));
+  doc.Set("pi", Json::Double(3.25));
+  Json arr = Json::Array();
+  arr.push_back(Json::Bool(true));
+  arr.push_back(Json::Null());
+  doc.Set("arr", std::move(arr));
+
+  const auto back = Json::Parse(doc.Dump());
+  ASSERT_TRUE(back.ok()) << doc.Dump();
+  EXPECT_EQ(back->GetString("text"), "line\nbreak \"quoted\" \x01");
+  EXPECT_EQ(back->GetInt("neg"), -42);
+  EXPECT_DOUBLE_EQ(back->GetDouble("pi"), 3.25);
+  const Json* arr_back = back->Find("arr");
+  ASSERT_NE(arr_back, nullptr);
+  ASSERT_EQ(arr_back->array().size(), 2u);
+  EXPECT_TRUE(arr_back->array()[0].bool_value());
+  EXPECT_TRUE(arr_back->array()[1].is_null());
 }
 
 }  // namespace

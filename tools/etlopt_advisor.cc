@@ -9,6 +9,8 @@
 //   etlopt_advisor run <workflow-file|suite-index> [options]  # full cycle
 //   etlopt_advisor explain <workflow-file|suite-index> --ledger=<file>
 //                                               # provenance from the ledger
+//   etlopt_advisor report <ledger-file>         # offline accuracy dashboard
+//   etlopt_advisor calibrate <ledger-file>      # fit a cost-model overlay
 //   etlopt_advisor dot <workflow-file>          # Graphviz rendering
 //   etlopt_advisor export-suite <index> [path]  # dump a benchmark workflow
 //   etlopt_advisor transforms                   # list registered UDFs
@@ -33,6 +35,18 @@
 //   --trace-out=<file>        record spans, write Chrome trace JSON
 //                             (open in chrome://tracing or Perfetto)
 //   --obs-summary             print headline counters + q-error table
+//
+// Profiling and calibration (run):
+//   --profile                 per-operator profiler: print the self/
+//                             cumulative time table after the run and carry
+//                             the profile into the ledger record
+//   --profile-out=<file>      additionally write a collapsed-stack profile
+//                             (flamegraph.pl / speedscope folded format);
+//                             implies --profile
+//   --calibration=<file>      load a cost-calibration overlay (produced by
+//                             `calibrate`): the selection cost model charges
+//                             calibrated tap ns/row and every profiled
+//                             operator gets a predicted-vs-measured q-error
 //
 // Cross-run options (run and explain):
 //   --ledger=<file>           persistent run ledger (JSONL); run appends a
@@ -77,10 +91,13 @@
 #include "etl/transforms.h"
 #include "etl/workflow_io.h"
 #include "obs/accuracy.h"
+#include "obs/calibrate.h"
 #include "obs/drift.h"
 #include "obs/explain.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/run_report.h"
 #include "obs/trace.h"
 #include "opt/resource.h"
 #include "util/bitmask.h"
@@ -249,10 +266,29 @@ int Run(const std::string& target, int argc, char** argv) {
   int64_t rows = 1000;
   std::string ledger_path;
   bool explain = false;
+  // ETLOPT_PROFILE=1 starts the process with the profiler on; treat that
+  // exactly like --profile so the table prints either way.
+  bool profile = obs::ProfilerEnabled();
+  std::string profile_out;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (ParsePipelineFlag(arg, &options) || obs_sinks.ParseFlag(arg)) {
       continue;
+    } else if (arg == "--profile") {
+      profile = true;
+      obs::SetProfilerEnabled(true);
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      profile = true;
+      profile_out = arg.substr(std::strlen("--profile-out="));
+      obs::SetProfilerEnabled(true);
+    } else if (arg.rfind("--calibration=", 0) == 0) {
+      const std::string cal_path = arg.substr(std::strlen("--calibration="));
+      const Result<obs::CostCalibration> cal =
+          obs::CostCalibration::Load(cal_path);
+      if (!cal.ok()) {
+        return Fail("cannot load --calibration: " + cal.status().ToString());
+      }
+      options.calibration = *cal;
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = static_cast<uint64_t>(
           std::atoll(arg.c_str() + std::strlen("--seed=")));
@@ -341,6 +377,29 @@ int Run(const std::string& target, int argc, char** argv) {
   std::printf("\nexecuted: %lld rows (%lld bytes) processed\n",
               static_cast<long long>(cycle->run.exec.rows_processed),
               static_cast<long long>(cycle->run.exec.bytes_processed));
+
+  if (profile && cycle->run.exec.profile.empty()) {
+    // --profile under ETLOPT_OBS_DISABLED=1: nothing was captured.
+    std::printf("\n(profiler captured nothing — observability is off)\n");
+  } else if (profile) {
+    const obs::RunProfile& prof = cycle->run.exec.profile;
+    std::printf("\n%s", obs::FormatProfileTable(prof).c_str());
+    if (const double cost_q = obs::PlanCostQError(prof); cost_q > 0.0) {
+      std::printf("plan cost q-error (predicted vs measured): %.2f%s\n",
+                  cost_q,
+                  options.calibration.empty()
+                      ? " (uncalibrated defaults; run `calibrate` on the "
+                        "ledger and re-run with --calibration=)"
+                      : "");
+    }
+    if (!profile_out.empty()) {
+      if (!ObsSinks::WriteFile(profile_out, obs::FoldedStacks(prof))) {
+        return Fail("cannot write profile to '" + profile_out + "'");
+      }
+      std::printf("wrote collapsed-stack profile to %s\n",
+                  profile_out.c_str());
+    }
+  }
   std::printf("plan cost (learned stats): initial %.0f -> optimized %.0f\n",
               cycle->opt.initial_cost, cycle->opt.optimized_cost);
 
@@ -567,6 +626,77 @@ int Explain(const std::string& target, int argc, char** argv) {
   return 0;
 }
 
+// Offline accuracy dashboard: renders cardinality and cost q-error trends,
+// worst-calibrated operator classes, replayed drift events, and data-quality
+// annotations from the ledger alone (no workflow file or execution needed).
+int Report(const std::string& ledger_path, int argc, char** argv) {
+  bool json = false;
+  obs::RunReportOptions options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--top-k=", 0) == 0) {
+      options.top_k = std::atoi(arg.c_str() + std::strlen("--top-k="));
+      if (options.top_k <= 0) {
+        return Fail("--top-k requires a positive count");
+      }
+    } else {
+      return Fail("unknown option '" + arg + "'");
+    }
+  }
+  const Result<obs::LedgerLoadResult> loaded =
+      obs::RunLedger(ledger_path).Load();
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  if (loaded->records.empty()) {
+    return Fail("ledger '" + ledger_path + "' holds no readable records");
+  }
+  if (loaded->skipped_lines > 0) {
+    std::fprintf(stderr, "etlopt_advisor: skipped %d corrupt ledger line(s)\n",
+                 loaded->skipped_lines);
+  }
+  if (json) {
+    std::printf("%s\n", obs::RunReportJson(loaded->records, options)
+                            .Dump()
+                            .c_str());
+  } else {
+    std::printf("%s", obs::FormatRunReportMarkdown(loaded->records, options)
+                          .c_str());
+  }
+  return 0;
+}
+
+// Fits a cost-model calibration overlay from the profiled runs on a ledger
+// and optionally saves it for --calibration= / ETLOPT_CALIBRATION.
+int Calibrate(const std::string& ledger_path, int argc, char** argv) {
+  std::string out_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::strlen("--out="));
+    } else {
+      return Fail("unknown option '" + arg + "'");
+    }
+  }
+  const Result<obs::LedgerLoadResult> loaded =
+      obs::RunLedger(ledger_path).Load();
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const obs::CostCalibration cal = obs::FitCalibration(loaded->records);
+  if (cal.runs == 0) {
+    return Fail("no profiled runs in '" + ledger_path +
+                "' — re-run with --profile to record per-operator timings");
+  }
+  std::printf("%s", cal.ToText().c_str());
+  if (!out_path.empty()) {
+    const Status st = cal.Save(out_path);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote calibration overlay to %s (use --calibration=%s or "
+                "ETLOPT_CALIBRATION)\n",
+                out_path.c_str(), out_path.c_str());
+  }
+  return 0;
+}
+
 int Dot(const std::string& path) {
   Result<Workflow> wf = LoadWorkflow(path);
   if (!wf.ok()) return Fail(wf.status().ToString());
@@ -608,11 +738,15 @@ void Usage() {
       "                 [--selector=greedy|ilp] [--metrics-out=<file>]\n"
       "                 [--trace-out=<file>] [--obs-summary]\n"
       "                 [--ledger=<file>] [--explain]\n"
+      "                 [--profile] [--profile-out=<file>]\n"
+      "                 [--calibration=<file>]\n"
       "                 [--approx-taps[=<bytes>]]  (default 1 MiB budget)\n"
       "                 [--fault-spec=<spec>] [--max-error-rate=<f>]\n"
       "                 [--checkpoint=<file>] [--checkpoint-every=<rows>]\n"
       "  etlopt_advisor explain <workflow-file|suite-index 1..30>\n"
       "                 --ledger=<file> [--json] [--selector=greedy|ilp]\n"
+      "  etlopt_advisor report <ledger-file> [--json] [--top-k=<n>]\n"
+      "  etlopt_advisor calibrate <ledger-file> [--out=<file>]\n"
       "  etlopt_advisor dot <workflow-file>\n"
       "  etlopt_advisor export-suite <index 1..30> [output-path]\n"
       "  etlopt_advisor transforms\n");
@@ -634,6 +768,12 @@ int main(int argc, char** argv) {
   }
   if (command == "explain" && argc >= 3) {
     return Explain(argv[2], argc - 3, argv + 3);
+  }
+  if (command == "report" && argc >= 3) {
+    return Report(argv[2], argc - 3, argv + 3);
+  }
+  if (command == "calibrate" && argc >= 3) {
+    return Calibrate(argv[2], argc - 3, argv + 3);
   }
   if (command == "dot" && argc == 3) {
     return Dot(argv[2]);
