@@ -1,0 +1,169 @@
+// Partitioned-executor micro-benchmarks: the worker scaling curve of a
+// 1e6-row filter+join workload at 1/2/4/8 workers, the same workload under
+// worst-case partition skew (every row hashes to one partition, so one
+// worker does all the work while the rest idle at the barrier), and the
+// tap-merge overhead — what reassembling per-partition tap states costs,
+// for exact collectors (key-set union) and sketches (HLL register max /
+// Count-Min addition). Every run reports the fan-out and skew it actually
+// measured as benchmark counters, and the executor's merge-barrier time is
+// surfaced as merge_ms so gather cost is never hidden inside the scaling
+// numbers. The committed BENCH_parallel.json records the environment's CPU
+// count next to the curve: scaling past num_cpus is not observable on a
+// single-core container, and the numbers say so rather than pretend.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/parallel/parallel_executor.h"
+#include "engine/parallel/partition.h"
+#include "etl/workflow_builder.h"
+#include "sketch/sketch.h"
+#include "sketch/tap.h"
+#include "util/random.h"
+
+namespace etlopt {
+namespace {
+
+constexpr int64_t kRows = 1000000;
+constexpr int64_t kKeyDomain = 4096;
+
+struct Workload {
+  Workflow workflow;
+  SourceMap sources;
+};
+
+// Fact(k, v) 1e6 rows -> filter(v < 12) -> join Dim(k) -> sink. With
+// `skewed` every fact row carries the same key, so hash partitioning puts
+// the whole table in one partition — the worst case the skew counter in
+// --obs-summary exists to expose.
+Workload MakeWorkload(bool skewed) {
+  WorkflowBuilder b(skewed ? "bench_parallel_skew" : "bench_parallel");
+  const AttrId k = b.DeclareAttr("k", kKeyDomain);
+  const AttrId v = b.DeclareAttr("v", 16);
+  const NodeId fact = b.Source("Fact", {k, v});
+  const NodeId dim = b.Source("Dim", {k});
+  const NodeId f = b.Filter(fact, {v, CompareOp::kLt, 12});
+  const NodeId j = b.Join(f, dim, k);
+  b.Sink(j, "bench.out");
+
+  Workload w;
+  w.workflow = std::move(b).Build().value();
+  Rng rng(1234);
+  Table fact_t{Schema({k, v})};
+  fact_t.Reserve(kRows);
+  for (int64_t i = 0; i < kRows; ++i) {
+    fact_t.AddRow({skewed ? Value{7} : rng.NextInRange(1, kKeyDomain),
+                   rng.NextInRange(1, 16)});
+  }
+  Table dim_t{Schema({k})};
+  for (int64_t i = 1; i <= kKeyDomain; i += 2) dim_t.AddRow({i});
+  w.sources["Fact"] = std::move(fact_t);
+  w.sources["Dim"] = std::move(dim_t);
+  return w;
+}
+
+void RunExecutorBench(benchmark::State& state, const Workload& w) {
+  const int threads = static_cast<int>(state.range(0));
+  parallel::ParallelOptions opts;
+  opts.num_threads = threads;
+  const parallel::ParallelExecutor exec(&w.workflow, opts);
+  int64_t merge_ns = 0;
+  double skew = 0.0;
+  int partitions = 0;
+  for (auto _ : state) {
+    auto result = exec.Execute(w.sources);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      break;
+    }
+    merge_ns = result->exec.merge_ns;
+    skew = result->exec.partition_skew;
+    partitions = result->exec.partitions_total;
+    benchmark::DoNotOptimize(result->exec.rows_processed);
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.counters["workers"] = threads;
+  state.counters["partitions"] = partitions;
+  state.counters["skew"] = skew;
+  state.counters["merge_ms"] = static_cast<double>(merge_ns) / 1e6;
+}
+
+void BM_ParallelExecute(benchmark::State& state) {
+  static const Workload* w = new Workload(MakeWorkload(/*skewed=*/false));
+  RunExecutorBench(state, *w);
+}
+BENCHMARK(BM_ParallelExecute)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_ParallelExecuteSkewWorstCase(benchmark::State& state) {
+  static const Workload* w = new Workload(MakeWorkload(/*skewed=*/true));
+  RunExecutorBench(state, *w);
+}
+BENCHMARK(BM_ParallelExecuteSkewWorstCase)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// ---- tap-merge overhead -------------------------------------------------
+
+// Exact distinct taps: per-partition key sets, merge = set union. Feeding
+// happens outside the timed region; the benchmark measures the merge alone.
+void BM_ExactTapMerge8Way(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  std::vector<std::unordered_set<Value>> parts(8);
+  Rng rng(99);
+  for (int64_t i = 0; i < rows; ++i) {
+    const Value key = rng.NextInRange(1, kKeyDomain);
+    parts[static_cast<size_t>(parallel::HashPartitionIndex(key, 8))].insert(
+        key);
+  }
+  for (auto _ : state) {
+    std::unordered_set<Value> merged = parts[0];
+    for (size_t p = 1; p < parts.size(); ++p) {
+      merged.insert(parts[p].begin(), parts[p].end());
+    }
+    benchmark::DoNotOptimize(merged.size());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ExactTapMerge8Way)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+// Sketch distinct taps: merge = HLL register-wise max, O(registers) per
+// merge regardless of row count — the constant-time path the partitioned
+// tap collection rides.
+void BM_SketchTapMerge8Way(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const auto config = sketch::TapSketchConfig::ForBudget(int64_t{1} << 20, 1);
+  std::vector<sketch::DistinctTap> parts(8, sketch::DistinctTap(config));
+  Rng rng(99);
+  for (int64_t i = 0; i < rows; ++i) {
+    const std::vector<Value> key{rng.NextInRange(1, kKeyDomain)};
+    parts[static_cast<size_t>(parallel::HashPartitionIndex(key[0], 8))]
+        .AddRow(key);
+  }
+  for (auto _ : state) {
+    sketch::DistinctTap merged = parts[0];
+    for (size_t p = 1; p < parts.size(); ++p) {
+      benchmark::DoNotOptimize(merged.Merge(parts[p]).ok());
+    }
+    benchmark::DoNotOptimize(merged.Estimate());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_SketchTapMerge8Way)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace etlopt
+
+BENCHMARK_MAIN();

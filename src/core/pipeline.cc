@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "engine/parallel/parallel_executor.h"
 #include "etl/workflow_io.h"
 #include "obs/build_info.h"
 #include "obs/checkpoint.h"
@@ -46,6 +47,20 @@ Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
   }
   if (options_.calibration.empty()) {
     options_.calibration = obs::CostCalibration::FromEnv();
+  }
+  if (options_.num_threads <= 0) {
+    options_.num_threads = 1;
+    const char* value = std::getenv("ETLOPT_THREADS");
+    if (value != nullptr && *value != '\0') {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(value, &end, 10);
+      if (end != value && parsed > 0) {
+        options_.num_threads = static_cast<int>(parsed);
+      }
+    }
+  }
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
 }
 
@@ -143,10 +158,27 @@ Result<RunOutcome> Pipeline::RunAndObserve(const Analysis& analysis,
                                            const SourceMap& sources) const {
   obs::ScopedSpan span("pipeline.run_and_observe");
   RunOutcome outcome;
-  Executor executor(analysis.workflow.get(), options_.executor);
-  ETLOPT_ASSIGN_OR_RETURN(outcome.exec, executor.Execute(sources));
+  std::unordered_map<NodeId, std::vector<Table>> slices;
+  if (options_.num_threads > 1) {
+    parallel::ParallelOptions popts;
+    popts.num_threads = options_.num_threads;
+    popts.executor = options_.executor;
+    parallel::ParallelExecutor pexec(analysis.workflow.get(), popts);
+    ETLOPT_ASSIGN_OR_RETURN(parallel::ParallelResult pres,
+                            pexec.Execute(sources, pool_.get()));
+    outcome.exec = std::move(pres.exec);
+    slices = std::move(pres.slices);
+  } else {
+    Executor executor(analysis.workflow.get(), options_.executor);
+    ETLOPT_ASSIGN_OR_RETURN(outcome.exec, executor.Execute(sources));
+  }
 
   obs::ScopedSpan observe_span("pipeline.observation");
+  ParallelTapContext tap_par;
+  if (!slices.empty()) {
+    tap_par.slices = &slices;
+    tap_par.pool = pool_.get();
+  }
   TapOptions taps;
   taps.memory_budget_bytes = options_.tap_memory_budget_bytes;
   // After an abort, observe in salvage mode: collect every statistic whose
@@ -161,6 +193,7 @@ Result<RunOutcome> Pipeline::RunAndObserve(const Analysis& analysis,
     checkpoint.fingerprint = obs::FingerprintWorkflow(*analysis.workflow);
     checkpoint.workflow = analysis.workflow->name();
     checkpoint.source_rows_read = SortedCounts(outcome.exec.source_rows_read);
+    checkpoint.partition_rows = outcome.exec.partition_rows;
     taps.checkpoint_every_rows = options_.checkpoint_every_rows;
   }
 
@@ -184,7 +217,7 @@ Result<RunOutcome> Pipeline::RunAndObserve(const Analysis& analysis,
     }
     ETLOPT_ASSIGN_OR_RETURN(
         StatStore store, ObserveStatistics(ba->ctx, outcome.exec, keys, taps,
-                                           &outcome.tap_report));
+                                           &outcome.tap_report, tap_par));
     outcome.block_stats.push_back(std::move(store));
   }
   if (writer != nullptr) {
@@ -418,6 +451,7 @@ obs::RunRecord MakeRunRecord(const CycleOutcome& cycle, std::string run_id,
   record.source_rows_read = SortedCounts(exec.source_rows_read);
   record.source_retries = SortedCounts(exec.source_retries);
   record.quarantined_rows = exec.quarantined_rows();
+  record.num_threads = std::max(1, exec.num_workers);
   record.profile = exec.profile;
   record.build = obs::CurrentBuildInfo();
   return record;

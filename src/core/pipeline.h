@@ -12,6 +12,7 @@
 #include "opt/greedy_selector.h"
 #include "opt/ilp_selector.h"
 #include "optimizer/rewrite.h"
+#include "util/thread_pool.h"
 
 namespace etlopt {
 
@@ -53,6 +54,13 @@ struct PipelineOptions {
   // when checkpoint_every_rows is not positive.
   std::string checkpoint_path;
   int64_t checkpoint_every_rows = 0;
+  // Worker threads for the partitioned executor (engine/parallel/). 1 runs
+  // the serial executor unchanged — the default path, bit-identical to the
+  // seed. > 1 partitions eligible operator chains across a worker pool the
+  // Pipeline owns (reused across runs) and taps statistics partition-
+  // locally; observed statistics are identical to a serial run's. <= 0
+  // consults ETLOPT_THREADS (default 1).
+  int num_threads = 0;
   // Cost-model calibration fit from profiled ledger runs (obs/calibrate.h).
   // When non-empty, Analyze scales the selection cost model's CPU charge to
   // calibrated tap nanoseconds, and RunAndObserve annotates the run profile
@@ -154,6 +162,9 @@ class Pipeline {
 
  private:
   PipelineOptions options_;
+  // Worker pool for partitioned execution and partition-local taps, spun up
+  // once when num_threads > 1 and reused by every RunAndObserve.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 // Condenses a completed cycle into a ledger record: workflow fingerprint,

@@ -149,6 +149,40 @@ std::string FormatObsSummary() {
       }
     }
   }
+  // Parallel execution: the partitioned executor publishes worker/partition
+  // gauges and merge-time counters. All zero on serial runs, so the section
+  // only prints after a --threads=N run took the parallel path.
+  const obs::Gauge* par_workers =
+      registry.FindGauge("etlopt.parallel.workers");
+  if (par_workers != nullptr && par_workers->Get() > 0) {
+    out << "  -- parallelism --\n";
+    out << "  workers: " << static_cast<int64_t>(par_workers->Get()) << "\n";
+    const obs::Gauge* partitions =
+        registry.FindGauge("etlopt.parallel.partitions");
+    if (partitions != nullptr && partitions->Get() > 0) {
+      out << "  partitions: " << static_cast<int64_t>(partitions->Get())
+          << "\n";
+    }
+    const obs::Gauge* skew = registry.FindGauge("etlopt.parallel.skew");
+    if (skew != nullptr && skew->Get() > 0) {
+      std::ostringstream v;
+      v.precision(2);
+      v << std::fixed << skew->Get();
+      out << "  partition skew (max/mean rows): " << v.str() << "\n";
+    }
+    const obs::Counter* merge_ns =
+        registry.FindCounter("etlopt.parallel.merge_ns");
+    if (merge_ns != nullptr && merge_ns->Get() > 0) {
+      out << "  output merge time: " << WithThousands(merge_ns->Get())
+          << " ns\n";
+    }
+    const obs::Counter* tap_merge_ns =
+        registry.FindCounter("etlopt.parallel.tap_merge_ns");
+    if (tap_merge_ns != nullptr && tap_merge_ns->Get() > 0) {
+      out << "  tap merge time: " << WithThousands(tap_merge_ns->Get())
+          << " ns\n";
+    }
+  }
   // Instrumentation overhead normalized by data volume: how many collector
   // bytes each megabyte flowing through the engine cost.
   const obs::Counter* tap_bytes = registry.FindCounter("etlopt.tap.bytes");

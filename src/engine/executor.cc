@@ -34,17 +34,6 @@ double EnvDoubleOr(const char* name, double fallback) {
   return end != value ? parsed : fallback;
 }
 
-// The fault-injection identity of an operator: lowercased OpKindName + node
-// id ("join5"), so specs can target one node or, via prefix match, every
-// node of a kind.
-std::string OpFaultName(const WorkflowNode& node) {
-  std::string name = OpKindName(node.kind);
-  for (char& c : name) {
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  }
-  return name + std::to_string(node.id);
-}
-
 // Backoff before retry `attempt` (1-based): exponential with deterministic
 // jitter, capped. Returns the delay actually slept, for telemetry.
 double BackoffAndSleep(const RetryPolicy& policy, int attempt, Rng& rng) {
@@ -63,6 +52,14 @@ double BackoffAndSleep(const RetryPolicy& policy, int attempt, Rng& rng) {
 }
 
 }  // namespace
+
+std::string OpFaultName(const WorkflowNode& node) {
+  std::string name = OpKindName(node.kind);
+  for (char& c : name) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return name + std::to_string(node.id);
+}
 
 RetryPolicy RetryPolicy::FromEnv() {
   RetryPolicy policy;
@@ -234,6 +231,324 @@ Table SortMergeJoin(const Table& left, const Table& right, AttrId attr,
   return out;
 }
 
+void AbortRun(const NodeStepContext& ctx, AbortKind kind, std::string reason,
+              const WorkflowNode& node) {
+  ExecutionResult& result = *ctx.result;
+  result.abort_kind = kind;
+  result.abort_reason = std::move(reason);
+  result.abort_node = node.id;
+  ETLOPT_COUNTER_ADD("etlopt.engine.aborts", 1);
+  ETLOPT_LOG(Warning) << "run aborted (" << AbortKindName(kind) << ") at "
+                      << OpFaultName(node) << ": " << result.abort_reason;
+}
+
+Status ComputeNodeOutput(const NodeStepContext& ctx, const WorkflowNode& node,
+                         Table* out_table) {
+  ExecutionResult& result = *ctx.result;
+  fault::FaultInjector* inj = ctx.inj;
+  Table out{ctx.wf->output_schema(node.id)};
+  auto input = [&](int i) -> const Table& {
+    return result.node_outputs.at(node.inputs[static_cast<size_t>(i)]);
+  };
+  switch (node.kind) {
+    case OpKind::kSource: {
+      auto it = ctx.sources->find(node.table_name);
+      if (it == ctx.sources->end()) {
+        return Status::NotFound("no source table bound for '" +
+                                node.table_name + "'");
+      }
+      if (!(it->second.schema() == node.source_schema)) {
+        return Status::InvalidArgument("source '" + node.table_name +
+                                       "' schema mismatch");
+      }
+      if (inj == nullptr ||
+          !inj->HasRules(fault::Scope::kSource, node.table_name)) {
+        // The seed fast path: no faults configured for this source. Under
+        // an installed injector still record the watermark — a crash
+        // elsewhere in the workflow salvages per-source progress from it.
+        out = it->second;
+        if (inj != nullptr) {
+          result.source_rows_read[node.table_name] = out.num_rows();
+        }
+        break;
+      }
+      // ---- resilient read: retry/backoff, then row-level quarantine ----
+      const std::string& name = node.table_name;
+      int attempt = 1;
+      for (;; ++attempt) {
+        const fault::Kind fk = inj->OnSourceOpen(name);
+        if (fk == fault::Kind::kNone) break;
+        ETLOPT_COUNTER_ADD(fk == fault::Kind::kTimeout
+                               ? "etlopt.engine.source.timeouts"
+                               : "etlopt.engine.source.io_errors",
+                           1);
+        if (attempt >= ctx.options->retry.max_attempts) {
+          AbortRun(ctx, AbortKind::kSourceFailed,
+                   "source '" + name + "' failed " + std::to_string(attempt) +
+                       " attempt(s) (" + fault::KindName(fk) + ")",
+                   node);
+          break;
+        }
+        ++result.source_retries[name];
+        ETLOPT_COUNTER_ADD("etlopt.engine.source.retries", 1);
+        if (obs::ObsEnabled()) {
+          obs::MetricsRegistry::Global()
+              .GetCounter(obs::MetricName("etlopt.engine.source.retries",
+                                          {{"source", name}}))
+              .Increment();
+        }
+        const double slept =
+            BackoffAndSleep(ctx.options->retry, attempt, *ctx.backoff_rng);
+        ETLOPT_LOG(Info) << "source '" << name << "' " << fault::KindName(fk)
+                         << ", retrying (attempt " << attempt + 1 << "/"
+                         << ctx.options->retry.max_attempts << ") after "
+                         << slept << "ms";
+      }
+      if (result.aborted()) break;
+
+      Table quarantine{node.source_schema};
+      const bool row_faults = inj->HasRules(fault::Scope::kSource, name);
+      for (const auto& row : it->second.rows()) {
+        if (row_faults &&
+            inj->OnSourceRow(name) == fault::Kind::kMalformedRow) {
+          quarantine.AddRow(row);
+          continue;
+        }
+        out.AddRow(row);
+      }
+      const int64_t scanned = it->second.num_rows();
+      const int64_t bad = quarantine.num_rows();
+      result.source_rows_read[name] = scanned;
+      if (bad > 0) {
+        ETLOPT_COUNTER_ADD("etlopt.engine.source.quarantined", bad);
+        if (obs::ObsEnabled()) {
+          obs::MetricsRegistry::Global()
+              .GetCounter(obs::MetricName("etlopt.engine.source.quarantined",
+                                          {{"source", name}}))
+              .Add(bad);
+        }
+        const double error_rate =
+            scanned > 0 ? static_cast<double>(bad) / scanned : 0.0;
+        result.quarantined[name] = std::move(quarantine);
+        if (scanned >= ctx.options->min_rows_for_error_rate &&
+            error_rate > ctx.options->max_error_rate) {
+          std::ostringstream reason;
+          reason << "source '" << name << "' error rate " << error_rate
+                 << " exceeds max_error_rate " << ctx.options->max_error_rate
+                 << " (" << bad << "/" << scanned << " rows quarantined)";
+          AbortRun(ctx, AbortKind::kErrorRate, reason.str(), node);
+        }
+      }
+      break;
+    }
+    case OpKind::kFilter: {
+      const Table& in = input(0);
+      const int col = in.schema().IndexOf(node.predicate.attr);
+      for (const auto& row : in.rows()) {
+        if (node.predicate.Matches(row[static_cast<size_t>(col)])) {
+          out.AddRow(row);
+        }
+      }
+      result.rows_processed += in.num_rows();
+      break;
+    }
+    case OpKind::kProject: {
+      const Table& in = input(0);
+      std::vector<int> cols;
+      for (AttrId a : node.keep) cols.push_back(in.schema().IndexOf(a));
+      for (const auto& row : in.rows()) {
+        std::vector<Value> projected;
+        projected.reserve(cols.size());
+        for (int c : cols) projected.push_back(row[static_cast<size_t>(c)]);
+        out.AddRow(std::move(projected));
+      }
+      result.rows_processed += in.num_rows();
+      break;
+    }
+    case OpKind::kTransform: {
+      const Table& in = input(0);
+      const TransformSpec& t = node.transform;
+      const int col = in.schema().IndexOf(t.input_attr);
+      if (t.is_aggregate) {
+        // Black-box aggregate UDF: emits one row per distinct transformed
+        // key value (a deterministic blocking reduction).
+        std::unordered_map<Value, bool> seen;
+        for (const auto& row : in.rows()) {
+          const Value v = t.fn(row[static_cast<size_t>(col)]);
+          if (seen.emplace(v, true).second) {
+            std::vector<Value> r = row;
+            r[static_cast<size_t>(col)] = v;
+            out.AddRow(std::move(r));
+          }
+        }
+      } else if (t.output_attr == t.input_attr) {
+        for (const auto& row : in.rows()) {
+          std::vector<Value> r = row;
+          r[static_cast<size_t>(col)] = t.fn(r[static_cast<size_t>(col)]);
+          out.AddRow(std::move(r));
+        }
+      } else {
+        for (const auto& row : in.rows()) {
+          std::vector<Value> r = row;
+          r.push_back(t.fn(r[static_cast<size_t>(col)]));
+          out.AddRow(std::move(r));
+        }
+      }
+      result.rows_processed += in.num_rows();
+      break;
+    }
+    case OpKind::kAggregate: {
+      const Table& in = input(0);
+      std::vector<int> cols;
+      for (AttrId a : node.aggregate.group_by) {
+        cols.push_back(in.schema().IndexOf(a));
+      }
+      std::unordered_map<std::vector<Value>, int64_t, ValueVecHash> groups;
+      for (const auto& row : in.rows()) {
+        std::vector<Value> key;
+        key.reserve(cols.size());
+        for (int c : cols) key.push_back(row[static_cast<size_t>(c)]);
+        ++groups[std::move(key)];
+      }
+      const bool with_count = node.aggregate.count_attr != kInvalidAttr;
+      for (auto& [key, count] : groups) {
+        std::vector<Value> row = key;
+        if (with_count) row.push_back(count);
+        out.AddRow(std::move(row));
+      }
+      result.rows_processed += in.num_rows();
+      break;
+    }
+    case OpKind::kJoin: {
+      const Table& left = input(0);
+      const Table& right = input(1);
+      Table rejects{left.schema()};
+      out = node.join.algorithm == JoinAlgorithm::kSortMerge
+                ? SortMergeJoin(left, right, node.join.attr, &rejects)
+                : HashJoin(left, right, node.join.attr, &rejects);
+      result.rows_processed += left.num_rows() + right.num_rows();
+      result.join_rejects[node.id] = std::move(rejects);
+      // Right-side rejects: right rows whose key never occurs on the left.
+      {
+        const int lkey = left.schema().IndexOf(node.join.attr);
+        const int rkey = right.schema().IndexOf(node.join.attr);
+        std::unordered_map<Value, bool> left_keys;
+        for (int64_t l = 0; l < left.num_rows(); ++l) {
+          left_keys.emplace(left.at(l, lkey), true);
+        }
+        Table rrejects{right.schema()};
+        for (int64_t r = 0; r < right.num_rows(); ++r) {
+          if (left_keys.find(right.at(r, rkey)) == left_keys.end()) {
+            rrejects.AddRow(right.rows()[static_cast<size_t>(r)]);
+          }
+        }
+        result.join_rejects_right[node.id] = std::move(rrejects);
+      }
+      break;
+    }
+    case OpKind::kMaterialize:
+    case OpKind::kSink: {
+      out = input(0);
+      result.rows_processed += out.num_rows();
+      result.targets[node.target_name] = out;
+      break;
+    }
+  }
+  *out_table = std::move(out);
+  return Status::OK();
+}
+
+void FinishNodeStep(const NodeStepContext& ctx, const WorkflowNode& node,
+                    Table&& out, int64_t self_ns) {
+  ExecutionResult& result = *ctx.result;
+  int64_t rows_in = 0;
+  for (NodeId in : node.inputs) {
+    rows_in += result.node_outputs.at(in).num_rows();
+  }
+  // Crash points fire after the operator ran but before its output is
+  // published — the salvage surface is exactly the completed prefix.
+  if (!result.aborted() && ctx.inj != nullptr) {
+    const int64_t weight = rows_in > 0 ? rows_in : out.num_rows();
+    if (ctx.inj->OnOperator(OpFaultName(node), weight) ==
+        fault::Kind::kCrash) {
+      result.join_rejects.erase(node.id);
+      result.join_rejects_right.erase(node.id);
+      result.targets.erase(node.target_name);
+      AbortRun(ctx, AbortKind::kCrash,
+               "injected crash fault at " + OpFaultName(node), node);
+    }
+  }
+  if (result.aborted()) return;
+  // Bytes entering the operator: mirrors rows_processed (sources read no
+  // upstream node output, so they contribute none).
+  int64_t op_bytes = 0;
+  for (NodeId in : node.inputs) {
+    const Table& t = result.node_outputs.at(in);
+    op_bytes += t.num_rows() * 8 * t.schema().size();
+  }
+  result.bytes_processed += op_bytes;
+  const int64_t rows_out = out.num_rows();
+  if (ctx.profiling) {
+    obs::OpProfile op;
+    op.node = static_cast<int>(node.id);
+    op.op = OpKindName(node.kind);
+    op.label = OpFaultName(node);
+    op.inputs.reserve(node.inputs.size());
+    for (NodeId in : node.inputs) op.inputs.push_back(static_cast<int>(in));
+    op.self_ns = self_ns;
+    op.rows_in = rows_in;
+    op.rows_out = rows_out;
+    op.bytes = op_bytes;
+    result.profile.ops.push_back(std::move(op));
+  }
+  if (obs::ObsEnabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry
+        .GetCounter(obs::MetricName(
+            "etlopt.engine.rows_out",
+            {{"wf", ctx.wf->name()},
+             {"node", std::to_string(node.id)},
+             {"op", OpKindName(node.kind)}}))
+        .Add(rows_out);
+    ETLOPT_COUNTER_ADD("etlopt.engine.ops_executed", 1);
+    ETLOPT_COUNTER_ADD("etlopt.engine.rows_in", rows_in);
+    ETLOPT_COUNTER_ADD("etlopt.engine.rows_out", rows_out);
+    if (node.kind == OpKind::kJoin) {
+      ETLOPT_COUNTER_ADD("etlopt.engine.join.rejects_left",
+                         result.join_rejects.at(node.id).num_rows());
+      ETLOPT_COUNTER_ADD("etlopt.engine.join.rejects_right",
+                         result.join_rejects_right.at(node.id).num_rows());
+    }
+  }
+  result.node_outputs[node.id] = std::move(out);
+  ++result.nodes_completed;
+}
+
+Status ExecuteNodeStep(const NodeStepContext& ctx, const WorkflowNode& node) {
+  obs::ScopedSpan op_span(OpKindName(node.kind));
+  int64_t rows_in = 0;
+  for (NodeId in : node.inputs) {
+    rows_in += ctx.result->node_outputs.at(in).num_rows();
+  }
+  Table out;
+  int64_t op_start_ns = 0;
+  if (ctx.profiling) op_start_ns = obs::ProfileNowNs();
+  ETLOPT_RETURN_IF_ERROR(ComputeNodeOutput(ctx, node, &out));
+  // Self time stops here: fault bookkeeping, byte accounting, and metric
+  // emission in FinishNodeStep are harness cost, not operator cost.
+  int64_t self_ns = 0;
+  if (ctx.profiling) self_ns = obs::ProfileNowNs() - op_start_ns;
+  if (ctx.result->aborted()) return Status::OK();  // stopped inside the read
+  const int64_t rows_out = out.num_rows();
+  if (op_span.active()) {
+    op_span.Arg("node", static_cast<int64_t>(node.id));
+    op_span.Arg("rows_in", rows_in);
+    op_span.Arg("rows_out", rows_out);
+  }
+  FinishNodeStep(ctx, node, std::move(out), self_ns);
+  return Status::OK();
+}
+
 Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {
   ExecutionResult result;
   obs::ScopedSpan exec_span("engine.execute");
@@ -243,307 +558,23 @@ Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {
   // One pointer load when no spec is installed — the entire robustness layer
   // costs the un-faulted hot path a single null check per operator.
   fault::FaultInjector* inj = fault::FaultInjector::Global();
-  // Hoisted once per run: the disabled profiler costs each operator a branch
-  // on this cached bool, nothing more (benched in bench/micro_obs.cc).
-  const bool profiling = obs::ProfilerEnabled();
   // Deterministic backoff jitter (and nothing else) comes from this stream.
   Rng backoff_rng(inj != nullptr ? inj->seed() : 0x5eedULL);
 
-  auto abort_run = [&](AbortKind kind, std::string reason,
-                       const WorkflowNode& node) {
-    result.abort_kind = kind;
-    result.abort_reason = std::move(reason);
-    result.abort_node = node.id;
-    ETLOPT_COUNTER_ADD("etlopt.engine.aborts", 1);
-    ETLOPT_LOG(Warning) << "run aborted (" << AbortKindName(kind) << ") at "
-                        << OpFaultName(node) << ": " << result.abort_reason;
-  };
+  NodeStepContext ctx;
+  ctx.wf = wf_;
+  ctx.sources = &sources;
+  ctx.options = &options_;
+  ctx.inj = inj;
+  // Hoisted once per run: the disabled profiler costs each operator a branch
+  // on this cached bool, nothing more (benched in bench/micro_obs.cc).
+  ctx.profiling = obs::ProfilerEnabled();
+  ctx.backoff_rng = &backoff_rng;
+  ctx.result = &result;
 
   for (const WorkflowNode& node : wf_->nodes()) {
-    const Schema& out_schema = wf_->output_schema(node.id);
-    Table out{out_schema};
-    auto input = [&](int i) -> const Table& {
-      return result.node_outputs.at(node.inputs[static_cast<size_t>(i)]);
-    };
-    obs::ScopedSpan op_span(OpKindName(node.kind));
-    int64_t rows_in = 0;
-    for (NodeId in : node.inputs) {
-      rows_in += result.node_outputs.at(in).num_rows();
-    }
-    int64_t op_start_ns = 0;
-    if (profiling) op_start_ns = obs::ProfileNowNs();
-    switch (node.kind) {
-      case OpKind::kSource: {
-        auto it = sources.find(node.table_name);
-        if (it == sources.end()) {
-          return Status::NotFound("no source table bound for '" +
-                                  node.table_name + "'");
-        }
-        if (!(it->second.schema() == node.source_schema)) {
-          return Status::InvalidArgument("source '" + node.table_name +
-                                         "' schema mismatch");
-        }
-        if (inj == nullptr ||
-            !inj->HasRules(fault::Scope::kSource, node.table_name)) {
-          // The seed fast path: no faults configured for this source. Under
-          // an installed injector still record the watermark — a crash
-          // elsewhere in the workflow salvages per-source progress from it.
-          out = it->second;
-          if (inj != nullptr) {
-            result.source_rows_read[node.table_name] = out.num_rows();
-          }
-          break;
-        }
-        // ---- resilient read: retry/backoff, then row-level quarantine ----
-        const std::string& name = node.table_name;
-        int attempt = 1;
-        for (;; ++attempt) {
-          const fault::Kind fk = inj->OnSourceOpen(name);
-          if (fk == fault::Kind::kNone) break;
-          ETLOPT_COUNTER_ADD(fk == fault::Kind::kTimeout
-                                 ? "etlopt.engine.source.timeouts"
-                                 : "etlopt.engine.source.io_errors",
-                             1);
-          if (attempt >= options_.retry.max_attempts) {
-            abort_run(AbortKind::kSourceFailed,
-                      "source '" + name + "' failed " +
-                          std::to_string(attempt) + " attempt(s) (" +
-                          fault::KindName(fk) + ")",
-                      node);
-            break;
-          }
-          ++result.source_retries[name];
-          ETLOPT_COUNTER_ADD("etlopt.engine.source.retries", 1);
-          if (obs::ObsEnabled()) {
-            obs::MetricsRegistry::Global()
-                .GetCounter(obs::MetricName("etlopt.engine.source.retries",
-                                            {{"source", name}}))
-                .Increment();
-          }
-          const double slept =
-              BackoffAndSleep(options_.retry, attempt, backoff_rng);
-          ETLOPT_LOG(Info) << "source '" << name << "' " << fault::KindName(fk)
-                           << ", retrying (attempt " << attempt + 1 << "/"
-                           << options_.retry.max_attempts << ") after "
-                           << slept << "ms";
-        }
-        if (result.aborted()) break;
-
-        Table quarantine{node.source_schema};
-        const bool row_faults = inj->HasRules(fault::Scope::kSource, name);
-        for (const auto& row : it->second.rows()) {
-          if (row_faults &&
-              inj->OnSourceRow(name) == fault::Kind::kMalformedRow) {
-            quarantine.AddRow(row);
-            continue;
-          }
-          out.AddRow(row);
-        }
-        const int64_t scanned = it->second.num_rows();
-        const int64_t bad = quarantine.num_rows();
-        result.source_rows_read[name] = scanned;
-        if (bad > 0) {
-          ETLOPT_COUNTER_ADD("etlopt.engine.source.quarantined", bad);
-          if (obs::ObsEnabled()) {
-            obs::MetricsRegistry::Global()
-                .GetCounter(obs::MetricName("etlopt.engine.source.quarantined",
-                                            {{"source", name}}))
-                .Add(bad);
-          }
-          const double error_rate =
-              scanned > 0 ? static_cast<double>(bad) / scanned : 0.0;
-          result.quarantined[name] = std::move(quarantine);
-          if (scanned >= options_.min_rows_for_error_rate &&
-              error_rate > options_.max_error_rate) {
-            std::ostringstream reason;
-            reason << "source '" << name << "' error rate " << error_rate
-                   << " exceeds max_error_rate " << options_.max_error_rate
-                   << " (" << bad << "/" << scanned << " rows quarantined)";
-            abort_run(AbortKind::kErrorRate, reason.str(), node);
-          }
-        }
-        break;
-      }
-      case OpKind::kFilter: {
-        const Table& in = input(0);
-        const int col = in.schema().IndexOf(node.predicate.attr);
-        for (const auto& row : in.rows()) {
-          if (node.predicate.Matches(row[static_cast<size_t>(col)])) {
-            out.AddRow(row);
-          }
-        }
-        result.rows_processed += in.num_rows();
-        break;
-      }
-      case OpKind::kProject: {
-        const Table& in = input(0);
-        std::vector<int> cols;
-        for (AttrId a : node.keep) cols.push_back(in.schema().IndexOf(a));
-        for (const auto& row : in.rows()) {
-          std::vector<Value> projected;
-          projected.reserve(cols.size());
-          for (int c : cols) projected.push_back(row[static_cast<size_t>(c)]);
-          out.AddRow(std::move(projected));
-        }
-        result.rows_processed += in.num_rows();
-        break;
-      }
-      case OpKind::kTransform: {
-        const Table& in = input(0);
-        const TransformSpec& t = node.transform;
-        const int col = in.schema().IndexOf(t.input_attr);
-        if (t.is_aggregate) {
-          // Black-box aggregate UDF: emits one row per distinct transformed
-          // key value (a deterministic blocking reduction).
-          std::unordered_map<Value, bool> seen;
-          for (const auto& row : in.rows()) {
-            const Value v = t.fn(row[static_cast<size_t>(col)]);
-            if (seen.emplace(v, true).second) {
-              std::vector<Value> r = row;
-              r[static_cast<size_t>(col)] = v;
-              out.AddRow(std::move(r));
-            }
-          }
-        } else if (t.output_attr == t.input_attr) {
-          for (const auto& row : in.rows()) {
-            std::vector<Value> r = row;
-            r[static_cast<size_t>(col)] = t.fn(r[static_cast<size_t>(col)]);
-            out.AddRow(std::move(r));
-          }
-        } else {
-          for (const auto& row : in.rows()) {
-            std::vector<Value> r = row;
-            r.push_back(t.fn(r[static_cast<size_t>(col)]));
-            out.AddRow(std::move(r));
-          }
-        }
-        result.rows_processed += in.num_rows();
-        break;
-      }
-      case OpKind::kAggregate: {
-        const Table& in = input(0);
-        AttrMask group_mask = 0;
-        for (AttrId a : node.aggregate.group_by) group_mask |= AttrMask{1} << a;
-        std::vector<int> cols;
-        for (AttrId a : node.aggregate.group_by) {
-          cols.push_back(in.schema().IndexOf(a));
-        }
-        std::unordered_map<std::vector<Value>, int64_t, ValueVecHash> groups;
-        for (const auto& row : in.rows()) {
-          std::vector<Value> key;
-          key.reserve(cols.size());
-          for (int c : cols) key.push_back(row[static_cast<size_t>(c)]);
-          ++groups[std::move(key)];
-        }
-        const bool with_count = node.aggregate.count_attr != kInvalidAttr;
-        for (auto& [key, count] : groups) {
-          std::vector<Value> row = key;
-          if (with_count) row.push_back(count);
-          out.AddRow(std::move(row));
-        }
-        result.rows_processed += in.num_rows();
-        break;
-      }
-      case OpKind::kJoin: {
-        const Table& left = input(0);
-        const Table& right = input(1);
-        Table rejects{left.schema()};
-        out = node.join.algorithm == JoinAlgorithm::kSortMerge
-                  ? SortMergeJoin(left, right, node.join.attr, &rejects)
-                  : HashJoin(left, right, node.join.attr, &rejects);
-        result.rows_processed += left.num_rows() + right.num_rows();
-        result.join_rejects[node.id] = std::move(rejects);
-        // Right-side rejects: right rows whose key never occurs on the left.
-        {
-          const int lkey = left.schema().IndexOf(node.join.attr);
-          const int rkey = right.schema().IndexOf(node.join.attr);
-          std::unordered_map<Value, bool> left_keys;
-          for (int64_t l = 0; l < left.num_rows(); ++l) {
-            left_keys.emplace(left.at(l, lkey), true);
-          }
-          Table rrejects{right.schema()};
-          for (int64_t r = 0; r < right.num_rows(); ++r) {
-            if (left_keys.find(right.at(r, rkey)) == left_keys.end()) {
-              rrejects.AddRow(right.rows()[static_cast<size_t>(r)]);
-            }
-          }
-          result.join_rejects_right[node.id] = std::move(rrejects);
-        }
-        break;
-      }
-      case OpKind::kMaterialize:
-      case OpKind::kSink: {
-        out = input(0);
-        result.rows_processed += out.num_rows();
-        result.targets[node.target_name] = out;
-        break;
-      }
-    }
-    // Self time stops here: fault bookkeeping, byte accounting, and metric
-    // emission below are harness cost, not operator cost.
-    int64_t op_self_ns = 0;
-    if (profiling) op_self_ns = obs::ProfileNowNs() - op_start_ns;
-    // Crash points fire after the operator ran but before its output is
-    // published — the salvage surface is exactly the completed prefix.
-    if (!result.aborted() && inj != nullptr) {
-      const int64_t weight = rows_in > 0 ? rows_in : out.num_rows();
-      if (inj->OnOperator(OpFaultName(node), weight) == fault::Kind::kCrash) {
-        result.join_rejects.erase(node.id);
-        result.join_rejects_right.erase(node.id);
-        result.targets.erase(node.target_name);
-        abort_run(AbortKind::kCrash,
-                  "injected crash fault at " + OpFaultName(node), node);
-      }
-    }
+    ETLOPT_RETURN_IF_ERROR(ExecuteNodeStep(ctx, node));
     if (result.aborted()) break;
-    // Bytes entering the operator: mirrors rows_processed (sources read no
-    // upstream node output, so they contribute none).
-    int64_t op_bytes = 0;
-    for (NodeId in : node.inputs) {
-      const Table& t = result.node_outputs.at(in);
-      op_bytes += t.num_rows() * 8 * t.schema().size();
-    }
-    result.bytes_processed += op_bytes;
-    const int64_t rows_out = out.num_rows();
-    if (profiling) {
-      obs::OpProfile op;
-      op.node = static_cast<int>(node.id);
-      op.op = OpKindName(node.kind);
-      op.label = OpFaultName(node);
-      op.inputs.reserve(node.inputs.size());
-      for (NodeId in : node.inputs) op.inputs.push_back(static_cast<int>(in));
-      op.self_ns = op_self_ns;
-      op.rows_in = rows_in;
-      op.rows_out = rows_out;
-      op.bytes = op_bytes;
-      result.profile.ops.push_back(std::move(op));
-    }
-    if (op_span.active()) {
-      op_span.Arg("node", static_cast<int64_t>(node.id));
-      op_span.Arg("rows_in", rows_in);
-      op_span.Arg("rows_out", rows_out);
-    }
-    if (obs::ObsEnabled()) {
-      auto& registry = obs::MetricsRegistry::Global();
-      registry
-          .GetCounter(obs::MetricName(
-              "etlopt.engine.rows_out",
-              {{"wf", wf_->name()},
-               {"node", std::to_string(node.id)},
-               {"op", OpKindName(node.kind)}}))
-          .Add(rows_out);
-      ETLOPT_COUNTER_ADD("etlopt.engine.ops_executed", 1);
-      ETLOPT_COUNTER_ADD("etlopt.engine.rows_in", rows_in);
-      ETLOPT_COUNTER_ADD("etlopt.engine.rows_out", rows_out);
-      if (node.kind == OpKind::kJoin) {
-        ETLOPT_COUNTER_ADD("etlopt.engine.join.rejects_left",
-                           result.join_rejects.at(node.id).num_rows());
-        ETLOPT_COUNTER_ADD("etlopt.engine.join.rejects_right",
-                           result.join_rejects_right.at(node.id).num_rows());
-      }
-    }
-    result.node_outputs[node.id] = std::move(out);
-    ++result.nodes_completed;
   }
   if (result.aborted() && exec_span.active()) {
     exec_span.Arg("abort", AbortKindName(result.abort_kind));

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "engine/table.h"
 #include "etl/workflow.h"
@@ -10,6 +11,11 @@
 #include "util/status.h"
 
 namespace etlopt {
+
+namespace fault {
+class FaultInjector;
+}  // namespace fault
+class Rng;
 
 // Source bindings: table name -> data.
 using SourceMap = std::unordered_map<std::string, Table>;
@@ -104,6 +110,22 @@ struct ExecutionResult {
   int nodes_total = 0;
   int nodes_completed = 0;
 
+  // ---- parallelism accounting (all zero on the serial path) ----
+  // Worker threads and partition fan-out of the run (engine/parallel/).
+  int num_workers = 0;
+  int partitions_total = 0;
+  int partitions_completed = 0;
+  // Nodes whose output covers only the completed partitions — the
+  // partition-granular salvage surface after a partition-scoped crash.
+  int nodes_partial = 0;
+  // Time spent at the merge barrier reassembling partition slices.
+  int64_t merge_ns = 0;
+  // max / mean partition cardinality over the partitioned source rows.
+  double partition_skew = 0.0;
+  // Source rows assigned to each partition — the per-partition progress
+  // watermarks a partial checkpoint carries.
+  std::vector<int64_t> partition_rows;
+
   bool aborted() const { return abort_kind != AbortKind::kNone; }
   int64_t quarantined_rows() const {
     int64_t total = 0;
@@ -111,9 +133,15 @@ struct ExecutionResult {
     return total;
   }
   double completion_fraction() const {
-    return nodes_total <= 0
-               ? 1.0
-               : static_cast<double>(nodes_completed) / nodes_total;
+    if (nodes_total <= 0) return 1.0;
+    double completed = nodes_completed;
+    // A partially-gathered node counts by its completed-partition share,
+    // so a partition-scoped crash reports finer progress than whole nodes.
+    if (partitions_total > 0 && nodes_partial > 0) {
+      completed += nodes_partial * static_cast<double>(partitions_completed) /
+                   partitions_total;
+    }
+    return completed / nodes_total;
   }
 };
 
@@ -137,6 +165,50 @@ class Executor {
   const Workflow* wf_;
   ExecutorOptions options_;
 };
+
+// ---- shared per-node execution steps ----------------------------------
+// The serial loop body, split in two so the partitioned executor
+// (engine/parallel/) runs the exact same semantics: kPre/kPost nodes go
+// through the full step, while partitioned nodes compute their output on
+// the worker pool and re-join the serial bookkeeping at the merge barrier
+// via FinishNodeStep. Everything an operator touches travels through the
+// context, so a step never reaches for globals the caller didn't choose.
+
+// The fault-injection identity of an operator: lowercased OpKindName +
+// node id ("join5"), shared by fault specs and profile frame labels.
+std::string OpFaultName(const WorkflowNode& node);
+
+struct NodeStepContext {
+  const Workflow* wf = nullptr;
+  const SourceMap* sources = nullptr;
+  const ExecutorOptions* options = nullptr;
+  fault::FaultInjector* inj = nullptr;  // null = fault layer disabled
+  bool profiling = false;
+  Rng* backoff_rng = nullptr;  // deterministic retry jitter
+  ExecutionResult* result = nullptr;
+};
+
+// Records an early stop on ctx.result (abort kind/reason/node + telemetry).
+void AbortRun(const NodeStepContext& ctx, AbortKind kind, std::string reason,
+              const WorkflowNode& node);
+
+// Runs the operator itself: reads inputs from result->node_outputs, fills
+// `out`, and does the in-switch bookkeeping (rows_processed, targets,
+// join rejects, source retry/quarantine). Configuration errors come back
+// as a non-OK Status; runtime aborts land in result->abort_*.
+Status ComputeNodeOutput(const NodeStepContext& ctx, const WorkflowNode& node,
+                         Table* out);
+
+// The post-operator half: crash-fault consult, byte accounting, profile op,
+// per-op metrics, and publication into result->node_outputs. `self_ns` is
+// the operator's measured self time (summed across workers when the node
+// ran partitioned). No-op beyond the consult when the run aborted.
+void FinishNodeStep(const NodeStepContext& ctx, const WorkflowNode& node,
+                    Table&& out, int64_t self_ns);
+
+// ComputeNodeOutput + self-time measurement + FinishNodeStep, under the
+// operator's trace span: one full serial node step.
+Status ExecuteNodeStep(const NodeStepContext& ctx, const WorkflowNode& node);
 
 // Executes a join of two tables on a shared attribute (hash join; build on
 // the right input). When `rejects` is non-null it receives the left rows

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -11,6 +12,7 @@
 #include "util/bitmask.h"
 #include "util/fault.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace etlopt {
 namespace {
@@ -39,26 +41,182 @@ const char* TapFaultName(StatKind kind) {
 // that memory is tight).
 constexpr int64_t kDowngradeTapBytes = 64 * 1024;
 
+// The pipeline-point node for a Card/Distinct/Hist key.
+Result<NodeId> PointNode(const BlockContext& ctx, const StatKey& key) {
+  if (key.is_chain_stage()) {
+    return ctx.StageNode(LowestBit(key.rels), key.stage);
+  }
+  auto it = ctx.on_path().find(key.rels);
+  if (it == ctx.on_path().end()) {
+    return Status::InvalidArgument("SE not on-path: " + key.ToString());
+  }
+  return it->second;
+}
+
 // The pipeline-point table for a Card/Distinct/Hist key.
 Result<const Table*> PointTable(const BlockContext& ctx,
                                 const ExecutionResult& exec,
                                 const StatKey& key) {
-  NodeId node = kInvalidNode;
-  if (key.is_chain_stage()) {
-    node = ctx.StageNode(LowestBit(key.rels), key.stage);
-  } else {
-    auto it = ctx.on_path().find(key.rels);
-    if (it == ctx.on_path().end()) {
-      return Status::InvalidArgument("SE not on-path: " + key.ToString());
-    }
-    node = it->second;
-  }
+  ETLOPT_ASSIGN_OR_RETURN(const NodeId node, PointNode(ctx, key));
   auto it = exec.node_outputs.find(node);
   if (it == exec.node_outputs.end()) {
     return Status::Internal("no cached output for node " +
                             std::to_string(node));
   }
   return &it->second;
+}
+
+// ---- per-partition tap kernels ------------------------------------------
+// Each runs the tap partition-local (optionally on the pool) and merges the
+// per-partition states; see ParallelTapContext for the equivalence
+// argument. `merge_ns` accumulates only the merge step.
+
+// The partition slices a key can tap, or null when the key's point did not
+// run partitioned (serial run, pre/post node, reject-join key).
+const std::vector<Table>* KeySlices(const BlockContext& ctx,
+                                    const ParallelTapContext& par,
+                                    const StatKey& key) {
+  if (par.slices == nullptr) return nullptr;
+  if (key.kind != StatKind::kCard && key.kind != StatKind::kDistinct &&
+      key.kind != StatKind::kHist) {
+    return nullptr;
+  }
+  const Result<NodeId> node = PointNode(ctx, key);
+  if (!node.ok()) return nullptr;
+  const auto it = par.slices->find(*node);
+  if (it == par.slices->end() || it->second.empty()) return nullptr;
+  return &it->second;
+}
+
+void ForEachPartition(ThreadPool* pool, int n,
+                      const std::function<void(int)>& fn) {
+  if (pool == nullptr) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const Status status = pool->ParallelFor(n, [&fn](int i) {
+    fn(i);
+    return Status::OK();
+  });
+  ETLOPT_CHECK_MSG(status.ok(), "partition tap scan failed");
+}
+
+std::vector<int> KeyColumns(const Schema& schema, AttrMask attrs) {
+  std::vector<int> cols;
+  for (int idx : MaskToIndices(attrs)) {
+    cols.push_back(schema.IndexOf(static_cast<AttrId>(idx)));
+  }
+  return cols;
+}
+
+int64_t MergedSliceRows(const std::vector<Table>& slices) {
+  int64_t rows = 0;
+  for (const Table& t : slices) rows += t.num_rows();
+  return rows;
+}
+
+// Exact distinct: per-partition key sets, merged by union.
+int64_t MergedDistinctCount(const std::vector<Table>& slices, AttrMask attrs,
+                            ThreadPool* pool, int64_t* merge_ns) {
+  using KeySet = std::unordered_set<std::vector<Value>, ValueVecHash>;
+  std::vector<KeySet> sets(slices.size());
+  ForEachPartition(pool, static_cast<int>(slices.size()), [&](int p) {
+    const Table& t = slices[static_cast<size_t>(p)];
+    if (t.num_rows() == 0) return;
+    const std::vector<int> cols = KeyColumns(t.schema(), attrs);
+    KeySet& set = sets[static_cast<size_t>(p)];
+    set.reserve(static_cast<size_t>(t.num_rows()));
+    std::vector<Value> probe(cols.size());
+    for (const auto& row : t.rows()) {
+      for (size_t c = 0; c < cols.size(); ++c) {
+        probe[c] = row[static_cast<size_t>(cols[c])];
+      }
+      set.insert(probe);
+    }
+  });
+  const int64_t merge_start = obs::ProfileNowNs();
+  for (size_t p = 1; p < sets.size(); ++p) {
+    sets[0].insert(sets[p].begin(), sets[p].end());
+  }
+  *merge_ns += obs::ProfileNowNs() - merge_start;
+  return static_cast<int64_t>(sets[0].size());
+}
+
+// Exact histogram: per-partition exact histograms, merged by bucket-wise
+// addition — identical buckets to one histogram over the gathered table.
+Histogram MergedExactHistogram(const std::vector<Table>& slices,
+                               AttrMask attrs, ThreadPool* pool,
+                               int64_t* merge_ns) {
+  std::vector<Histogram> parts(slices.size());
+  ForEachPartition(pool, static_cast<int>(slices.size()), [&](int p) {
+    const Table& t = slices[static_cast<size_t>(p)];
+    // A crashed partition's slice is empty (default table): contribute an
+    // empty histogram rather than probing its absent schema.
+    parts[static_cast<size_t>(p)] =
+        t.num_rows() > 0 ? t.BuildHistogram(attrs) : Histogram(attrs);
+  });
+  const int64_t merge_start = obs::ProfileNowNs();
+  Histogram merged(attrs);
+  for (const Histogram& h : parts) merged.AddAll(h);
+  *merge_ns += obs::ProfileNowNs() - merge_start;
+  return merged;
+}
+
+// Sketch distinct: one HLL per partition, merged register-wise.
+sketch::DistinctTap MergedDistinctTap(const std::vector<Table>& slices,
+                                      AttrMask attrs,
+                                      const sketch::TapSketchConfig& config,
+                                      ThreadPool* pool, int64_t* merge_ns) {
+  std::vector<sketch::DistinctTap> parts(slices.size(),
+                                         sketch::DistinctTap(config));
+  ForEachPartition(pool, static_cast<int>(slices.size()), [&](int p) {
+    const Table& t = slices[static_cast<size_t>(p)];
+    if (t.num_rows() == 0) return;
+    const std::vector<int> cols = KeyColumns(t.schema(), attrs);
+    std::vector<Value> probe(cols.size());
+    sketch::DistinctTap& tap = parts[static_cast<size_t>(p)];
+    for (const auto& row : t.rows()) {
+      for (size_t c = 0; c < cols.size(); ++c) {
+        probe[c] = row[static_cast<size_t>(cols[c])];
+      }
+      tap.AddRow(probe);
+    }
+  });
+  const int64_t merge_start = obs::ProfileNowNs();
+  for (size_t p = 1; p < parts.size(); ++p) {
+    ETLOPT_CHECK_MSG(parts[0].Merge(parts[p]).ok(),
+                     "distinct tap shapes diverged");
+  }
+  *merge_ns += obs::ProfileNowNs() - merge_start;
+  return std::move(parts[0]);
+}
+
+// Sketch histogram: one CM+KMV tap per partition, merged losslessly.
+sketch::HistTap MergedHistTap(const std::vector<Table>& slices, AttrMask attrs,
+                              const sketch::TapSketchConfig& config, int arity,
+                              ThreadPool* pool, int64_t* merge_ns) {
+  std::vector<sketch::HistTap> parts(slices.size(),
+                                     sketch::HistTap(config, arity));
+  ForEachPartition(pool, static_cast<int>(slices.size()), [&](int p) {
+    const Table& t = slices[static_cast<size_t>(p)];
+    if (t.num_rows() == 0) return;
+    const std::vector<int> cols = KeyColumns(t.schema(), attrs);
+    std::vector<Value> probe(cols.size());
+    sketch::HistTap& tap = parts[static_cast<size_t>(p)];
+    for (const auto& row : t.rows()) {
+      for (size_t c = 0; c < cols.size(); ++c) {
+        probe[c] = row[static_cast<size_t>(cols[c])];
+      }
+      tap.AddRow(probe);
+    }
+  });
+  const int64_t merge_start = obs::ProfileNowNs();
+  for (size_t p = 1; p < parts.size(); ++p) {
+    ETLOPT_CHECK_MSG(parts[0].Merge(parts[p]).ok(),
+                     "hist tap shapes diverged");
+  }
+  *merge_ns += obs::ProfileNowNs() - merge_start;
+  return std::move(parts[0]);
 }
 
 // The reject table and R-side table + join attribute of a reject-join key:
@@ -311,7 +469,8 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
                                     const ExecutionResult& exec,
                                     const std::vector<StatKey>& keys,
                                     const TapOptions& taps,
-                                    TapReport* report) {
+                                    TapReport* report,
+                                    const ParallelTapContext& par) {
   const int64_t observe_start_ns = obs::ProfileNowNs();
   TapReport local;
   std::vector<StatKey> observable;
@@ -378,9 +537,15 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
     }
     switch (key.kind) {
       case StatKind::kCard: {
-        ETLOPT_ASSIGN_OR_RETURN(const Table* table,
-                                PointTable(ctx, exec, key));
-        store.Set(key, StatValue::Count(table->num_rows()));
+        const std::vector<Table>* slices = KeySlices(ctx, par, key);
+        if (slices != nullptr) {
+          // Per-partition counts merge by addition.
+          store.Set(key, StatValue::Count(MergedSliceRows(*slices)));
+        } else {
+          ETLOPT_ASSIGN_OR_RETURN(const Table* table,
+                                  PointTable(ctx, exec, key));
+          store.Set(key, StatValue::Count(table->num_rows()));
+        }
         ++local.exact_taps;
         local.tap_bytes += 8;
         break;
@@ -388,25 +553,36 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
       case StatKind::kDistinct: {
         ETLOPT_ASSIGN_OR_RETURN(const Table* table,
                                 PointTable(ctx, exec, key));
+        const std::vector<Table>* slices = KeySlices(ctx, par, key);
         if (use_sketch) {
-          sketch::DistinctTap tap(tap_config);
-          std::vector<int> cols;
-          for (int idx : MaskToIndices(key.attrs)) {
-            cols.push_back(table->schema().IndexOf(static_cast<AttrId>(idx)));
-          }
-          std::vector<Value> probe(cols.size());
-          for (const auto& row : table->rows()) {
-            for (size_t c = 0; c < cols.size(); ++c) {
-              probe[c] = row[static_cast<size_t>(cols[c])];
-            }
-            tap.AddRow(probe);
-          }
+          sketch::DistinctTap tap =
+              slices != nullptr
+                  ? MergedDistinctTap(*slices, key.attrs, tap_config,
+                                      par.pool, &local.merge_ns)
+                  : [&] {
+                      sketch::DistinctTap serial(tap_config);
+                      std::vector<int> cols =
+                          KeyColumns(table->schema(), key.attrs);
+                      std::vector<Value> probe(cols.size());
+                      for (const auto& row : table->rows()) {
+                        for (size_t c = 0; c < cols.size(); ++c) {
+                          probe[c] = row[static_cast<size_t>(cols[c])];
+                        }
+                        serial.AddRow(probe);
+                      }
+                      return serial;
+                    }();
           store.Set(key, StatValue::CountApprox(tap.Estimate(),
                                                 tap.RelError()));
           ++local.sketch_taps;
           local.tap_bytes += tap.MemoryBytes();
         } else {
-          store.Set(key, StatValue::Count(table->CountDistinct(key.attrs)));
+          const int64_t distinct =
+              slices != nullptr
+                  ? MergedDistinctCount(*slices, key.attrs, par.pool,
+                                        &local.merge_ns)
+                  : table->CountDistinct(key.attrs);
+          store.Set(key, StatValue::Count(distinct));
           ++local.exact_taps;
           local.tap_bytes += sketch::EstimateExactDistinctBytes(
               table->num_rows(), Arity(key));
@@ -416,25 +592,36 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
       case StatKind::kHist: {
         ETLOPT_ASSIGN_OR_RETURN(const Table* table,
                                 PointTable(ctx, exec, key));
+        const std::vector<Table>* slices = KeySlices(ctx, par, key);
         if (use_sketch) {
-          sketch::HistTap tap(tap_config, Arity(key));
-          std::vector<int> cols;
-          for (int idx : MaskToIndices(key.attrs)) {
-            cols.push_back(table->schema().IndexOf(static_cast<AttrId>(idx)));
-          }
-          std::vector<Value> probe(cols.size());
-          for (const auto& row : table->rows()) {
-            for (size_t c = 0; c < cols.size(); ++c) {
-              probe[c] = row[static_cast<size_t>(cols[c])];
-            }
-            tap.AddRow(probe);
-          }
+          sketch::HistTap tap =
+              slices != nullptr
+                  ? MergedHistTap(*slices, key.attrs, tap_config, Arity(key),
+                                  par.pool, &local.merge_ns)
+                  : [&] {
+                      sketch::HistTap serial(tap_config, Arity(key));
+                      std::vector<int> cols =
+                          KeyColumns(table->schema(), key.attrs);
+                      std::vector<Value> probe(cols.size());
+                      for (const auto& row : table->rows()) {
+                        for (size_t c = 0; c < cols.size(); ++c) {
+                          probe[c] = row[static_cast<size_t>(cols[c])];
+                        }
+                        serial.AddRow(probe);
+                      }
+                      return serial;
+                    }();
           store.Set(key, StatValue::HistApprox(tap.Build(key.attrs),
                                                tap.RelError()));
           ++local.sketch_taps;
           local.tap_bytes += tap.MemoryBytes();
         } else {
-          store.Set(key, StatValue::Hist(table->BuildHistogram(key.attrs)));
+          StatValue value =
+              slices != nullptr
+                  ? StatValue::Hist(MergedExactHistogram(
+                        *slices, key.attrs, par.pool, &local.merge_ns))
+                  : StatValue::Hist(table->BuildHistogram(key.attrs));
+          store.Set(key, std::move(value));
           ++local.exact_taps;
           local.tap_bytes += sketch::EstimateExactHistBytes(table->num_rows(),
                                                             Arity(key));
@@ -512,6 +699,9 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
                      local.exact_bytes_estimate);
   if (local.salvage_skipped > 0) {
     ETLOPT_COUNTER_ADD("etlopt.tap.salvage_skipped", local.salvage_skipped);
+  }
+  if (local.merge_ns > 0) {
+    ETLOPT_COUNTER_ADD("etlopt.parallel.tap_merge_ns", local.merge_ns);
   }
   local.observe_ns = obs::ProfileNowNs() - observe_start_ns;
   if (report != nullptr) report->Accumulate(local);

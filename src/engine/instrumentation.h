@@ -11,6 +11,8 @@
 
 namespace etlopt {
 
+class ThreadPool;  // util/thread_pool.h
+
 // Collection policy for the instrumentation taps. The default (no memory
 // budget) materializes exact collectors — O(distinct) memory per
 // distinct/histogram tap. With a positive budget, ObserveStatistics checks
@@ -67,6 +69,9 @@ struct TapReport {
   // run profile (RunProfile::tap_ns) and fit as the "tap" pseudo-class by
   // the cost-model calibration.
   int64_t observe_ns = 0;
+  // Wall time merging per-partition tap states back into one statistic
+  // (zero when no key tapped partition slices).
+  int64_t merge_ns = 0;
 
   void Accumulate(const TapReport& other) {
     exact_taps += other.exact_taps;
@@ -79,7 +84,22 @@ struct TapReport {
     rows_tapped += other.rows_tapped;
     checkpoint_flushes += other.checkpoint_flushes;
     observe_ns += other.observe_ns;
+    merge_ns += other.merge_ns;
   }
+};
+
+// Per-partition tap surface of a partitioned run (engine/parallel/): the
+// output slices of every node that ran partitioned, plus an optional pool
+// to scan them on. When a Card/Distinct/Hist key's pipeline point has
+// slices, its tap runs partition-local and the per-partition states merge —
+// exact collectors by addition (counts, histogram buckets) and key-set
+// union (distinct), sketches via their Merge paths — yielding the same
+// statistic a single-stream tap over the gathered table produces.
+// Reject-join keys always read the gathered tables (their reject inputs are
+// merged at the barrier).
+struct ParallelTapContext {
+  const std::unordered_map<NodeId, std::vector<Table>>* slices = nullptr;
+  ThreadPool* pool = nullptr;  // null: slices are scanned on this thread
 };
 
 // Observes the requested (observable) statistics from a run of the initial
@@ -94,7 +114,8 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
                                     const ExecutionResult& exec,
                                     const std::vector<StatKey>& keys,
                                     const TapOptions& taps = {},
-                                    TapReport* report = nullptr);
+                                    TapReport* report = nullptr,
+                                    const ParallelTapContext& par = {});
 
 // Ground truth for testing and experiments: the exact cardinality of every
 // SE in the plan space, computed by directly evaluating each SE over the

@@ -1,0 +1,92 @@
+#include "engine/parallel/partition.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace etlopt {
+namespace parallel {
+
+uint64_t PartitionHashValue(Value v) {
+  // splitmix64 finalizer: full-avalanche, constant-time, and stable across
+  // platforms — unlike std::hash, whose result is implementation-defined.
+  uint64_t x = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int HashPartitionIndex(Value v, int num_partitions) {
+  ETLOPT_CHECK(num_partitions > 0);
+  return static_cast<int>(PartitionHashValue(v) %
+                          static_cast<uint64_t>(num_partitions));
+}
+
+namespace {
+
+TablePartitions MakeEmpty(const Table& table, int num_partitions) {
+  TablePartitions out;
+  out.parts.reserve(static_cast<size_t>(num_partitions));
+  out.row_index.resize(static_cast<size_t>(num_partitions));
+  for (int p = 0; p < num_partitions; ++p) {
+    out.parts.emplace_back(table.schema());
+  }
+  return out;
+}
+
+}  // namespace
+
+TablePartitions HashPartition(const Table& table, AttrId attr,
+                              int num_partitions) {
+  ETLOPT_CHECK(num_partitions > 0);
+  const int col = table.schema().IndexOf(attr);
+  ETLOPT_CHECK_MSG(col >= 0, "partition attribute missing from schema");
+  TablePartitions out = MakeEmpty(table, num_partitions);
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    const int p = HashPartitionIndex(table.at(r, col), num_partitions);
+    out.parts[static_cast<size_t>(p)].AddRow(
+        table.rows()[static_cast<size_t>(r)]);
+    out.row_index[static_cast<size_t>(p)].push_back(r);
+  }
+  return out;
+}
+
+TablePartitions RangePartition(const Table& table, AttrId attr,
+                               const std::vector<Value>& upper_bounds) {
+  ETLOPT_CHECK(!upper_bounds.empty());
+  const int col = table.schema().IndexOf(attr);
+  ETLOPT_CHECK_MSG(col >= 0, "partition attribute missing from schema");
+  const int num_partitions = static_cast<int>(upper_bounds.size()) + 1;
+  TablePartitions out = MakeEmpty(table, num_partitions);
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    const Value v = table.at(r, col);
+    int p = num_partitions - 1;
+    for (size_t b = 0; b < upper_bounds.size(); ++b) {
+      if (v <= upper_bounds[b]) {
+        p = static_cast<int>(b);
+        break;
+      }
+    }
+    out.parts[static_cast<size_t>(p)].AddRow(
+        table.rows()[static_cast<size_t>(r)]);
+    out.row_index[static_cast<size_t>(p)].push_back(r);
+  }
+  return out;
+}
+
+double PartitionSkew(const TablePartitions& partitions) {
+  if (partitions.parts.empty()) return 0.0;
+  int64_t max_rows = 0;
+  int64_t total = 0;
+  for (const Table& t : partitions.parts) {
+    max_rows = std::max(max_rows, t.num_rows());
+    total += t.num_rows();
+  }
+  if (total == 0) return 0.0;
+  const double mean =
+      static_cast<double>(total) / partitions.num_partitions();
+  return static_cast<double>(max_rows) / mean;
+}
+
+}  // namespace parallel
+}  // namespace etlopt

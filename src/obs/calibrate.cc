@@ -131,6 +131,9 @@ CostCalibration FitCalibration(const std::vector<RunRecord>& records) {
       mixed = true;
     }
     for (const OpProfile& op : record.profile.ops) {
+      // self_ns is per-worker work time (parallel runs sum worker times at
+      // the merge barrier), never wall time — so ns/row fitted here mixes
+      // serial and --threads=N runs without conflating speedup with cost.
       CostCalibration::ClassFit& fit = cal.classes[op.op];
       fit.rows += RunProfile::Weight(op);
       fit.ns += op.self_ns;

@@ -64,7 +64,11 @@ struct CostCalibration {
 
 // Fits a calibration from every record carrying a non-empty profile.
 // Records without profiles are skipped; the result's `runs` counts the
-// contributors.
+// contributors. The fit is work-based, not wall-time-based: a parallel
+// run's merged profile sums per-worker self times at the merge barrier, so
+// each op's self_ns is total CPU work regardless of how many threads ran
+// it, and ns/row from a --threads=N run is directly comparable with a
+// serial one. (Wall times are NOT — the report flags threads-mismatch.)
 CostCalibration FitCalibration(const std::vector<RunRecord>& records);
 
 // Stamps each op's pred_ns (and nothing else) with the calibrated

@@ -26,6 +26,11 @@ std::string TapCheckpoint::ToJson() const {
     watermarks.Set(source, Json::Int(rows));
   }
   j.Set("watermarks", std::move(watermarks));
+  if (!partition_rows.empty()) {
+    Json parts = Json::Array();
+    for (int64_t rows : partition_rows) parts.push_back(Json::Int(rows));
+    j.Set("partition_rows", std::move(parts));
+  }
   // Same stat_io text codec the ledger embeds, one string per block.
   Json stats = Json::Array();
   for (const StatStore& store : block_stats) {
@@ -55,6 +60,12 @@ Result<TapCheckpoint> TapCheckpoint::FromJson(const std::string& text) {
       if (rows.is_number()) {
         checkpoint.source_rows_read.emplace_back(source, rows.int_value());
       }
+    }
+  }
+  if (const Json* parts = j.Find("partition_rows");
+      parts != nullptr && parts->is_array()) {
+    for (const Json& rows : parts->array()) {
+      if (rows.is_number()) checkpoint.partition_rows.push_back(rows.int_value());
     }
   }
   if (const Json* stats = j.Find("stats");

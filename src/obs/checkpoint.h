@@ -31,6 +31,11 @@ struct TapCheckpoint {
   int64_t rows_tapped = 0;
   // Per-source rows read by the run being checkpointed (sorted by name).
   std::vector<std::pair<std::string, int64_t>> source_rows_read;
+  // Partitioned runs only: source rows assigned to each partition (index =
+  // partition). After a partition-scoped crash these are the per-partition
+  // salvage watermarks — completed partitions contributed all their rows,
+  // so a resume only owes the failed ones. Empty on serial runs.
+  std::vector<int64_t> partition_rows;
   // Statistics observed so far, per block — blocks observed completely plus
   // the partially-observed block's prefix. Values travel in the stat_io
   // text codec, like the ledger's stats field.

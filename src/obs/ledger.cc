@@ -107,6 +107,9 @@ std::string RunRecord::ToJsonLine() const {
   if (quarantined_rows > 0) {
     j.Set("quarantined", Json::Int(quarantined_rows));
   }
+  if (num_threads != 1) {
+    j.Set("num_threads", Json::Int(num_threads));
+  }
   if (!profile.empty()) {
     j.Set("profile", ProfileToJson(profile));
   }
@@ -195,6 +198,7 @@ Result<RunRecord> RunRecord::FromJsonLine(const std::string& line) {
     }
   }
   record.quarantined_rows = j.GetInt("quarantined", 0);
+  record.num_threads = static_cast<int>(j.GetInt("num_threads", 1));
   if (const Json* profile = j.Find("profile");
       profile != nullptr && profile->is_object()) {
     record.profile = ProfileFromJson(*profile);

@@ -71,6 +71,12 @@ struct RunRecord {
   std::vector<std::pair<std::string, int64_t>> source_retries;
   // Malformed rows diverted to the quarantine sink across all sources.
   int64_t quarantined_rows = 0;
+  // Worker threads the run executed with (1 = serial; serialized only when
+  // different). Profiled self times are per-worker work time, so they stay
+  // comparable across thread counts, but phase wall times do not — the
+  // advisor's report flags cross-thread-count comparisons like it flags
+  // cross-build ones.
+  int num_threads = 1;
 
   // Per-operator profile of the run (self time, rows, bytes, tap overhead,
   // and the calibrated prediction that was live when the run executed).

@@ -123,6 +123,13 @@ const BuildInfo* ReferenceBuild(const Group& group) {
   return nullptr;
 }
 
+// The thread count every run of the group is compared against: the latest
+// run's. Wall times (execute_ms) are only comparable at equal parallelism;
+// merged profile self times sum per-worker work and stay comparable.
+int ReferenceThreads(const Group& group) {
+  return group.runs.empty() ? 1 : group.runs.back()->num_threads;
+}
+
 // Drift replay: each run compared against its own history prefix, exactly
 // as the online detector would have seen it.
 std::vector<DriftReport> ReplayDrift(const Group& group) {
@@ -176,6 +183,7 @@ std::string FormatRunReportMarkdown(const std::vector<RunRecord>& records,
         << partial_runs << " partial\n\n";
 
     const BuildInfo* reference_build = ReferenceBuild(group);
+    const int reference_threads = ReferenceThreads(group);
     const std::vector<DriftReport> drift = ReplayDrift(group);
 
     // ---- runs table: card q-error and plan cost q-error trends ----
@@ -193,6 +201,9 @@ std::string FormatRunReportMarkdown(const std::vector<RunRecord>& records,
       if (reference_build != nullptr && !r.build.git_sha.empty() &&
           !r.build.ComparableWith(*reference_build)) {
         flags.push_back("build-mismatch");
+      }
+      if (r.num_threads != reference_threads) {
+        flags.push_back("threads-mismatch");
       }
       std::string joined;
       for (const std::string& f : flags) {
@@ -279,6 +290,13 @@ std::string FormatRunReportMarkdown(const std::vector<RunRecord>& records,
             << r.build.Summary()
             << ") — its timings are not comparable with the latest runs\n";
       }
+      if (r.num_threads != reference_threads) {
+        any_note = true;
+        out << "- " << r.run_id << " ran with " << r.num_threads
+            << " worker thread(s) vs " << reference_threads
+            << " in the latest run — its wall times are not comparable; "
+               "per-operator self times (per-worker work) still are\n";
+      }
     }
     if (!any_note) out << "(none)\n";
     out << "\n";
@@ -296,6 +314,7 @@ Json RunReportJson(const std::vector<RunRecord>& records,
     jg.Set("fingerprint", Json::Str(group.fingerprint));
     jg.Set("workflow", Json::Str(group.workflow));
     const BuildInfo* reference_build = ReferenceBuild(group);
+    const int reference_threads = ReferenceThreads(group);
     const std::vector<DriftReport> drift = ReplayDrift(group);
     int profiled_runs = 0;
 
@@ -328,6 +347,10 @@ Json RunReportJson(const std::vector<RunRecord>& records,
           jr.Set("build_comparable",
                  Json::Bool(r.build.ComparableWith(*reference_build)));
         }
+      }
+      if (r.num_threads != 1) jr.Set("num_threads", Json::Int(r.num_threads));
+      if (r.num_threads != reference_threads) {
+        jr.Set("threads_comparable", Json::Bool(false));
       }
       jruns.push_back(std::move(jr));
     }

@@ -77,6 +77,13 @@ void HistTap::AddRow(const std::vector<Value>& key) {
   ++rows_;
 }
 
+Status HistTap::Merge(const HistTap& other) {
+  ETLOPT_RETURN_IF_ERROR(cm_.Merge(other.cm_));
+  ETLOPT_RETURN_IF_ERROR(kmv_.Merge(other.kmv_));
+  rows_ += other.rows_;
+  return Status::OK();
+}
+
 Histogram HistTap::Build(AttrMask attrs) const {
   Histogram hist(attrs);
   int64_t sampled_mass = 0;

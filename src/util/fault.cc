@@ -28,6 +28,8 @@ uint64_t RuleSeed(uint64_t seed, size_t index) {
 
 bool NameMatches(const Rule& rule, const std::string& name) {
   if (rule.name == "*" || rule.name == name) return true;
+  // Partition indices match exactly: a prefix rule "1" must not hit "10".
+  if (rule.scope == Scope::kPartition) return false;
   // Prefix match lets "join" hit "join5" (OpKindName + node id).
   return name.size() > rule.name.size() &&
          name.compare(0, rule.name.size(), rule.name) == 0;
@@ -37,6 +39,7 @@ Result<Scope> ParseScope(const std::string& token) {
   if (token == "source") return Scope::kSource;
   if (token == "op") return Scope::kOp;
   if (token == "tap") return Scope::kTap;
+  if (token == "partition") return Scope::kPartition;
   return Status::InvalidArgument("unknown fault scope '" + token + "'");
 }
 
@@ -228,6 +231,7 @@ Status FaultInjector::InstallGlobal(const std::string& spec) {
 }
 
 void FaultInjector::ResetState() {
+  std::lock_guard<std::mutex> lock(*mu_);
   for (Rule& rule : rules_) {
     rule.events = 0;
     rule.fired = 0;
@@ -247,6 +251,9 @@ bool FaultInjector::HasRules(Scope scope, const std::string& name) const {
 Kind FaultInjector::Consult(Scope scope, const std::string& name,
                             std::initializer_list<Kind> kinds,
                             int64_t weight) {
+  // Rule state (event/fired counters, PRNG streams) mutates on every
+  // consultation and partition-scope hooks arrive from worker threads.
+  std::lock_guard<std::mutex> lock(*mu_);
   for (size_t i = 0; i < rules_.size(); ++i) {
     Rule& rule = rules_[i];
     if (rule.scope != scope || !NameMatches(rule, name)) continue;
@@ -272,6 +279,10 @@ Kind FaultInjector::OnOperator(const std::string& op, int64_t rows_in) {
 
 Kind FaultInjector::OnTap(const std::string& tap_kind) {
   return Consult(Scope::kTap, tap_kind, {Kind::kOom, Kind::kCrash}, 1);
+}
+
+Kind FaultInjector::OnPartition(const std::string& partition, int64_t rows) {
+  return Consult(Scope::kPartition, partition, {Kind::kCrash}, rows);
 }
 
 }  // namespace fault

@@ -3,6 +3,7 @@
 
 #include <initializer_list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,15 +28,16 @@ namespace fault {
 //   spec    := element (';' element)*
 //   element := 'seed=' N
 //            | scope ':' name ':' kind (':' param (',' param)*)?
-//   scope   := 'source' | 'op' | 'tap'
+//   scope   := 'source' | 'op' | 'tap' | 'partition'
 //   kind    := 'io_error' | 'timeout' | 'malformed_row'
 //            | 'crash' | 'crash_after_rows=' N | 'oom'
 //   param   := 'p=' F | 'count=' N | 'every=' N
 //
 // `name` selects the injection target: a source table name, an operator
 // ("join", or "join5" for node 5 — prefix match on OpKindName + node id), a
-// tap kind ("card", "distinct", "hist", "rejcard", "rejhist"), or '*' for
-// any. Firing policy per rule: `count=N` fails the first N events
+// tap kind ("card", "distinct", "hist", "rejcard", "rejhist"), a partition
+// index ("0", "1", ... — exact match, no prefixing) of a partitioned run,
+// or '*' for any. Firing policy per rule: `count=N` fails the first N events
 // (deterministic — the transient-fault staple for retry tests), `p=F` fires
 // each event with probability F from the rule's own seeded PRNG stream,
 // `every=N` fires every Nth event, and no param means every event fires.
@@ -47,9 +49,14 @@ namespace fault {
 //   source:orders:malformed_row:p=0.01   ~1% of rows divert to quarantine
 //   op:join2:crash_after_rows=5000       crash once join node 2 saw 5k rows
 //   tap:*:oom                            every instrumentation tap fails
+//   partition:1:crash                    kill partition 1 of a parallel run
 //   seed=42                              pin the Bernoulli streams
+//
+// Partition-scope rules are consulted from worker threads; target explicit
+// indices (not '*' with count/p policies) when the firing partition must be
+// schedule-independent.
 
-enum class Scope : uint8_t { kSource = 0, kOp, kTap };
+enum class Scope : uint8_t { kSource = 0, kOp, kTap, kPartition };
 
 enum class Kind : uint8_t {
   kNone = 0,
@@ -71,7 +78,9 @@ struct Rule {
   int64_t every = -1;       // fire every Nth event, < 0 = unset
   int64_t after_rows = -1;  // kCrash: cumulative-row threshold, < 0 = unset
 
-  // Runtime state (single run; the executor is single-threaded).
+  // Runtime state (single run). The serial executor consults from one
+  // thread; partitioned-executor workers consult concurrently, which the
+  // injector serializes behind its consultation mutex.
   int64_t events = 0;  // events consulted (rows, for kCrash)
   int64_t fired = 0;
 
@@ -115,6 +124,9 @@ class FaultInjector {
   Kind OnOperator(const std::string& op, int64_t rows_in);
   // One instrumentation tap (name = StatKindName): oom / crash rules.
   Kind OnTap(const std::string& tap_kind);
+  // One partitioned-executor chain step on partition `partition` (decimal
+  // index, `rows` slice rows): crash rules. Called from worker threads.
+  Kind OnPartition(const std::string& partition, int64_t rows);
 
  private:
   Kind Consult(Scope scope, const std::string& name,
@@ -123,6 +135,10 @@ class FaultInjector {
   std::vector<Rule> rules_;
   std::vector<Rng> rngs_;  // one deterministic stream per rule
   uint64_t seed_ = 0;
+  // Serializes rule-state mutation: consultation hooks are called from the
+  // partitioned executor's workers as well as the main thread. Heap-held so
+  // the injector stays movable (Parse returns by value).
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace fault

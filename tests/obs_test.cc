@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -17,6 +19,7 @@
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "test_util.h"
+#include "util/thread_pool.h"
 
 namespace etlopt {
 namespace {
@@ -612,6 +615,57 @@ TEST(ObsTracerTest, MetadataEventsNameProcessAndThreads) {
     }
   }
   EXPECT_TRUE(named_main);
+  tracer.Clear();
+}
+
+TEST(ObsTracerTest, ConcurrentSpanEmissionAssignsPerThreadTids) {
+  // The partitioned executor's workers emit spans concurrently; every span
+  // must land, each emitting thread gets its own stable tid, and the "M"
+  // metadata block names all of them. A start barrier pins each ParallelFor
+  // index to a distinct pool thread so exactly kThreads tids appear.
+  obs::SetObsEnabled(true);
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::atomic<int> started{0};
+  {
+    ThreadPool pool(kThreads);
+    const Status s = pool.ParallelFor(kThreads, [&](int t) {
+      started.fetch_add(1);
+      while (started.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        obs::ScopedSpan span("test.concurrent");
+        span.Arg("worker", static_cast<int64_t>(t));
+      }
+      return Status::OK();
+    });
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+  tracer.SetEnabled(false);
+  ASSERT_EQ(tracer.NumEvents(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(tracer.NumOpenSpans(), 0u);
+
+  const JsonValue root = ParseJsonOrDie(tracer.ChromeTraceJson());
+  std::set<double> span_tids;
+  for (const JsonValue* e : PayloadEvents(root)) {
+    EXPECT_EQ(e->at("ph").str, "X");
+    ASSERT_TRUE(e->has("tid"));
+    span_tids.insert(e->at("tid").number);
+  }
+  EXPECT_EQ(span_tids.size(), static_cast<size_t>(kThreads));
+  // Every emitting tid has a thread_name metadata row.
+  std::set<double> named_tids;
+  for (const JsonValue& e : root.at("traceEvents").array) {
+    if (e.at("ph").str == "M" && e.at("name").str == "thread_name") {
+      named_tids.insert(e.at("tid").number);
+    }
+  }
+  for (const double tid : span_tids) {
+    EXPECT_TRUE(named_tids.count(tid) > 0) << "unnamed tid " << tid;
+  }
   tracer.Clear();
 }
 

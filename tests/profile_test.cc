@@ -4,11 +4,13 @@
 // calibration fit from run 1 strictly shrinks run 2's per-plan cost q-error.
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "engine/executor.h"
+#include "engine/parallel/parallel_executor.h"
 #include "gtest/gtest.h"
 #include "obs/accuracy.h"
 #include "obs/calibrate.h"
@@ -94,6 +96,57 @@ TEST(ProfilerTest, CumulativeTimeIsSelfPlusInputs) {
       EXPECT_EQ(cum[i], profile.ops[i].self_ns);
     }
   }
+}
+
+TEST(ProfilerTest, ParallelRunMergesWorkerTimesWithoutDoubleCounting) {
+  ProfilerGuard guard;
+  const auto ex = testing_util::MakePaperExample();
+  const auto serial = Executor(&ex.workflow).Execute(ex.sources);
+  ASSERT_TRUE(serial.ok());
+
+  parallel::ParallelOptions opts;
+  opts.num_threads = 4;
+  const auto par =
+      parallel::ParallelExecutor(&ex.workflow, opts).Execute(ex.sources);
+  ASSERT_TRUE(par.ok());
+  ASSERT_TRUE(par->used_parallel_path);
+  const obs::RunProfile& profile = par->exec.profile;
+
+  // Exactly one merged OpProfile per workflow node: a partitioned node's
+  // per-worker self times are summed into a single op at the merge barrier,
+  // never emitted once per worker.
+  ASSERT_EQ(profile.ops.size(),
+            static_cast<size_t>(ex.workflow.num_nodes()));
+  std::set<int> nodes;
+  int64_t bytes = 0;
+  for (const obs::OpProfile& op : profile.ops) {
+    EXPECT_TRUE(nodes.insert(op.node).second)
+        << "node " << op.node << " profiled twice";
+    EXPECT_GE(op.self_ns, 0);
+    bytes += op.bytes;
+  }
+  EXPECT_EQ(bytes, par->exec.bytes_processed);
+
+  // The work basis is identical to the serial profile op-for-op (self
+  // times are wall measurements and may differ; rows and bytes may not) —
+  // this is what keeps ns/row calibration fits thread-count independent.
+  ASSERT_EQ(serial->profile.ops.size(), profile.ops.size());
+  for (size_t i = 0; i < profile.ops.size(); ++i) {
+    EXPECT_EQ(profile.ops[i].node, serial->profile.ops[i].node);
+    EXPECT_EQ(profile.ops[i].op, serial->profile.ops[i].op);
+    EXPECT_EQ(profile.ops[i].rows_in, serial->profile.ops[i].rows_in);
+    EXPECT_EQ(profile.ops[i].rows_out, serial->profile.ops[i].rows_out);
+    EXPECT_EQ(profile.ops[i].bytes, serial->profile.ops[i].bytes);
+    EXPECT_EQ(profile.ops[i].inputs, serial->profile.ops[i].inputs);
+  }
+
+  // Cumulative (inclusive) times stay consistent over the merged profile.
+  const std::vector<int64_t> cum = obs::CumulativeNs(profile);
+  ASSERT_EQ(cum.size(), profile.ops.size());
+  for (size_t i = 0; i < profile.ops.size(); ++i) {
+    EXPECT_GE(cum[i], profile.ops[i].self_ns);
+  }
+  EXPECT_GE(profile.TotalSelfNs(), 0);
 }
 
 TEST(ProfilerTest, FoldedStacksAndTableRenderEveryFrame) {

@@ -64,6 +64,13 @@
 //                             reports exact-vs-sketch memory and feeds the
 //                             sketch q-error telemetry
 //
+// Parallel execution (run; see docs/parallelism.md):
+//   --threads=<n>             run eligible operator chains partitioned over
+//                             n worker threads (default 1 = serial; env
+//                             ETLOPT_THREADS). Observed statistics are
+//                             bit-identical to a serial run; --obs-summary
+//                             gains a `-- parallelism --` section
+//
 // Robustness options (run; see docs/robustness.md):
 //   --fault-spec=<spec>       install a deterministic fault injector (same
 //                             grammar as ETLOPT_FAULT_SPEC); a malformed
@@ -190,6 +197,9 @@ bool ParsePipelineFlag(const std::string& arg, PipelineOptions* options) {
   } else if (arg.rfind("--approx-taps=", 0) == 0) {
     options->tap_memory_budget_bytes =
         std::atoll(arg.c_str() + std::strlen("--approx-taps="));
+  } else if (arg.rfind("--threads=", 0) == 0) {
+    options->num_threads =
+        static_cast<int>(std::atoll(arg.c_str() + std::strlen("--threads=")));
   } else {
     return false;
   }
@@ -741,6 +751,7 @@ void Usage() {
       "                 [--profile] [--profile-out=<file>]\n"
       "                 [--calibration=<file>]\n"
       "                 [--approx-taps[=<bytes>]]  (default 1 MiB budget)\n"
+      "                 [--threads=<n>]  (partitioned parallel execution)\n"
       "                 [--fault-spec=<spec>] [--max-error-rate=<f>]\n"
       "                 [--checkpoint=<file>] [--checkpoint-every=<rows>]\n"
       "  etlopt_advisor explain <workflow-file|suite-index 1..30>\n"
