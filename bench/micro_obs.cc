@@ -6,8 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <unordered_map>
 
+#include "engine/executor.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -172,6 +175,55 @@ void BM_ProfilerGuardDisabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ProfilerGuardDisabled);
+
+// The plan-regression guard's runtime-monitor check on FinishNodeStep when
+// no monitors are armed (every run without ledger history, and every run
+// with --guard=off): one empty-map branch per completed node. Must stay at
+// the same order as the fault and profiler guards.
+void BM_GuardMonitorDisabled(benchmark::State& state) {
+  const std::unordered_map<NodeId, PlanMonitor> monitors;
+  int64_t fired = 0;
+  NodeId node = 0;
+  for (auto _ : state) {
+    if (!monitors.empty()) {
+      const auto it = monitors.find(node);
+      if (it != monitors.end() && it->second.expected_rows >= 0.0) ++fired;
+    }
+    ++node;
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GuardMonitorDisabled);
+
+// The armed cost per node: a hash lookup plus two divisions — what
+// --guard with ledger history adds to each completed node (node count,
+// not row count, so this never touches the per-row hot path).
+void BM_GuardMonitorArmed(benchmark::State& state) {
+  std::unordered_map<NodeId, PlanMonitor> monitors;
+  for (NodeId n = 0; n < 16; ++n) {
+    PlanMonitor m;
+    m.expected_rows = 1000.0;
+    monitors.emplace(n, m);
+  }
+  int64_t fired = 0;
+  NodeId node = 0;
+  for (auto _ : state) {
+    if (!monitors.empty()) {
+      const auto it = monitors.find(node % 16);
+      if (it != monitors.end() && it->second.expected_rows >= 0.0) {
+        const double actual = 995.0;
+        const double qerror = std::max(it->second.expected_rows / actual,
+                                       actual / it->second.expected_rows);
+        if (qerror > 4.0) ++fired;
+      }
+    }
+    ++node;
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GuardMonitorArmed);
 
 // The enabled cost per operator: two steady-clock reads bracketing the
 // operator body — what `advisor run --profile` adds to each node.

@@ -40,6 +40,31 @@ std::vector<std::pair<std::string, int64_t>> SortedCounts(
   return sorted;
 }
 
+// The history record whose estimates arm the runtime monitors: the most
+// recent clean run (partial records' estimates come from a salvaged
+// prefix — comparing against them would raise false violations), skipping
+// records whose plan a later run's monitors condemned (re-arming from one
+// would abort every subsequent strict run against the same wrong numbers).
+const obs::RunRecord* LastCleanRecord(
+    const std::vector<obs::RunRecord>* history) {
+  if (history == nullptr) return nullptr;
+  std::vector<std::string> condemned;
+  for (const obs::RunRecord& record : *history) {
+    if (record.guard.plan_unsafe && !record.guard.unsafe_signature.empty()) {
+      condemned.push_back(record.guard.unsafe_signature);
+    }
+  }
+  for (auto it = history->rbegin(); it != history->rend(); ++it) {
+    if (it->partial) continue;
+    if (std::find(condemned.begin(), condemned.end(), it->plan_signature) !=
+        condemned.end()) {
+      continue;
+    }
+    return &*it;
+  }
+  return nullptr;
+}
+
 // Low-confidence SE-size feedback from a prior partial run. The salvaged
 // cardinalities reflect a completed prefix of the workflow, so each is
 // scaled up by the run's completion watermark before seeding the selection
@@ -110,6 +135,15 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
   if (history != nullptr && !history->empty() && history->back().partial) {
     partial_feedback = PartialRunFeedback(history->back(), contexts.size());
   }
+  // A prior run's monitor violations seed force_observe: SEs whose
+  // estimates the monitors caught out are re-observed directly this run.
+  std::vector<StatKey> guard_force_observe;
+  if (history != nullptr && !history->empty()) {
+    for (const obs::GuardRecord::Monitor& m :
+         history->back().guard.violations) {
+      guard_force_observe.push_back(StatKey::Card(m.se));
+    }
+  }
   std::vector<SelectionProblem> problems;
   CostModelOptions cost_options = options.cost;
   if (!options.calibration.empty() && cost_options.cpu_ns_per_row <= 0.0) {
@@ -128,6 +162,9 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
     SelectionOptions sel_options;
     sel_options.free_source_stats = options.free_source_stats;
     sel_options.force_observe = options.force_observe;
+    sel_options.force_observe.insert(sel_options.force_observe.end(),
+                                     guard_force_observe.begin(),
+                                     guard_force_observe.end());
     problems.push_back(BuildSelectionProblem(contexts[b], plan_spaces[b],
                                              catalogs[b], cost_model,
                                              sel_options));
@@ -140,10 +177,54 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
 
   // ---- Run 1: designed plan, instrumented with the affordable set ----
   phase_span.emplace("lifecycle.first_run");
-  Executor executor(&workflow, options.executor);
+  result.guard.mode = obs::GuardModeName(options.guard.mode);
+  // Arm the runtime estimate monitors from the last clean history record:
+  // its per-SE estimates become expected cardinalities at the designed
+  // plan's pipeline points. Strict mode aborts on the first violation
+  // (through the salvage path, so this run still pays back statistics).
+  ExecutorOptions first_run_options = options.executor;
+  if (options.guard.mode != obs::GuardMode::kOff) {
+    if (const obs::RunRecord* last_clean = LastCleanRecord(history)) {
+      for (const obs::RunRecord::SeCard& card : last_clean->cards) {
+        if (card.estimated < 0 || card.block < 0 ||
+            card.block >= static_cast<int>(contexts.size())) {
+          continue;
+        }
+        const auto& on_path =
+            contexts[static_cast<size_t>(card.block)].on_path();
+        const auto it = on_path.find(card.se);
+        if (it == on_path.end()) continue;
+        PlanMonitor monitor;
+        monitor.expected_rows = card.estimated;
+        monitor.block = card.block;
+        monitor.se = card.se;
+        first_run_options.monitors[it->second] = monitor;
+      }
+      first_run_options.monitor_qerror_bound = options.guard.monitor_qerror;
+      first_run_options.monitor_abort =
+          options.guard.mode == obs::GuardMode::kStrict;
+    }
+  }
+  Executor executor(&workflow, first_run_options);
   ETLOPT_ASSIGN_OR_RETURN(const ExecutionResult first_exec,
                           executor.Execute(sources));
   result.executions = 1;
+  if (!first_exec.monitor_violations.empty()) {
+    for (const MonitorViolation& v : first_exec.monitor_violations) {
+      obs::GuardRecord::Monitor m;
+      m.block = v.block;
+      m.se = v.se;
+      m.node = static_cast<int64_t>(v.node);
+      m.expected = v.expected;
+      m.actual = v.actual;
+      m.qerror = v.qerror;
+      result.guard.violations.push_back(m);
+    }
+    result.guard.plan_unsafe = true;
+    if (const obs::RunRecord* last_clean = LastCleanRecord(history)) {
+      result.guard.unsafe_signature = last_clean->plan_signature;
+    }
+  }
   if (first_exec.aborted()) {
     result.abort_kind = first_exec.abort_kind;
     result.abort_reason = first_exec.abort_reason;
@@ -161,6 +242,9 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
   first_run_taps.salvage = first_exec.aborted();
   TapReport first_tap_report;
   result.block_cards.resize(contexts.size());
+  // Estimators stay alive past this loop: the adoption gate reads per-SE
+  // confidence (provenance + error bounds) from them at re-optimize time.
+  std::vector<std::unique_ptr<Estimator>> estimators;
   for (size_t b = 0; b < contexts.size(); ++b) {
     const std::vector<StatKey> keys =
         result.selections[b].first_run.ObservedKeys(catalogs[b]);
@@ -168,7 +252,9 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
         StatStore observed,
         ObserveStatistics(contexts[b], first_exec, keys, first_run_taps,
                           &first_tap_report));
-    Estimator estimator(&contexts[b], &catalogs[b]);
+    estimators.push_back(
+        std::make_unique<Estimator>(&contexts[b], &catalogs[b]));
+    Estimator& estimator = *estimators.back();
     ETLOPT_RETURN_IF_ERROR(estimator.DeriveAll(observed));
     result.block_stats.push_back(std::move(observed));
     for (RelMask se : plan_spaces[b].subexpressions()) {
@@ -225,31 +311,11 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
     }
   }
 
-  // ---- Step 7: optimize from the now-complete statistics ----
-  phase_span.emplace("lifecycle.reoptimize");
-  if (result.aborted()) {
-    // The statistics are a salvaged prefix — not a basis for re-ordering
-    // joins. Keep the designed plan; the partial ledger record this result
-    // becomes will seed the next lifecycle's cost model instead.
-    result.optimized = workflow;
-  } else {
-    std::vector<OptimizedPlan> final_plans(contexts.size());
-    std::vector<PlanRewriter::BlockPlan> rewrites;
-    for (size_t b = 0; b < contexts.size(); ++b) {
-      ETLOPT_ASSIGN_OR_RETURN(
-          final_plans[b],
-          OptimizeJoins(contexts[b], plan_spaces[b], result.block_cards[b],
-                        options.optimizer_cost));
-      result.initial_cost += final_plans[b].initial_cost;
-      result.optimized_cost += final_plans[b].cost;
-      if (blocks[b].joins.size() >= 2) {
-        rewrites.push_back({&blocks[b], &final_plans[b]});
-      }
-    }
-    ETLOPT_ASSIGN_OR_RETURN(result.optimized,
-                            PlanRewriter::Apply(workflow, rewrites));
-  }
   // ---- Drift check against ledger history ----
+  // Runs BEFORE re-optimization: the adoption gate distrusts estimates fed
+  // by drift-flagged statistics, so the report must exist when the gate
+  // scores the proposal. Only this run's observations are compared —
+  // nothing downstream of the reoptimize phase is needed.
   if (history != nullptr && !history->empty()) {
     phase_span.emplace("lifecycle.drift_check");
     obs::RunRecord current;
@@ -272,6 +338,88 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
                        static_cast<int64_t>(result.drift.reinstrument.size()));
     lifecycle_span.Arg(
         "drifted", static_cast<int64_t>(result.drift.reinstrument.size()));
+  }
+
+  // ---- Step 7: optimize from the now-complete statistics ----
+  phase_span.emplace("lifecycle.reoptimize");
+  if (result.aborted()) {
+    // The statistics are a salvaged prefix — not a basis for re-ordering
+    // joins. Keep the designed plan; the partial ledger record this result
+    // becomes will seed the next lifecycle's cost model instead.
+    result.optimized = workflow;
+  } else {
+    std::vector<OptimizedPlan> final_plans(contexts.size());
+    std::vector<PlanRewriter::BlockPlan> rewrites;
+    for (size_t b = 0; b < contexts.size(); ++b) {
+      ETLOPT_ASSIGN_OR_RETURN(
+          final_plans[b],
+          OptimizeJoins(contexts[b], plan_spaces[b], result.block_cards[b],
+                        options.optimizer_cost));
+      result.initial_cost += final_plans[b].initial_cost;
+      result.optimized_cost += final_plans[b].cost;
+      if (blocks[b].joins.size() >= 2) {
+        rewrites.push_back({&blocks[b], &final_plans[b]});
+      }
+    }
+    ETLOPT_ASSIGN_OR_RETURN(Workflow proposed,
+                            PlanRewriter::Apply(workflow, rewrites));
+
+    // ---- Adoption gate: may the proposal replace the designed plan? ----
+    if (options.guard.mode != obs::GuardMode::kOff) {
+      obs::GuardInputs inputs;
+      const std::string designed_sig = obs::FingerprintWorkflow(workflow);
+      inputs.proposed_signature = obs::FingerprintWorkflow(proposed);
+      inputs.plan_changed = inputs.proposed_signature != designed_sig;
+      inputs.initial_cost = result.initial_cost;
+      inputs.optimized_cost = result.optimized_cost;
+      for (size_t b = 0; b < contexts.size(); ++b) {
+        const std::vector<StatKey> flagged =
+            result.drift.ReinstrumentKeys(static_cast<int>(b));
+        for (const auto& [se, rows] : result.block_cards[b]) {
+          (void)rows;
+          obs::SeEvidence ev;
+          ev.block = static_cast<int>(b);
+          ev.se = se;
+          ev.confidence = estimators[b]->CardinalityConfidence(
+              se, flagged, options.guard.drift_penalty);
+          if (estimators[b]->clamped_values() > 0) {
+            ev.confidence *= options.guard.drift_penalty;
+          }
+          inputs.evidence.push_back(ev);
+        }
+      }
+      inputs.calibration_coverage =
+          obs::CalibrationCoverage(options.calibration, result.profile);
+      inputs.partial_history = !partial_feedback.empty();
+      if (history != nullptr) {
+        for (const obs::RunRecord& record : *history) {
+          if (record.guard.plan_unsafe &&
+              !record.guard.unsafe_signature.empty()) {
+            inputs.unsafe_signatures.push_back(record.guard.unsafe_signature);
+          }
+        }
+      }
+      const obs::GuardVerdict verdict =
+          obs::EvaluateAdoption(options.guard, inputs);
+      result.guard.adopted = verdict.adopt;
+      result.guard.evidence = verdict.evidence_score;
+      result.guard.margin = verdict.margin;
+      result.guard.reasons = verdict.reasons;
+      if (!verdict.adopt) {
+        result.guard.fell_back = true;
+        result.guard.proposed_signature = inputs.proposed_signature;
+        result.optimized_cost = result.initial_cost;
+        ETLOPT_LOG(Warning)
+            << "plan-regression guard rejected the re-optimized plan "
+            << inputs.proposed_signature << " (evidence "
+            << verdict.evidence_score << "); keeping the designed plan";
+        result.optimized = workflow;
+      } else {
+        result.optimized = std::move(proposed);
+      }
+    } else {
+      result.optimized = std::move(proposed);
+    }
   }
 
   phase_span.reset();

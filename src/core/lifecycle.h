@@ -30,6 +30,11 @@ struct BudgetedLifecycleResult {
   // including which statistic taps to re-enable on the next run. Drifted
   // keys feed PipelineOptions::force_observe of the following cycle.
   obs::DriftReport drift;
+  // Plan-regression guard outcome: the adoption verdict for the
+  // re-optimized plan (strict rejections keep the designed plan and set
+  // fell_back) plus any runtime estimate-monitor violations the first run
+  // raised against the last clean history record's estimates.
+  obs::GuardRecord guard;
   // Per-operator profile of the first (instrumented) run, annotated with
   // calibrated predictions when PipelineOptions::calibration is set. Empty
   // unless obs::ProfilerEnabled().

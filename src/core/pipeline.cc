@@ -9,6 +9,7 @@
 #include "etl/workflow_io.h"
 #include "obs/build_info.h"
 #include "obs/checkpoint.h"
+#include "obs/drift.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -25,6 +26,71 @@ std::vector<std::pair<std::string, int64_t>> SortedCounts(
                                                       counts.end());
   std::sort(sorted.begin(), sorted.end());
   return sorted;
+}
+
+// The history record whose estimates arm the runtime monitors: the most
+// recent clean run. Partial records' estimates come from a salvaged prefix
+// — comparing against them would raise false violations.
+const obs::RunRecord* LastCleanRecord(
+    const std::vector<obs::RunRecord>* history) {
+  if (history == nullptr) return nullptr;
+  // A record whose plan a later run's monitors condemned is not a usable
+  // estimate source either: re-arming monitors from it would abort every
+  // subsequent strict run against the same wrong numbers. Skip it and fall
+  // back to an older clean record (or none — a monitor-free run that
+  // re-observes the flagged SEs directly and rebuilds trust).
+  std::vector<std::string> condemned;
+  for (const obs::RunRecord& record : *history) {
+    if (record.guard.plan_unsafe && !record.guard.unsafe_signature.empty()) {
+      condemned.push_back(record.guard.unsafe_signature);
+    }
+  }
+  for (auto it = history->rbegin(); it != history->rend(); ++it) {
+    if (it->partial) continue;
+    if (std::find(condemned.begin(), condemned.end(), it->plan_signature) !=
+        condemned.end()) {
+      continue;
+    }
+    return &*it;
+  }
+  return nullptr;
+}
+
+// Per-node expected cardinalities from a prior record's per-SE estimates,
+// mapped through each block's on-path SE -> producing-node table. Only SEs
+// whose pipeline point the designed plan materializes are monitorable.
+std::unordered_map<NodeId, PlanMonitor> BuildPlanMonitors(
+    const Analysis& analysis, const obs::RunRecord& record) {
+  std::unordered_map<NodeId, PlanMonitor> monitors;
+  for (const obs::RunRecord::SeCard& card : record.cards) {
+    if (card.estimated < 0 || card.block < 0 ||
+        card.block >= static_cast<int>(analysis.blocks.size())) {
+      continue;
+    }
+    const auto& on_path =
+        analysis.blocks[static_cast<size_t>(card.block)]->ctx.on_path();
+    const auto it = on_path.find(card.se);
+    if (it == on_path.end()) continue;
+    PlanMonitor monitor;
+    monitor.expected_rows = card.estimated;
+    monitor.block = card.block;
+    monitor.se = card.se;
+    monitors[it->second] = monitor;
+  }
+  return monitors;
+}
+
+// Plan signatures history records' monitors condemned — proposals the
+// adoption gate must reject.
+std::vector<std::string> UnsafeSignatures(
+    const std::vector<obs::RunRecord>& history) {
+  std::vector<std::string> signatures;
+  for (const obs::RunRecord& record : history) {
+    if (record.guard.plan_unsafe && !record.guard.unsafe_signature.empty()) {
+      signatures.push_back(record.guard.unsafe_signature);
+    }
+  }
+  return signatures;
 }
 
 }  // namespace
@@ -65,8 +131,8 @@ Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
 }
 
 Result<std::unique_ptr<Analysis>> Pipeline::Analyze(
-    const Workflow& workflow,
-    const std::vector<CardMap>* size_feedback) const {
+    const Workflow& workflow, const std::vector<CardMap>* size_feedback,
+    const std::vector<StatKey>* extra_force_observe) const {
   obs::ScopedSpan span("pipeline.analyze");
   span.Arg("workflow", workflow.name());
   auto analysis = std::make_unique<Analysis>();
@@ -124,6 +190,11 @@ Result<std::unique_ptr<Analysis>> Pipeline::Analyze(
     SelectionOptions sel_options;
     sel_options.free_source_stats = options_.free_source_stats;
     sel_options.force_observe = options_.force_observe;
+    if (extra_force_observe != nullptr) {
+      sel_options.force_observe.insert(sel_options.force_observe.end(),
+                                       extra_force_observe->begin(),
+                                       extra_force_observe->end());
+    }
     ba->problem = BuildSelectionProblem(ba->ctx, ba->plan_space, ba->catalog,
                                         cost_model, sel_options);
     ba->problem.catalog = &ba->catalog;  // ensure self-reference is stable
@@ -154,22 +225,37 @@ Result<std::unique_ptr<Analysis>> Pipeline::Analyze(
   return analysis;
 }
 
-Result<RunOutcome> Pipeline::RunAndObserve(const Analysis& analysis,
-                                           const SourceMap& sources) const {
+Result<RunOutcome> Pipeline::RunAndObserve(
+    const Analysis& analysis, const SourceMap& sources,
+    const std::vector<obs::RunRecord>* history) const {
   obs::ScopedSpan span("pipeline.run_and_observe");
   RunOutcome outcome;
+  // Arm the guard's runtime estimate monitors from the last clean history
+  // record: its per-SE estimates become expected cardinalities at the
+  // designed plan's pipeline points. Off-mode runs (and first runs, which
+  // have no history) execute with an empty monitor map — the seed path.
+  ExecutorOptions exec_options = options_.executor;
+  if (options_.guard.mode != obs::GuardMode::kOff) {
+    const obs::RunRecord* last_clean = LastCleanRecord(history);
+    if (last_clean != nullptr) {
+      exec_options.monitors = BuildPlanMonitors(analysis, *last_clean);
+      exec_options.monitor_qerror_bound = options_.guard.monitor_qerror;
+      exec_options.monitor_abort =
+          options_.guard.mode == obs::GuardMode::kStrict;
+    }
+  }
   std::unordered_map<NodeId, std::vector<Table>> slices;
   if (options_.num_threads > 1) {
     parallel::ParallelOptions popts;
     popts.num_threads = options_.num_threads;
-    popts.executor = options_.executor;
+    popts.executor = exec_options;
     parallel::ParallelExecutor pexec(analysis.workflow.get(), popts);
     ETLOPT_ASSIGN_OR_RETURN(parallel::ParallelResult pres,
                             pexec.Execute(sources, pool_.get()));
     outcome.exec = std::move(pres.exec);
     slices = std::move(pres.slices);
   } else {
-    Executor executor(analysis.workflow.get(), options_.executor);
+    Executor executor(analysis.workflow.get(), exec_options);
     ETLOPT_ASSIGN_OR_RETURN(outcome.exec, executor.Execute(sources));
   }
 
@@ -260,12 +346,41 @@ Result<RunOutcome> Pipeline::RunAndObserve(const Analysis& analysis,
   return outcome;
 }
 
-Result<OptimizeOutcome> Pipeline::Optimize(const Analysis& analysis,
-                                           const RunOutcome& run) const {
+Result<OptimizeOutcome> Pipeline::Optimize(
+    const Analysis& analysis, const RunOutcome& run,
+    const std::vector<obs::RunRecord>* history) const {
   obs::ScopedSpan span("pipeline.optimize");
   OptimizeOutcome outcome;
   std::vector<OptimizedPlan> plans(analysis.blocks.size());
   std::vector<PlanRewriter::BlockPlan> rewrites;
+
+  // Guard evidence, part 1: drift-flagged statistics. Comparing this run's
+  // observations against ledger history flags the keys whose values moved
+  // beyond tolerance; estimates derived from a flagged key are distrusted.
+  const bool guard_on = options_.guard.mode != obs::GuardMode::kOff;
+  std::vector<std::vector<StatKey>> distrusted(analysis.blocks.size());
+  if (guard_on && history != nullptr && !history->empty()) {
+    obs::RunRecord current;
+    current.partial = run.exec.aborted();
+    current.block_stats = run.block_stats;
+    for (size_t b = 0; b < analysis.blocks.size(); ++b) {
+      for (const auto& [se, node] : analysis.blocks[b]->ctx.on_path()) {
+        const auto out_it = run.exec.node_outputs.find(node);
+        if (out_it == run.exec.node_outputs.end()) continue;
+        obs::RunRecord::SeCard card;
+        card.block = static_cast<int>(b);
+        card.se = se;
+        card.actual = static_cast<double>(out_it->second.num_rows());
+        current.cards.push_back(card);
+      }
+    }
+    const obs::DriftReport drift =
+        obs::DriftDetector().Compare(*history, current);
+    for (size_t b = 0; b < analysis.blocks.size(); ++b) {
+      distrusted[b] = drift.ReinstrumentKeys(static_cast<int>(b));
+    }
+  }
+  std::vector<obs::SeEvidence> evidence;
 
   for (size_t i = 0; i < analysis.blocks.size(); ++i) {
     const BlockAnalysis& ba = *analysis.blocks[i];
@@ -300,6 +415,24 @@ Result<OptimizeOutcome> Pipeline::Optimize(const Analysis& analysis,
     outcome.block_estimates.push_back(
         OptimizeOutcome::BlockEstimates{estimator.derived(),
                                         estimator.provenance()});
+    if (guard_on) {
+      // Guard evidence, part 2: per-SE confidence from provenance — exact
+      // derivations score 1.0, sketch error bounds and drift-flagged
+      // feeding statistics degrade it, and any sanitizer-clamped value in
+      // the block marks its estimates as invariant-violating.
+      for (const auto& [se, rows] : cards) {
+        (void)rows;
+        obs::SeEvidence ev;
+        ev.block = static_cast<int>(i);
+        ev.se = se;
+        ev.confidence = estimator.CardinalityConfidence(
+            se, distrusted[i], options_.guard.drift_penalty);
+        if (estimator.clamped_values() > 0) {
+          ev.confidence *= options_.guard.drift_penalty;
+        }
+        evidence.push_back(ev);
+      }
+    }
     ETLOPT_COUNTER_ADD("etlopt.core.cards_estimated",
                        static_cast<int64_t>(cards.size()));
     if (complete) {
@@ -329,24 +462,92 @@ Result<OptimizeOutcome> Pipeline::Optimize(const Analysis& analysis,
     ETLOPT_ASSIGN_OR_RETURN(outcome.optimized,
                             PlanRewriter::Apply(*analysis.workflow, rewrites));
   }
+
+  // ---- Adoption gate: may the proposal replace the designed plan? ----
+  outcome.guard.mode = obs::GuardModeName(options_.guard.mode);
+  if (guard_on) {
+    obs::GuardInputs inputs;
+    const std::string designed_sig =
+        obs::FingerprintWorkflow(*analysis.workflow);
+    inputs.proposed_signature = obs::FingerprintWorkflow(outcome.optimized);
+    inputs.plan_changed = inputs.proposed_signature != designed_sig;
+    inputs.initial_cost = outcome.initial_cost;
+    inputs.optimized_cost = outcome.optimized_cost;
+    inputs.evidence = std::move(evidence);
+    inputs.calibration_coverage =
+        obs::CalibrationCoverage(options_.calibration, run.exec.profile);
+    if (history != nullptr && !history->empty()) {
+      inputs.partial_history = history->back().partial;
+      inputs.unsafe_signatures = UnsafeSignatures(*history);
+    }
+    const obs::GuardVerdict verdict =
+        obs::EvaluateAdoption(options_.guard, inputs);
+    outcome.guard.adopted = verdict.adopt;
+    outcome.guard.evidence = verdict.evidence_score;
+    outcome.guard.margin = verdict.margin;
+    outcome.guard.reasons = verdict.reasons;
+    if (!verdict.adopt) {
+      outcome.guard.fell_back = true;
+      outcome.guard.proposed_signature = inputs.proposed_signature;
+      outcome.optimized = *analysis.workflow;
+      outcome.optimized_cost = outcome.initial_cost;
+      ETLOPT_LOG(Warning)
+          << "plan-regression guard rejected the re-optimized plan "
+          << inputs.proposed_signature << " (evidence "
+          << verdict.evidence_score << ", margin " << verdict.margin
+          << "); keeping the designed plan";
+    }
+  }
   ETLOPT_GAUGE_SET("etlopt.core.initial_cost", outcome.initial_cost);
   ETLOPT_GAUGE_SET("etlopt.core.optimized_cost", outcome.optimized_cost);
   return outcome;
 }
 
-Result<CycleOutcome> Pipeline::RunCycle(const Workflow& workflow,
-                                        const SourceMap& sources) const {
+Result<CycleOutcome> Pipeline::RunCycle(
+    const Workflow& workflow, const SourceMap& sources,
+    const std::vector<obs::RunRecord>* history) const {
   obs::ScopedSpan span("pipeline.cycle");
   span.Arg("workflow", workflow.name());
   ETLOPT_COUNTER_ADD("etlopt.core.cycles", 1);
   CycleOutcome cycle;
   Timer timer;
-  ETLOPT_ASSIGN_OR_RETURN(cycle.analysis, Analyze(workflow));
+  // A prior run's monitor violations seed force_observe: the SEs whose
+  // estimates were caught out get re-observed directly this cycle.
+  std::vector<StatKey> guard_force_observe;
+  if (history != nullptr && !history->empty()) {
+    for (const obs::GuardRecord::Monitor& m : history->back().guard.violations) {
+      guard_force_observe.push_back(StatKey::Card(m.se));
+    }
+  }
+  ETLOPT_ASSIGN_OR_RETURN(
+      cycle.analysis,
+      Analyze(workflow, nullptr,
+              guard_force_observe.empty() ? nullptr : &guard_force_observe));
   cycle.analyze_ms = timer.ElapsedMillis();
   timer.Restart();
-  ETLOPT_ASSIGN_OR_RETURN(cycle.run, RunAndObserve(*cycle.analysis, sources));
+  ETLOPT_ASSIGN_OR_RETURN(cycle.run,
+                          RunAndObserve(*cycle.analysis, sources, history));
   cycle.execute_ms = timer.ElapsedMillis();
   timer.Restart();
+  // Runtime monitor violations land in the cycle's guard section; the plan
+  // whose estimates they condemn is the last clean record's proposal.
+  cycle.opt.guard.mode = obs::GuardModeName(options_.guard.mode);
+  if (!cycle.run.exec.monitor_violations.empty()) {
+    for (const MonitorViolation& v : cycle.run.exec.monitor_violations) {
+      obs::GuardRecord::Monitor m;
+      m.block = v.block;
+      m.se = v.se;
+      m.node = static_cast<int64_t>(v.node);
+      m.expected = v.expected;
+      m.actual = v.actual;
+      m.qerror = v.qerror;
+      cycle.opt.guard.violations.push_back(m);
+    }
+    cycle.opt.guard.plan_unsafe = true;
+    if (const obs::RunRecord* last_clean = LastCleanRecord(history)) {
+      cycle.opt.guard.unsafe_signature = last_clean->plan_signature;
+    }
+  }
   if (cycle.run.aborted()) {
     // The salvaged statistics are a prefix, not a complete selection — no
     // basis for a trustworthy re-optimization. Keep the designed plan and
@@ -382,7 +583,14 @@ Result<CycleOutcome> Pipeline::RunCycle(const Workflow& workflow,
                         << "; keeping the designed plan";
     return cycle;
   }
-  ETLOPT_ASSIGN_OR_RETURN(cycle.opt, Optimize(*cycle.analysis, cycle.run));
+  // Optimize overwrites cycle.opt with the gate's verdict; re-attach the
+  // runtime monitor outcome recorded above.
+  obs::GuardRecord monitor_outcome = std::move(cycle.opt.guard);
+  ETLOPT_ASSIGN_OR_RETURN(cycle.opt,
+                          Optimize(*cycle.analysis, cycle.run, history));
+  cycle.opt.guard.violations = std::move(monitor_outcome.violations);
+  cycle.opt.guard.plan_unsafe = monitor_outcome.plan_unsafe;
+  cycle.opt.guard.unsafe_signature = std::move(monitor_outcome.unsafe_signature);
   cycle.optimize_ms = timer.ElapsedMillis();
   return cycle;
 }
@@ -454,6 +662,7 @@ obs::RunRecord MakeRunRecord(const CycleOutcome& cycle, std::string run_id,
   record.num_threads = std::max(1, exec.num_workers);
   record.profile = exec.profile;
   record.build = obs::CurrentBuildInfo();
+  record.guard = cycle.opt.guard;
   return record;
 }
 

@@ -8,6 +8,7 @@
 #include "engine/instrumentation.h"
 #include "estimator/estimator.h"
 #include "obs/calibrate.h"
+#include "obs/guard.h"
 #include "obs/ledger.h"
 #include "opt/greedy_selector.h"
 #include "opt/ilp_selector.h"
@@ -68,6 +69,13 @@ struct PipelineOptions {
   // q-error by the accuracy tracker). The Pipeline constructor consults
   // ETLOPT_CALIBRATION (a file path) when this is empty.
   obs::CostCalibration calibration;
+  // Plan-regression guard (obs/guard.h): adoption gate thresholds and
+  // runtime estimate-monitor policy. Mode defaults to `warn` (evidence
+  // scored and recorded, plans still adopted — behaviorally identical to
+  // the seed on clean runs); `strict` keeps the designed plan on weak
+  // evidence and aborts on a monitor violation; `off` disables everything.
+  // Defaults come from ETLOPT_GUARD_* via GuardOptions::FromEnv.
+  obs::GuardOptions guard = obs::GuardOptions::FromEnv();
 };
 
 // Per-block analysis artifacts (steps 1-4 of Fig. 2).
@@ -115,6 +123,12 @@ struct OptimizeOutcome {
     ProvenanceMap provenance;
   };
   std::vector<BlockEstimates> block_estimates;
+  // Adoption verdict of the plan-regression guard (plus, after RunCycle,
+  // any runtime monitor violations the execution raised). When the strict
+  // gate rejected the proposal, `optimized` carries the designed workflow,
+  // optimized_cost equals initial_cost, and guard.fell_back is true with
+  // the rejected plan's signature and the failed criteria recorded.
+  obs::GuardRecord guard;
 };
 
 struct CycleOutcome {
@@ -141,22 +155,35 @@ class Pipeline {
 
   // Steps 1-4. `size_feedback` optionally provides SE sizes from a previous
   // run for the CPU cost metric (Section 5.4's circularity fix).
+  // `extra_force_observe` appends to options().force_observe for this
+  // analysis only (guard-seeded re-instrumentation of SEs whose estimates
+  // a prior run's monitors caught out).
   Result<std::unique_ptr<Analysis>> Analyze(
       const Workflow& workflow,
-      const std::vector<CardMap>* size_feedback = nullptr) const;
+      const std::vector<CardMap>* size_feedback = nullptr,
+      const std::vector<StatKey>* extra_force_observe = nullptr) const;
 
   // Steps 5-6: execute the designed plan and observe the selected
-  // statistics.
-  Result<RunOutcome> RunAndObserve(const Analysis& analysis,
-                                   const SourceMap& sources) const;
+  // statistics. `history` (prior ledger records of this workflow, oldest
+  // first) arms the guard's runtime estimate monitors: the last clean
+  // record's per-SE estimates become per-node expected cardinalities the
+  // executor checks at its tap points.
+  Result<RunOutcome> RunAndObserve(
+      const Analysis& analysis, const SourceMap& sources,
+      const std::vector<obs::RunRecord>* history = nullptr) const;
 
   // Step 7: derive all SE cardinalities and rewrite the join orders.
-  Result<OptimizeOutcome> Optimize(const Analysis& analysis,
-                                   const RunOutcome& run) const;
+  // `history` feeds the guard's adoption gate (drift-flagged statistics
+  // distrust their dependent estimates; plans a prior run's monitors marked
+  // unsafe are rejected outright).
+  Result<OptimizeOutcome> Optimize(
+      const Analysis& analysis, const RunOutcome& run,
+      const std::vector<obs::RunRecord>* history = nullptr) const;
 
   // Convenience: one full cycle.
-  Result<CycleOutcome> RunCycle(const Workflow& workflow,
-                                const SourceMap& sources) const;
+  Result<CycleOutcome> RunCycle(
+      const Workflow& workflow, const SourceMap& sources,
+      const std::vector<obs::RunRecord>* history = nullptr) const;
 
   const PipelineOptions& options() const { return options_; }
 

@@ -183,6 +183,37 @@ std::string FormatObsSummary() {
           << " ns\n";
     }
   }
+  // Plan-regression guard: prints once the gate has evaluated at least one
+  // adoption decision (any mode but off), so pre-guard output is unchanged.
+  const obs::Counter* guard_evals =
+      registry.FindCounter("etlopt.guard.evaluations");
+  if (guard_evals != nullptr && guard_evals->Get() > 0) {
+    out << "  -- guard --\n";
+    out << "  adoption evaluations: " << WithThousands(guard_evals->Get())
+        << "\n";
+    const struct {
+      const char* label;
+      const char* counter;
+    } guard_counters[] = {
+        {"verdicts flagged", "etlopt.guard.flagged"},
+        {"fallbacks to designed plan", "etlopt.guard.fallbacks"},
+        {"estimate-monitor violations", "etlopt.guard.monitor_violations"},
+        {"estimator values clamped", "etlopt.estimator.clamped"},
+    };
+    for (const auto& [label, counter] : guard_counters) {
+      const obs::Counter* c = registry.FindCounter(counter);
+      if (c != nullptr && c->Get() != 0) {
+        out << "  " << label << ": " << WithThousands(c->Get()) << "\n";
+      }
+    }
+    const obs::Gauge* evidence = registry.FindGauge("etlopt.guard.evidence");
+    if (evidence != nullptr) {
+      std::ostringstream v;
+      v.precision(2);
+      v << std::fixed << evidence->Get();
+      out << "  last evidence score: " << v.str() << "\n";
+    }
+  }
   // Instrumentation overhead normalized by data volume: how many collector
   // bytes each megabyte flowing through the engine cost.
   const obs::Counter* tap_bytes = registry.FindCounter("etlopt.tap.bytes");

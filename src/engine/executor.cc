@@ -92,6 +92,8 @@ const char* AbortKindName(AbortKind kind) {
       return "error_rate";
     case AbortKind::kSourceFailed:
       return "source_failed";
+    case AbortKind::kGuard:
+      return "guard";
   }
   return "unknown";
 }
@@ -479,6 +481,45 @@ void FinishNodeStep(const NodeStepContext& ctx, const WorkflowNode& node,
     }
   }
   if (result.aborted()) return;
+  // Plan-regression monitors: one branch on an empty map when the guard is
+  // disabled (benched by BM_GuardMonitorDisabled). Partitioned nodes reach
+  // here with their gathered output, so the observed cardinality — and the
+  // verdict — is identical across worker counts.
+  if (!ctx.options->monitors.empty()) {
+    const auto mon_it = ctx.options->monitors.find(node.id);
+    if (mon_it != ctx.options->monitors.end() &&
+        mon_it->second.expected_rows >= 0.0) {
+      const double expected = std::max(mon_it->second.expected_rows, 1.0);
+      const double actual = std::max<double>(out.num_rows(), 1.0);
+      const double qerror = std::max(expected / actual, actual / expected);
+      if (qerror > ctx.options->monitor_qerror_bound) {
+        MonitorViolation violation;
+        violation.node = node.id;
+        violation.block = mon_it->second.block;
+        violation.se = mon_it->second.se;
+        violation.expected = mon_it->second.expected_rows;
+        violation.actual = static_cast<double>(out.num_rows());
+        violation.qerror = qerror;
+        result.monitor_violations.push_back(violation);
+        ETLOPT_COUNTER_ADD("etlopt.guard.monitor_violations", 1);
+        ETLOPT_LOG(Warning)
+            << "plan monitor at " << OpFaultName(node) << ": expected "
+            << violation.expected << " rows, observed " << violation.actual
+            << " (q-error " << qerror << " > "
+            << ctx.options->monitor_qerror_bound << ")";
+        if (ctx.options->monitor_abort) {
+          result.join_rejects.erase(node.id);
+          result.join_rejects_right.erase(node.id);
+          result.targets.erase(node.target_name);
+          AbortRun(ctx, AbortKind::kGuard,
+                   "estimate monitor q-error " + std::to_string(qerror) +
+                       " at " + OpFaultName(node),
+                   node);
+          return;
+        }
+      }
+    }
+  }
   // Bytes entering the operator: mirrors rows_processed (sources read no
   // upstream node output, so they contribute none).
   int64_t op_bytes = 0;

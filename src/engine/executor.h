@@ -8,6 +8,7 @@
 #include "engine/table.h"
 #include "etl/workflow.h"
 #include "obs/profile.h"
+#include "util/bitmask.h"
 #include "util/status.h"
 
 namespace etlopt {
@@ -36,6 +37,17 @@ struct RetryPolicy {
   static RetryPolicy FromEnv();
 };
 
+// A runtime plan monitor attached to one node: the cardinality the current
+// plan was priced with at this pipeline point (obs/guard.h wires these from
+// ledger history). The executor compares the node's observed output rows
+// against `expected_rows` and records a violation when the q-error exceeds
+// ExecutorOptions::monitor_qerror_bound.
+struct PlanMonitor {
+  double expected_rows = -1.0;  // < 0 disables the monitor
+  int block = 0;
+  RelMask se = 0;
+};
+
 // Robustness knobs of one Executor. The defaults reproduce the seed
 // behavior exactly when no fault injector is installed.
 struct ExecutorOptions {
@@ -50,6 +62,17 @@ struct ExecutorOptions {
   // single bad row in a tiny table does not abort the run.
   int64_t min_rows_for_error_rate = 20;
 
+  // ---- plan-regression monitors (empty = disabled, zero overhead) ----
+  // Estimate monitors per node: observed output rows are compared against
+  // the cardinality the running plan was priced with. The map is consulted
+  // only when non-empty, so the unguarded hot path pays one branch.
+  std::unordered_map<NodeId, PlanMonitor> monitors;
+  // q-error bound above which a monitor raises a violation.
+  double monitor_qerror_bound = 4.0;
+  // Strict guard: the first violation aborts the run (kGuard) through the
+  // salvage path instead of merely recording it.
+  bool monitor_abort = false;
+
   // Defaults overridden by ETLOPT_MAX_ERROR_RATE.
   static ExecutorOptions FromEnv();
 };
@@ -60,6 +83,18 @@ enum class AbortKind : uint8_t {
   kCrash,          // injected crash fault (process-death stand-in)
   kErrorRate,      // quarantine exceeded ExecutorOptions::max_error_rate
   kSourceFailed,   // transient source errors outlived the retry budget
+  kGuard,          // strict plan monitor: estimate q-error exceeded bound
+};
+
+// One raised estimate monitor: the running plan expected `expected` rows at
+// this node's pipeline point and observed `actual`.
+struct MonitorViolation {
+  NodeId node = kInvalidNode;
+  int block = 0;
+  RelMask se = 0;
+  double expected = 0.0;
+  double actual = 0.0;
+  double qerror = 1.0;
 };
 
 const char* AbortKindName(AbortKind kind);
@@ -98,6 +133,12 @@ struct ExecutionResult {
   // Rows scanned per source (quarantined rows included) — the per-source
   // progress watermarks a partial ledger record carries.
   std::unordered_map<std::string, int64_t> source_rows_read;
+
+  // Estimate monitors that exceeded the q-error bound during the run
+  // (ExecutorOptions::monitors). Under monitor_abort the first violation
+  // also aborts with kGuard; otherwise the run completes and the guard
+  // layer marks the plan unsafe for reuse.
+  std::vector<MonitorViolation> monitor_violations;
 
   // When the run stopped early: what happened and where. node_outputs then
   // holds only the operators that completed before the abort — the salvage

@@ -272,7 +272,14 @@ Result<RejectJoinInputs> FindRejectJoinInputs(const BlockContext& ctx,
   if (r_it == ctx.on_path().end()) {
     return Status::InvalidArgument("R not on-path for " + key.ToString());
   }
-  inputs.r_table = &exec.node_outputs.at(r_it->second);
+  // On an aborted parallel run the on-path node may exist without a merged
+  // output; salvage must skip the tap, not crash.
+  const auto out_it = exec.node_outputs.find(r_it->second);
+  if (out_it == exec.node_outputs.end()) {
+    return Status::Internal("R table unavailable for " + key.ToString() +
+                            " (node output missing after abort)");
+  }
+  inputs.r_table = &out_it->second;
   return inputs;
 }
 

@@ -590,6 +590,13 @@ Result<ParallelResult> ParallelExecutor::Execute(const SourceMap& sources,
                      OpFaultName(wf_->node(crash_node)) + ")",
                  wf_->node(crash_node));
       }
+      if (result.aborted() && !partition_crashed) {
+        // An operator-scoped abort (injected crash or guard monitor, both
+        // fired from FinishNodeStep on a gathered output) deliberately
+        // leaves the failed node unpublished, so downstream nodes have no
+        // merge surface: the salvage stops at the completed prefix.
+        continue;
+      }
       if (c.mode == Mode::kPost) {
         if (result.aborted()) continue;
         ETLOPT_RETURN_IF_ERROR(ExecuteNodeStep(ctx, node));

@@ -1,8 +1,12 @@
 #include "estimator/estimator.h"
 
+#include <algorithm>
+#include <cmath>
 #include <deque>
 
+#include "obs/metrics.h"
 #include "opt/closure.h"
+#include "util/logging.h"
 
 namespace etlopt {
 
@@ -14,9 +18,38 @@ Estimator::Estimator(const BlockContext* ctx, const CssCatalog* catalog)
 Status Estimator::DeriveAll(const StatStore& observed) {
   derived_ = observed;
   provenance_.clear();
+  clamped_ = 0;
   for (const auto& [key, value] : observed.values()) {
     (void)value;
     provenance_[key] = StatProvenance{};
+  }
+
+  // Sanitize the observed inputs before deriving anything from them: a
+  // corrupted ledger or a salvaged partial run can hand us negative counts
+  // or non-finite error bounds, and every rule below would propagate the
+  // poison. Repairs count as distrust evidence via clamped_values().
+  for (const auto& [key, value] : observed.values()) {
+    StatValue repaired = value;
+    bool repair = false;
+    if (repaired.is_count() && repaired.count() < 0) {
+      ETLOPT_LOG(Warning) << "observed statistic " << key.ToString()
+                          << " is negative (" << repaired.count()
+                          << "); clamping to 0";
+      const bool approx = repaired.is_approx();
+      const double err = repaired.rel_error();
+      repaired = StatValue::Count(0);
+      if (approx && std::isfinite(err) && err >= 0.0) repaired.SetApprox(err);
+      repair = true;
+    }
+    if (repaired.is_approx() && (!std::isfinite(repaired.rel_error()) ||
+                                 repaired.rel_error() < 0.0)) {
+      repaired.SetApprox(1.0);  // unknown precision: worst finite bound
+      repair = true;
+    }
+    if (repair) {
+      derived_.Set(key, std::move(repaired));
+      ++clamped_;
+    }
   }
 
   // Closure with derivation choices gives an acyclic evaluation order:
@@ -66,6 +99,20 @@ Status Estimator::DeriveAll(const StatStore& observed) {
     }
     stall = 0;
     ETLOPT_ASSIGN_OR_RETURN(StatValue value, Evaluate(entry));
+    // Sanitize: with corrupted or salvaged inputs a derivation can produce
+    // a negative count (e.g. J4 with a negative reject cardinality). Clamp
+    // rather than poison every downstream estimate — the guard layer reads
+    // clamped_values() as distrust evidence.
+    if (value.is_count() && value.count() < 0) {
+      ETLOPT_LOG(Warning) << "derived statistic " << entry.target.ToString()
+                          << " came out negative (" << value.count()
+                          << "); clamping to 0";
+      const bool approx = value.is_approx();
+      const double err = value.rel_error();
+      value = StatValue::Count(0);
+      if (approx) value.SetApprox(err);
+      ++clamped_;
+    }
     // Uncertainty propagation: a derivation is at best as precise as its
     // inputs. Summing input relative errors is the first-order bound for
     // the products/ratios the CSS rules compose (conservative for sums).
@@ -74,6 +121,10 @@ Status Estimator::DeriveAll(const StatStore& observed) {
       const StatValue* iv = derived_.Find(in);
       if (iv != nullptr && iv->is_approx()) rel_error += iv->rel_error();
     }
+    if (!std::isfinite(rel_error) || rel_error < 0.0) {
+      rel_error = 1.0;  // unknown precision: worst finite bound
+      ++clamped_;
+    }
     if (rel_error > 0.0) value.SetApprox(rel_error);
     derived_.Set(entry.target, std::move(value));
     StatProvenance prov;
@@ -81,6 +132,9 @@ Status Estimator::DeriveAll(const StatStore& observed) {
     prov.rule = entry.rule;
     prov.inputs = entry.inputs;
     provenance_[entry.target] = std::move(prov);
+  }
+  if (clamped_ > 0) {
+    ETLOPT_COUNTER_ADD("etlopt.estimator.clamped", clamped_);
   }
   return Status::OK();
 }
@@ -108,7 +162,7 @@ std::vector<StatKey> Estimator::ObservedLeaves(const StatKey& key) const {
   return leaves;
 }
 
-Result<StatValue> Estimator::Evaluate(const CssEntry& entry) const {
+Result<StatValue> Estimator::Evaluate(const CssEntry& entry) {
   auto count_in = [&](int i) -> Result<int64_t> {
     return derived_.GetCount(entry.inputs[static_cast<size_t>(i)]);
   };
@@ -162,15 +216,16 @@ Result<StatValue> Estimator::Evaluate(const CssEntry& entry) const {
       ETLOPT_ASSIGN_OR_RETURN(Histogram hek, hist_in(0));
       ETLOPT_ASSIGN_OR_RETURN(Histogram hk, hist_in(1));
       ETLOPT_ASSIGN_OR_RETURN(int64_t reject_card, count_in(2));
-      const Histogram matched = Histogram::DivideBy(hek, hk);
+      const Histogram matched =
+          Histogram::DivideByClamped(hek, hk, &clamped_);
       return StatValue::Count(matched.TotalCount() + reject_card);
     }
     case RuleId::kJ5: {
       ETLOPT_ASSIGN_OR_RETURN(Histogram hek, hist_in(0));
       ETLOPT_ASSIGN_OR_RETURN(Histogram hk, hist_in(1));
       ETLOPT_ASSIGN_OR_RETURN(Histogram hreject, hist_in(2));
-      Histogram matched =
-          Histogram::DivideBy(hek, hk).Marginalize(entry.target.attrs);
+      Histogram matched = Histogram::DivideByClamped(hek, hk, &clamped_)
+                              .Marginalize(entry.target.attrs);
       matched.AddAll(hreject);
       return StatValue::Hist(std::move(matched));
     }
@@ -192,6 +247,29 @@ Result<StatValue> Estimator::Evaluate(const CssEntry& entry) const {
 
 Result<int64_t> Estimator::Cardinality(RelMask se) const {
   return derived_.GetCount(StatKey::Card(se));
+}
+
+double Estimator::CardinalityConfidence(
+    RelMask se, const std::vector<StatKey>& distrusted,
+    double distrust_penalty) const {
+  const StatKey key = StatKey::Card(se);
+  const StatValue* value = derived_.Find(key);
+  // Never materialized: the cardinality, if the caller has one, came from a
+  // direct counter observation — exact by construction.
+  if (value == nullptr) return 1.0;
+  double confidence = 1.0;
+  if (value->is_approx()) {
+    confidence /= 1.0 + std::max(0.0, value->rel_error());
+  }
+  if (!distrusted.empty()) {
+    for (const StatKey& leaf : ObservedLeaves(key)) {
+      if (std::find(distrusted.begin(), distrusted.end(), leaf) !=
+          distrusted.end()) {
+        confidence *= distrust_penalty;
+      }
+    }
+  }
+  return std::clamp(confidence, 0.0, 1.0);
 }
 
 Result<int64_t> Estimator::Count(const StatKey& key) const {

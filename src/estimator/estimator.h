@@ -59,13 +59,30 @@ class Estimator {
   // in first-encounter (derivation) order. The key itself when observed.
   std::vector<StatKey> ObservedLeaves(const StatKey& key) const;
 
+  // Confidence in the SE's cardinality estimate, in (0, 1]: 1.0 when the
+  // value was derived purely from exact observations; a sketch-backed value
+  // degrades to 1/(1 + rel_error); every observed leaf in `distrusted`
+  // (e.g. drift-flagged keys) multiplies by `distrust_penalty`. An SE whose
+  // Card the derivation never materialized scores 1.0 — its cardinality can
+  // only have come from a direct counter observation.
+  double CardinalityConfidence(RelMask se,
+                               const std::vector<StatKey>& distrusted = {},
+                               double distrust_penalty = 0.5) const;
+
+  // Derived values clamped by DeriveAll's sanitization pass (negative
+  // counts floored at zero, non-finite error bounds capped, zero-divisor
+  // union-divisions treated as pass-through). Non-zero means some observed
+  // input violated the exact-statistics invariants.
+  int64_t clamped_values() const { return clamped_; }
+
  private:
-  Result<StatValue> Evaluate(const CssEntry& entry) const;
+  Result<StatValue> Evaluate(const CssEntry& entry);
 
   const BlockContext* ctx_;
   const CssCatalog* catalog_;
   StatStore derived_;
   ProvenanceMap provenance_;
+  int64_t clamped_ = 0;
 };
 
 }  // namespace etlopt

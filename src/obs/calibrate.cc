@@ -1,5 +1,6 @@
 #include "obs/calibrate.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -55,6 +56,20 @@ Result<CostCalibration> CostCalibration::FromJson(const Json& j) {
       fit.rows = jf.GetInt("rows");
       fit.ns = jf.GetInt("ns");
       fit.ns_per_row = jf.GetDouble("ns_per_row");
+      // A malformed overlay silently corrupts every cost prediction (and the
+      // adoption gate's coverage score), so bad fits are a config error, not
+      // something to clamp: the operator who wrote the file must fix it.
+      if (!std::isfinite(fit.ns_per_row) || fit.ns_per_row < 0.0) {
+        return Status::InvalidArgument(
+            "calibration class '" + op + "' has invalid ns_per_row " +
+            std::to_string(fit.ns_per_row) + " (must be finite and >= 0)");
+      }
+      if (fit.rows < 0 || fit.ns < 0) {
+        return Status::InvalidArgument(
+            "calibration class '" + op + "' has negative rows/ns (rows=" +
+            std::to_string(fit.rows) + ", ns=" + std::to_string(fit.ns) +
+            ")");
+      }
       cal.classes.emplace(op, fit);
     }
   }

@@ -123,6 +123,9 @@ std::string RunRecord::ToJsonLine() const {
     }
     j.Set("build", std::move(jbuild));
   }
+  if (guard.engaged()) {
+    j.Set("guard", guard.ToJson());
+  }
   return j.Dump();
 }
 
@@ -202,6 +205,10 @@ Result<RunRecord> RunRecord::FromJsonLine(const std::string& line) {
   if (const Json* profile = j.Find("profile");
       profile != nullptr && profile->is_object()) {
     record.profile = ProfileFromJson(*profile);
+  }
+  if (const Json* guard = j.Find("guard");
+      guard != nullptr && guard->is_object()) {
+    record.guard = GuardRecord::FromJson(*guard);
   }
   if (const Json* build = j.Find("build");
       build != nullptr && build->is_object()) {

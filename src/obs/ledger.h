@@ -8,6 +8,7 @@
 
 #include "etl/workflow.h"
 #include "obs/build_info.h"
+#include "obs/guard.h"
 #include "obs/profile.h"
 #include "stats/stat_store.h"
 #include "util/status.h"
@@ -90,6 +91,12 @@ struct RunRecord {
   // advisor's report uses BuildInfo::ComparableWith to flag cross-build
   // timing comparisons. Serialized only when populated.
   BuildInfo build;
+
+  // Plan-regression guard section: the adoption verdict of this cycle plus
+  // any runtime estimate-monitor violations its execution raised.
+  // Serialized only when engaged() — clean guarded runs leave the ledger
+  // line unchanged.
+  GuardRecord guard;
 
   std::string ToJsonLine() const;
   static Result<RunRecord> FromJsonLine(const std::string& line);

@@ -205,6 +205,8 @@ std::string FormatRunReportMarkdown(const std::vector<RunRecord>& records,
       if (r.num_threads != reference_threads) {
         flags.push_back("threads-mismatch");
       }
+      if (r.guard.fell_back) flags.push_back("guard-fallback");
+      if (r.guard.plan_unsafe) flags.push_back("plan-unsafe");
       std::string joined;
       for (const std::string& f : flags) {
         if (!joined.empty()) joined += ",";
@@ -297,6 +299,23 @@ std::string FormatRunReportMarkdown(const std::vector<RunRecord>& records,
             << " in the latest run — its wall times are not comparable; "
                "per-operator self times (per-worker work) still are\n";
       }
+      if (r.guard.fell_back) {
+        any_note = true;
+        char evidence[32];
+        std::snprintf(evidence, sizeof(evidence), "%.2f", r.guard.evidence);
+        out << "- " << r.run_id
+            << " fell back to the designed plan: the adoption gate rejected "
+               "proposal "
+            << r.guard.proposed_signature << " (evidence " << evidence
+            << ") — its optimized_cost equals the designed plan's\n";
+      }
+      if (r.guard.plan_unsafe) {
+        any_note = true;
+        out << "- " << r.run_id << " raised " << r.guard.violations.size()
+            << " runtime estimate-monitor violation(s) against plan "
+            << r.guard.unsafe_signature
+            << " — that plan is unsafe for re-adoption\n";
+      }
     }
     if (!any_note) out << "(none)\n";
     out << "\n";
@@ -351,6 +370,15 @@ Json RunReportJson(const std::vector<RunRecord>& records,
       if (r.num_threads != 1) jr.Set("num_threads", Json::Int(r.num_threads));
       if (r.num_threads != reference_threads) {
         jr.Set("threads_comparable", Json::Bool(false));
+      }
+      if (r.guard.engaged()) {
+        Json jguard = Json::Object();
+        jguard.Set("fell_back", Json::Bool(r.guard.fell_back));
+        jguard.Set("plan_unsafe", Json::Bool(r.guard.plan_unsafe));
+        jguard.Set("evidence", Json::Double(r.guard.evidence));
+        jguard.Set("violations",
+                   Json::Int(static_cast<int64_t>(r.guard.violations.size())));
+        jr.Set("guard", std::move(jguard));
       }
       jruns.push_back(std::move(jr));
     }

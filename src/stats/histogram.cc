@@ -98,6 +98,40 @@ Histogram Histogram::DivideBy(const Histogram& a, const Histogram& b) {
   return out;
 }
 
+Histogram Histogram::DivideByClamped(const Histogram& a, const Histogram& b,
+                                     int64_t* clamped) {
+  ETLOPT_CHECK_MSG(IsSubset(b.attr_mask_, a.attr_mask_),
+                   "DivideBy requires b.attrs ⊆ a.attrs");
+  const std::vector<int> positions =
+      ProjectionPositions(a.attrs_, b.attr_mask_);
+  auto repair = [&] {
+    if (clamped != nullptr) ++*clamped;
+  };
+  Histogram out(a.attr_mask_);
+  for (const auto& [key, count] : a.buckets_) {
+    int64_t numerator = count;
+    if (numerator < 0) {
+      numerator = 0;
+      repair();
+    }
+    const int64_t divisor = b.Get(ProjectKey(key, positions));
+    if (divisor <= 0) {
+      // Divisor missing or non-positive: the join-through-k invariant is
+      // broken. Pass the bucket through — a safe overestimate.
+      out.Add(key, numerator);
+      repair();
+      continue;
+    }
+    if (numerator % divisor != 0) {
+      out.Add(key, (numerator + divisor / 2) / divisor);
+      repair();
+      continue;
+    }
+    out.Add(key, numerator / divisor);
+  }
+  return out;
+}
+
 Histogram Histogram::Marginalize(AttrMask keep) const {
   ETLOPT_CHECK_MSG(IsSubset(keep, attr_mask_),
                    "Marginalize target must be a subset of histogram attrs");

@@ -77,6 +77,16 @@ class Histogram {
   // histograms; remainders indicate a modeling error and abort in debug.
   static Histogram DivideBy(const Histogram& a, const Histogram& b);
 
+  // DivideBy that survives invariant violations instead of aborting, for
+  // callers fed by untrusted statistics (corrupted ledger lines, salvaged
+  // prefixes, sketch-rebuilt histograms): a zero/missing divisor passes the
+  // numerator bucket through unchanged, a non-exact division rounds to
+  // nearest, and a negative numerator bucket clamps to zero. Each repair
+  // increments *clamped when given. Identical to DivideBy on inputs that
+  // satisfy the exact-division invariants.
+  static Histogram DivideByClamped(const Histogram& a, const Histogram& b,
+                                   int64_t* clamped = nullptr);
+
   // I2: aggregates buckets down to the attribute subset `keep`.
   Histogram Marginalize(AttrMask keep) const;
 

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstdio>
@@ -20,7 +21,9 @@ namespace etlopt {
 namespace {
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + name;
+  // Pid-qualified so the sanitizer twin of this suite can run under the
+  // same ctest invocation without clobbering this process's files.
+  return ::testing::TempDir() + std::to_string(getpid()) + "_" + name;
 }
 
 std::string ReadFile(const std::string& path) {

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -570,7 +571,9 @@ TEST(ObsTracerTest, WriteChromeTraceIsAtomicAndLoadable) {
   tracer.Clear();
   tracer.SetEnabled(true);
   auto open = std::make_unique<obs::ScopedSpan>("test.open_at_dump");
-  const std::string path = ::testing::TempDir() + "obs_trace_test.json";
+  // Pid-qualified so the sanitizer twin can run concurrently under ctest.
+  const std::string path = ::testing::TempDir() +
+                           std::to_string(getpid()) + "_obs_trace_test.json";
   ASSERT_TRUE(tracer.WriteChromeTrace(path).ok());
   open.reset();
   tracer.SetEnabled(false);

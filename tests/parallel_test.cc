@@ -3,6 +3,7 @@
 // bit-identical serial-vs-parallel execution and observed statistics,
 // mergeable per-partition sketch taps, and partition-scoped crash salvage.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
@@ -36,7 +37,10 @@ using parallel::RangePartition;
 using parallel::TablePartitions;
 
 std::string TempPath(const std::string& name) {
-  const std::string path = ::testing::TempDir() + name;
+  // Pid-qualified so the sanitizer twin of this suite can run under the
+  // same ctest invocation without clobbering this process's files.
+  const std::string path =
+      ::testing::TempDir() + std::to_string(getpid()) + "_" + name;
   std::remove(path.c_str());
   return path;
 }

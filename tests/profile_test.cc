@@ -2,6 +2,8 @@
 // calibration loop (obs/calibrate.h), and the advisor's offline accuracy
 // report (obs/run_report.h) — including the two-run end-to-end check that a
 // calibration fit from run 1 strictly shrinks run 2's per-plan cost q-error.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <set>
@@ -24,7 +26,9 @@ namespace etlopt {
 namespace {
 
 std::string TempPath(const std::string& name) {
-  return testing::TempDir() + name;
+  // Pid-qualified so the sanitizer twin of this suite can run under the
+  // same ctest invocation without clobbering this process's files.
+  return testing::TempDir() + std::to_string(getpid()) + "_" + name;
 }
 
 // RAII profiler switch: every test that profiles restores the global

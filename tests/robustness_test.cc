@@ -4,6 +4,8 @@
 // ledger corruption tolerance.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 
@@ -22,7 +24,10 @@ namespace {
 using fault::FaultInjector;
 
 std::string TempPath(const std::string& name) {
-  const std::string path = ::testing::TempDir() + name;
+  // Pid-qualified so the sanitizer twins of this suite can run under the
+  // same ctest invocation without clobbering each other's files.
+  const std::string path =
+      ::testing::TempDir() + std::to_string(getpid()) + "_" + name;
   std::remove(path.c_str());
   return path;
 }

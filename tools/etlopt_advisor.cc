@@ -82,9 +82,20 @@
 //   --checkpoint-every=<n>    rows between checkpoint flushes (default
 //                             100000, or ETLOPT_CHECKPOINT_EVERY)
 //
+// Plan-regression guard (run; see docs/robustness.md):
+//   --guard[=strict|warn|off]  adoption gate + runtime estimate monitors;
+//                             bare --guard means strict. warn (default)
+//                             scores the evidence and records the verdict
+//                             but adopts anyway; strict keeps the designed
+//                             plan on a failing verdict and aborts the run
+//                             on a monitor violation (exit 4). Thresholds
+//                             via ETLOPT_GUARD_* (see docs).
+//
 // Exit codes: 0 success, 1 usage/configuration/IO error, 3 the run aborted
 // mid-flight (partial statistics were salvaged; the ledger record, when
-// --ledger is given, is marked partial=true).
+// --ledger is given, is marked partial=true), 4 the plan-regression guard
+// fell back to the designed plan or aborted the run on an estimate-monitor
+// violation (the ledger record carries the guard verdict).
 
 #include <cstdio>
 #include <cstdlib>
@@ -200,10 +211,33 @@ bool ParsePipelineFlag(const std::string& arg, PipelineOptions* options) {
   } else if (arg.rfind("--threads=", 0) == 0) {
     options->num_threads =
         static_cast<int>(std::atoll(arg.c_str() + std::strlen("--threads=")));
+  } else if (arg == "--guard") {
+    // Bare --guard opts into the strictest behavior: reject regressed plans
+    // AND abort runs whose observed cardinalities contradict the estimates.
+    options->guard.mode = obs::GuardMode::kStrict;
+  } else if (arg.rfind("--guard=", 0) == 0) {
+    const Result<obs::GuardMode> mode =
+        obs::ParseGuardMode(arg.substr(std::strlen("--guard=")));
+    if (!mode.ok()) return false;
+    options->guard.mode = *mode;
   } else {
     return false;
   }
   return true;
+}
+
+// ETLOPT_CALIBRATION validation happens eagerly here, not lazily in
+// Pipeline: a malformed overlay is a configuration error the operator must
+// see (exit 1), not a warning buried in a run's log output.
+int CheckCalibrationEnv() {
+  const char* path = std::getenv("ETLOPT_CALIBRATION");
+  if (path == nullptr || *path == '\0') return 0;
+  const Result<obs::CostCalibration> cal = obs::CostCalibration::Load(path);
+  if (!cal.ok()) {
+    return Fail("ETLOPT_CALIBRATION='" + std::string(path) +
+                "': " + cal.status().ToString());
+  }
+  return 0;
 }
 
 int Analyze(const std::string& path, int argc, char** argv) {
@@ -219,6 +253,10 @@ int Analyze(const std::string& path, int argc, char** argv) {
     } else {
       return Fail("unknown option '" + arg + "'");
     }
+  }
+
+  if (const int env_status = CheckCalibrationEnv(); env_status != 0) {
+    return env_status;
   }
 
   Result<Workflow> wf = LoadWorkflow(path);
@@ -330,6 +368,10 @@ int Run(const std::string& target, int argc, char** argv) {
     }
   }
 
+  if (const int env_status = CheckCalibrationEnv(); env_status != 0) {
+    return env_status;
+  }
+
   // Suite index or workflow file?
   Workflow workflow;
   SourceMap sources;
@@ -347,8 +389,27 @@ int Run(const std::string& target, int argc, char** argv) {
     sources = SynthesizeSources(workflow, rows, seed);
   }
 
+  // Ledger history loads BEFORE the cycle: the guard needs prior records to
+  // arm runtime estimate monitors and to seed force-observe for SEs whose
+  // estimates a previous run's monitors flagged.
+  const std::string fingerprint = obs::FingerprintWorkflow(workflow);
+  obs::RunLedger ledger(ledger_path);
+  std::vector<obs::RunRecord> history;
+  std::string run_id = "run-1";
+  if (!ledger_path.empty()) {
+    const Result<obs::LedgerLoadResult> loaded = ledger.Load();
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    if (loaded->skipped_lines > 0) {
+      std::printf("ledger: skipped %d corrupt line(s) in %s\n",
+                  loaded->skipped_lines, ledger_path.c_str());
+    }
+    history = obs::RunLedger::HistoryFor(loaded->records, fingerprint);
+    run_id = obs::RunLedger::NextRunId(loaded->records, fingerprint);
+  }
+
   Pipeline pipeline(options);
-  const Result<CycleOutcome> cycle = pipeline.RunCycle(workflow, sources);
+  const Result<CycleOutcome> cycle = pipeline.RunCycle(
+      workflow, sources, history.empty() ? nullptr : &history);
   if (!cycle.ok()) return Fail(cycle.status().ToString());
 
   std::printf("%s", FormatAnalysisReport(*cycle->analysis).c_str());
@@ -413,6 +474,10 @@ int Run(const std::string& target, int argc, char** argv) {
   std::printf("plan cost (learned stats): initial %.0f -> optimized %.0f\n",
               cycle->opt.initial_cost, cycle->opt.optimized_cost);
 
+  if (cycle->opt.guard.engaged()) {
+    std::printf("\n%s", cycle->opt.guard.ToText().c_str());
+  }
+
   if (options.tap_memory_budget_bytes > 0) {
     const TapReport& taps = cycle->run.tap_report;
     std::printf(
@@ -465,21 +530,6 @@ int Run(const std::string& target, int argc, char** argv) {
   }
 
   if (!ledger_path.empty() || explain) {
-    const std::string fingerprint =
-        obs::FingerprintWorkflow(*cycle->analysis->workflow);
-    obs::RunLedger ledger(ledger_path);
-    std::vector<obs::RunRecord> history;
-    std::string run_id = "run-1";
-    if (!ledger_path.empty()) {
-      const Result<obs::LedgerLoadResult> loaded = ledger.Load();
-      if (!loaded.ok()) return Fail(loaded.status().ToString());
-      if (loaded->skipped_lines > 0) {
-        std::printf("ledger: skipped %d corrupt line(s) in %s\n",
-                    loaded->skipped_lines, ledger_path.c_str());
-      }
-      history = obs::RunLedger::HistoryFor(loaded->records, fingerprint);
-      run_id = obs::RunLedger::NextRunId(loaded->records, fingerprint);
-    }
     const obs::RunRecord record = MakeRunRecord(*cycle, run_id, &truths);
 
     obs::DriftReport drift;
@@ -529,6 +579,15 @@ int Run(const std::string& target, int argc, char** argv) {
   }
   const int sink_status = obs_sinks.Finish();
   if (sink_status != 0) return sink_status;
+  // Exit 4: the plan-regression guard intervened — either the adoption gate
+  // kept the designed plan, or a runtime estimate monitor aborted the run
+  // (the statistics salvage still happened, same as exit 3). Scripts that
+  // treat 3 as "salvaged partial run" can treat 4 as "fell back to the
+  // designed plan; inspect the ledger's guard section".
+  if (cycle->opt.guard.fell_back ||
+      cycle->run.exec.abort_kind == AbortKind::kGuard) {
+    return 4;
+  }
   // Exit 3 distinguishes "the run aborted but salvage worked" from
   // configuration errors (exit 1): the ledger record and checkpoint are on
   // disk, and the next run can consume them.
@@ -754,6 +813,8 @@ void Usage() {
       "                 [--threads=<n>]  (partitioned parallel execution)\n"
       "                 [--fault-spec=<spec>] [--max-error-rate=<f>]\n"
       "                 [--checkpoint=<file>] [--checkpoint-every=<rows>]\n"
+      "                 [--guard[=strict|warn|off]]  (plan-regression "
+      "guard)\n"
       "  etlopt_advisor explain <workflow-file|suite-index 1..30>\n"
       "                 --ledger=<file> [--json] [--selector=greedy|ilp]\n"
       "  etlopt_advisor report <ledger-file> [--json] [--top-k=<n>]\n"
