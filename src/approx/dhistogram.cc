@@ -40,10 +40,13 @@ DHistogram DHistogram::FromTable(const Table& table, AttrMask attrs,
     ETLOPT_CHECK_MSG(col >= 0, "attribute not in table schema");
     cols.push_back(col);
   }
+  std::vector<const Value*> data;
+  data.reserve(cols.size());
+  for (int c : cols) data.push_back(table.column_data(c));
   std::vector<Value> raw(cols.size());
-  for (const auto& row : table.rows()) {
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
     for (size_t i = 0; i < cols.size(); ++i) {
-      raw[i] = row[static_cast<size_t>(cols[i])];
+      raw[i] = data[i][r];
     }
     h.AddValue(raw, 1.0);
   }

@@ -203,6 +203,10 @@ Result<BudgetedLifecycleResult> RunBudgetedLifecycle(
       first_run_options.monitor_qerror_bound = options.guard.monitor_qerror;
       first_run_options.monitor_abort =
           options.guard.mode == obs::GuardMode::kStrict;
+      // The same per-SE estimates size hash-join build tables: a join whose
+      // build input carries an expected cardinality reserves from it.
+      first_run_options.build_rows_hints =
+          BuildSideCardHints(workflow, first_run_options.monitors);
     }
   }
   Executor executor(&workflow, first_run_options);

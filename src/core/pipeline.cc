@@ -242,6 +242,10 @@ Result<RunOutcome> Pipeline::RunAndObserve(
       exec_options.monitor_qerror_bound = options_.guard.monitor_qerror;
       exec_options.monitor_abort =
           options_.guard.mode == obs::GuardMode::kStrict;
+      // The same per-SE estimates size hash-join build tables: a join whose
+      // build input carries an expected cardinality reserves from it.
+      exec_options.build_rows_hints =
+          BuildSideCardHints(*analysis.workflow, exec_options.monitors);
     }
   }
   std::unordered_map<NodeId, std::vector<Table>> slices;

@@ -51,8 +51,8 @@ WorkloadSpec GenerateRandomWorkflow(uint64_t seed,
       // Mix of uniform and Zipf key columns.
       spec.columns.push_back(
           rng.NextDouble() < 0.5
-              ? ColumnSpec{a, ColumnGen::kUniform, 0.0, 0, 0.0}
-              : ColumnSpec{a, ColumnGen::kZipf, 1.1, 0, 0.0});
+              ? ColumnSpec{a, ColumnGen::kUniform, 0.0, 0, 0.0, {}}
+              : ColumnSpec{a, ColumnGen::kZipf, 1.1, 0, 0.0, {}});
     }
     tables.push_back(std::move(spec));
     NodeId node = b.Source("T" + std::to_string(r), cols);

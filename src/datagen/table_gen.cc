@@ -7,7 +7,7 @@
 namespace etlopt {
 
 Table GenerateTable(const AttrCatalog& catalog, const TableSpec& spec,
-                    Rng& rng, double row_scale) {
+                    Rng& rng, double row_scale, StringDictionary* dict) {
   ETLOPT_CHECK(row_scale > 0.0 && row_scale <= 1.0);
   const int64_t rows = std::max<int64_t>(
       1, static_cast<int64_t>(std::llround(spec.rows * row_scale)));
@@ -15,8 +15,6 @@ Table GenerateTable(const AttrCatalog& catalog, const TableSpec& spec,
   std::vector<AttrId> attrs;
   attrs.reserve(spec.columns.size());
   for (const ColumnSpec& col : spec.columns) attrs.push_back(col.attr);
-  Table table{Schema(attrs)};
-  table.Reserve(static_cast<size_t>(rows));
 
   // Per-column samplers (Zipf CDFs are built once).
   struct Sampler {
@@ -24,6 +22,7 @@ Table GenerateTable(const AttrCatalog& catalog, const TableSpec& spec,
     int64_t domain;
     int64_t match_upto;
     std::unique_ptr<ZipfDistribution> zipf;
+    std::vector<Value> category_ids;  // kCategorical: category index -> id
   };
   std::vector<Sampler> samplers;
   for (const ColumnSpec& col : spec.columns) {
@@ -48,14 +47,40 @@ Table GenerateTable(const AttrCatalog& catalog, const TableSpec& spec,
         s.zipf =
             std::make_unique<ZipfDistribution>(s.match_upto, col.zipf_skew);
         break;
+      case ColumnGen::kCategorical: {
+        ETLOPT_CHECK_MSG(!col.categories.empty(),
+                         "categorical column needs categories");
+        ETLOPT_CHECK_MSG(
+            static_cast<int64_t>(col.categories.size()) <= s.domain,
+            "categorical domain exceeds attribute domain");
+        s.category_ids.reserve(col.categories.size());
+        for (size_t i = 0; i < col.categories.size(); ++i) {
+          // First-seen interning in declaration order: id i+1 with or
+          // without a dictionary, so the generated Values never depend on
+          // whether the caller wants the strings back.
+          s.category_ids.push_back(
+              dict != nullptr ? dict->Intern(col.categories[i])
+                              : static_cast<Value>(i + 1));
+        }
+        break;
+      }
     }
     samplers.push_back(std::move(s));
   }
 
+  // Columns build directly (one contiguous array per attribute), but values
+  // are still drawn row-by-row across the samplers — the rng consumption
+  // order the row-major builder used, so the data is bit-identical.
+  std::vector<ColumnPtr> columns;
+  columns.reserve(samplers.size());
+  for (size_t c = 0; c < samplers.size(); ++c) {
+    auto col = std::make_shared<Column>();
+    col->reserve(static_cast<size_t>(rows));
+    columns.push_back(std::move(col));
+  }
   for (int64_t r = 0; r < rows; ++r) {
-    std::vector<Value> row;
-    row.reserve(samplers.size());
-    for (Sampler& s : samplers) {
+    for (size_t c = 0; c < samplers.size(); ++c) {
+      Sampler& s = samplers[c];
       Value v = 0;
       switch (s.spec->gen) {
         case ColumnGen::kSequential:
@@ -76,12 +101,17 @@ Table GenerateTable(const AttrCatalog& catalog, const TableSpec& spec,
           }
           break;
         }
+        case ColumnGen::kCategorical:
+          v = s.category_ids[static_cast<size_t>(rng.NextInRange(
+                                 1, static_cast<int64_t>(
+                                        s.category_ids.size())) -
+                             1)];
+          break;
       }
-      row.push_back(v);
+      columns[c]->push_back(v);
     }
-    table.AddRow(std::move(row));
   }
-  return table;
+  return Table::FromColumns(Schema(attrs), std::move(columns), rows);
 }
 
 }  // namespace etlopt

@@ -12,12 +12,14 @@ namespace etlopt {
 // How a column's values are drawn. All values stay within the attribute's
 // catalog domain {1..domain_size} so the Section 5.4 memory costing holds.
 enum class ColumnGen {
-  kSequential,  // primary key: 1..rows (rows must be <= domain)
-  kZipf,        // Zipf(skew) over the full domain (the paper's high skew)
-  kUniform,     // uniform over the full domain
-  kFkZipf,      // foreign key: Zipf over [1..match_upto] with probability
-                // (1-miss_rate); uniform over (match_upto..domain] otherwise
-                // (non-matching rows feed the reject links)
+  kSequential,   // primary key: 1..rows (rows must be <= domain)
+  kZipf,         // Zipf(skew) over the full domain (the paper's high skew)
+  kUniform,      // uniform over the full domain
+  kFkZipf,       // foreign key: Zipf over [1..match_upto] with probability
+                 // (1-miss_rate); uniform over (match_upto..domain] otherwise
+                 // (non-matching rows feed the reject links)
+  kCategorical,  // uniform over `categories`, stored as interned dictionary
+                 // ids (1..|categories| in declaration order)
 };
 
 struct ColumnSpec {
@@ -26,6 +28,7 @@ struct ColumnSpec {
   double zipf_skew = 1.2;
   int64_t match_upto = 0;   // kFkZipf: the referenced dimension's row count
   double miss_rate = 0.0;   // kFkZipf: fraction of dangling references
+  std::vector<std::string> categories;  // kCategorical: the string domain
 };
 
 struct TableSpec {
@@ -36,9 +39,17 @@ struct TableSpec {
 
 // Generates a table deterministically from `rng`. `row_scale` in (0,1]
 // shrinks row counts (and kSequential/kFkZipf key ranges) proportionally so
-// tests can run the same workloads at reduced scale.
+// tests can run the same workloads at reduced scale. Values are drawn one
+// row at a time across the column samplers (the historical draw order), so
+// generated data is independent of the columnar build path underneath.
+//
+// `dict`, when given, receives the interned strings of kCategorical columns;
+// the stored Values equal the dictionary ids either way (categories intern
+// in declaration order, ids 1..N), so passing no dictionary changes nothing
+// about the generated table.
 Table GenerateTable(const AttrCatalog& catalog, const TableSpec& spec,
-                    Rng& rng, double row_scale = 1.0);
+                    Rng& rng, double row_scale = 1.0,
+                    StringDictionary* dict = nullptr);
 
 }  // namespace etlopt
 

@@ -24,10 +24,10 @@ class Factory {
     TableSpec t;
     t.name = name;
     t.rows = rows;
-    t.columns.push_back(ColumnSpec{key, ColumnGen::kSequential, 0.0, 0, 0.0});
+    t.columns.push_back(ColumnSpec{key, ColumnGen::kSequential, 0.0, 0, 0.0, {}});
     std::vector<AttrId> attrs{key};
     for (AttrId p : payload) {
-      t.columns.push_back(ColumnSpec{p, ColumnGen::kZipf, 1.2, 0, 0.0});
+      t.columns.push_back(ColumnSpec{p, ColumnGen::kZipf, 1.2, 0, 0.0, {}});
       attrs.push_back(p);
     }
     tables_.push_back(std::move(t));
@@ -50,11 +50,11 @@ class Factory {
     std::vector<AttrId> attrs;
     for (const Fk& fk : fks) {
       t.columns.push_back(ColumnSpec{fk.attr, ColumnGen::kFkZipf, fk.skew,
-                                     fk.dim_rows, fk.miss});
+                                     fk.dim_rows, fk.miss, {}});
       attrs.push_back(fk.attr);
     }
     for (AttrId p : payload) {
-      t.columns.push_back(ColumnSpec{p, ColumnGen::kZipf, 1.2, 0, 0.0});
+      t.columns.push_back(ColumnSpec{p, ColumnGen::kZipf, 1.2, 0, 0.0, {}});
       attrs.push_back(p);
     }
     tables_.push_back(std::move(t));
@@ -69,7 +69,7 @@ class Factory {
     t.name = name;
     t.rows = rows;
     for (AttrId a : key_attrs) {
-      t.columns.push_back(ColumnSpec{a, ColumnGen::kZipf, skew, 0, 0.0});
+      t.columns.push_back(ColumnSpec{a, ColumnGen::kZipf, skew, 0, 0.0, {}});
     }
     tables_.push_back(std::move(t));
     return b_.Source(name, std::move(key_attrs));

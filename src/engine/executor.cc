@@ -103,54 +103,139 @@ Executor::Executor(const Workflow* workflow, ExecutorOptions options)
   ETLOPT_CHECK(wf_ != nullptr);
 }
 
-Table HashJoin(const Table& left, const Table& right, AttrId attr,
-               Table* rejects) {
-  const int lkey = left.schema().IndexOf(attr);
-  const int rkey = right.schema().IndexOf(attr);
-  ETLOPT_CHECK_MSG(lkey >= 0 && rkey >= 0, "join key missing from an input");
+namespace {
 
-  // Output schema: left attrs then right attrs minus the key (mirrors
-  // Workflow::Finalize).
+// Output schema of a join: left attrs then right attrs minus the key
+// (mirrors Workflow::Finalize). Also yields the right columns to carry.
+Schema JoinOutputSchema(const Table& left, const Table& right, AttrId attr,
+                        std::vector<int>* right_cols) {
   std::vector<AttrId> out_attrs = left.schema().attrs();
-  std::vector<int> right_cols;
   for (int i = 0; i < right.schema().size(); ++i) {
     const AttrId a = right.schema().attrs()[static_cast<size_t>(i)];
     if (a != attr) {
       out_attrs.push_back(a);
-      right_cols.push_back(i);
+      right_cols->push_back(i);
     }
   }
-  Table out{Schema(out_attrs)};
+  return Schema(out_attrs);
+}
 
-  obs::ScopedSpan span("engine.hash_join");
+// Legacy row-at-a-time hash join: unordered_map build, per-match row
+// materialization. Kept as the golden-suite / benchmark baseline.
+void HashJoinRows(const Table& left, const Table& right, int lkey, int rkey,
+                  const std::vector<int>& right_cols,
+                  int64_t build_rows_hint, Table* out, Table* rejects,
+                  int64_t* build_ns, int64_t* probe_ns) {
   Timer phase;
   std::unordered_map<Value, std::vector<int64_t>> build;
-  build.reserve(static_cast<size_t>(right.num_rows()));
+  build.reserve(static_cast<size_t>(
+      build_rows_hint > 0 ? build_rows_hint : right.num_rows()));
   for (int64_t r = 0; r < right.num_rows(); ++r) {
     build[right.at(r, rkey)].push_back(r);
   }
-  const int64_t build_ns = ElapsedNs(phase);
-  ETLOPT_HIST_RECORD("etlopt.engine.join.hash_build_ns", build_ns);
+  *build_ns = ElapsedNs(phase);
 
   phase.Restart();
+  const size_t out_width = static_cast<size_t>(out->schema().size());
   for (int64_t l = 0; l < left.num_rows(); ++l) {
     const auto it = build.find(left.at(l, lkey));
     if (it == build.end()) {
       if (rejects != nullptr) {
-        rejects->AddRow(left.rows()[static_cast<size_t>(l)]);
+        rejects->AppendRowFrom(left, l);
       }
       continue;
     }
     for (int64_t r : it->second) {
-      std::vector<Value> row = left.rows()[static_cast<size_t>(l)];
-      row.reserve(out_attrs.size());
+      std::vector<Value> row = left.row(l);
+      row.reserve(out_width);
       for (int c : right_cols) {
         row.push_back(right.at(r, c));
       }
-      out.AddRow(std::move(row));
+      out->AddRow(row);
     }
   }
-  const int64_t probe_ns = ElapsedNs(phase);
+  *probe_ns = ElapsedNs(phase);
+}
+
+// Vectorized hash join: JoinHashTable precomputes 64-bit key hashes over
+// the build column in one pass, the probe loop only touches the key
+// columns and emits selection vectors, and output columns materialize via
+// gathers. Emission order (probe order x build-insertion order per key) is
+// identical to the legacy kernel, so outputs are bit-identical.
+void HashJoinColumnar(const Table& left, const Table& right, int lkey,
+                      int rkey, const std::vector<int>& right_cols,
+                      int64_t build_rows_hint, Table* out, Table* rejects,
+                      int64_t* build_ns, int64_t* probe_ns) {
+  Timer phase;
+  const JoinHashTable ht(right.column_data(rkey), right.num_rows(),
+                         build_rows_hint);
+  *build_ns = ElapsedNs(phase);
+
+  phase.Restart();
+  const Value* lkeys = left.column_data(lkey);
+  const int64_t n = left.num_rows();
+  SelVector lsel;
+  SelVector rsel;
+  SelVector reject_sel;
+  lsel.reserve(static_cast<size_t>(n));
+  rsel.reserve(static_cast<size_t>(n));
+  for (int64_t l = 0; l < n; ++l) {
+    const JoinHashTable::RowRange range = ht.Lookup(lkeys[l]);
+    if (range.empty()) {
+      if (rejects != nullptr) reject_sel.push_back(l);
+      continue;
+    }
+    for (const int64_t* r = range.begin; r != range.end; ++r) {
+      lsel.push_back(l);
+      rsel.push_back(*r);
+    }
+  }
+
+  std::vector<ColumnPtr> out_cols;
+  out_cols.reserve(static_cast<size_t>(out->schema().size()));
+  for (int c = 0; c < left.schema().size(); ++c) {
+    auto col = std::make_shared<Column>();
+    GatherColumn(left.column(c), lsel, col.get());
+    out_cols.push_back(std::move(col));
+  }
+  for (int c : right_cols) {
+    auto col = std::make_shared<Column>();
+    GatherColumn(right.column(c), rsel, col.get());
+    out_cols.push_back(std::move(col));
+  }
+  *out = Table::FromColumns(out->schema(), std::move(out_cols),
+                            static_cast<int64_t>(lsel.size()));
+  if (rejects != nullptr) {
+    *rejects = Table::Gather(left, reject_sel);
+  }
+  *probe_ns = ElapsedNs(phase);
+}
+
+}  // namespace
+
+Table HashJoin(const Table& left, const Table& right, AttrId attr,
+               Table* rejects, int64_t build_rows_hint) {
+  const int lkey = left.schema().IndexOf(attr);
+  const int rkey = right.schema().IndexOf(attr);
+  ETLOPT_CHECK_MSG(lkey >= 0 && rkey >= 0, "join key missing from an input");
+
+  std::vector<int> right_cols;
+  Table out{JoinOutputSchema(left, right, attr, &right_cols)};
+
+  obs::ScopedSpan span("engine.hash_join");
+  if (build_rows_hint > 0) {
+    ETLOPT_COUNTER_ADD("etlopt.engine.join.build_hint_used", 1);
+  }
+  int64_t build_ns = 0;
+  int64_t probe_ns = 0;
+  if (VectorizedKernels()) {
+    HashJoinColumnar(left, right, lkey, rkey, right_cols, build_rows_hint,
+                     &out, rejects, &build_ns, &probe_ns);
+  } else {
+    HashJoinRows(left, right, lkey, rkey, right_cols, build_rows_hint, &out,
+                 rejects, &build_ns, &probe_ns);
+  }
+  ETLOPT_HIST_RECORD("etlopt.engine.join.hash_build_ns", build_ns);
   ETLOPT_HIST_RECORD("etlopt.engine.join.hash_probe_ns", probe_ns);
   if (span.active()) {
     span.Arg("build_rows", right.num_rows());
@@ -168,16 +253,9 @@ Table SortMergeJoin(const Table& left, const Table& right, AttrId attr,
   const int rkey = right.schema().IndexOf(attr);
   ETLOPT_CHECK_MSG(lkey >= 0 && rkey >= 0, "join key missing from an input");
 
-  std::vector<AttrId> out_attrs = left.schema().attrs();
   std::vector<int> right_cols;
-  for (int i = 0; i < right.schema().size(); ++i) {
-    const AttrId a = right.schema().attrs()[static_cast<size_t>(i)];
-    if (a != attr) {
-      out_attrs.push_back(a);
-      right_cols.push_back(i);
-    }
-  }
-  Table out{Schema(out_attrs)};
+  Table out{JoinOutputSchema(left, right, attr, &right_cols)};
+  const size_t out_width = static_cast<size_t>(out.schema().size());
 
   obs::ScopedSpan span("engine.sort_merge_join");
   Timer phase;
@@ -205,7 +283,7 @@ Table SortMergeJoin(const Table& left, const Table& right, AttrId attr,
     while (rend < ridx.size() && right.at(ridx[rend], rkey) == lv) ++rend;
     if (ri == rend) {
       if (rejects != nullptr) {
-        rejects->AddRow(left.rows()[static_cast<size_t>(lidx[li])]);
+        rejects->AppendRowFrom(left, lidx[li]);
       }
       ++li;
       continue;
@@ -213,12 +291,12 @@ Table SortMergeJoin(const Table& left, const Table& right, AttrId attr,
     // All left rows with this key join with the right group.
     while (li < lidx.size() && left.at(lidx[li], lkey) == lv) {
       for (size_t r = ri; r < rend; ++r) {
-        std::vector<Value> row = left.rows()[static_cast<size_t>(lidx[li])];
-        row.reserve(out_attrs.size());
+        std::vector<Value> row = left.row(lidx[li]);
+        row.reserve(out_width);
         for (int col : right_cols) {
           row.push_back(right.at(ridx[r], col));
         }
-        out.AddRow(std::move(row));
+        out.AddRow(row);
       }
       ++li;
     }
@@ -310,13 +388,14 @@ Status ComputeNodeOutput(const NodeStepContext& ctx, const WorkflowNode& node,
 
       Table quarantine{node.source_schema};
       const bool row_faults = inj->HasRules(fault::Scope::kSource, name);
-      for (const auto& row : it->second.rows()) {
+      const Table& src = it->second;
+      for (int64_t r = 0; r < src.num_rows(); ++r) {
         if (row_faults &&
             inj->OnSourceRow(name) == fault::Kind::kMalformedRow) {
-          quarantine.AddRow(row);
+          quarantine.AppendRowFrom(src, r);
           continue;
         }
-        out.AddRow(row);
+        out.AppendRowFrom(src, r);
       }
       const int64_t scanned = it->second.num_rows();
       const int64_t bad = quarantine.num_rows();
@@ -346,9 +425,19 @@ Status ComputeNodeOutput(const NodeStepContext& ctx, const WorkflowNode& node,
     case OpKind::kFilter: {
       const Table& in = input(0);
       const int col = in.schema().IndexOf(node.predicate.attr);
-      for (const auto& row : in.rows()) {
-        if (node.predicate.Matches(row[static_cast<size_t>(col)])) {
-          out.AddRow(row);
+      if (VectorizedKernels()) {
+        // Vectorized: one comparison loop over the predicate column builds
+        // the selection, every output column is a gather.
+        SelVector sel;
+        sel.reserve(static_cast<size_t>(in.num_rows()));
+        BuildSelection(node.predicate, in.column_data(col), in.num_rows(),
+                       &sel);
+        out = Table::Gather(in, sel);
+      } else {
+        for (int64_t r = 0; r < in.num_rows(); ++r) {
+          if (node.predicate.Matches(in.at(r, col))) {
+            out.AppendRowFrom(in, r);
+          }
         }
       }
       result.rows_processed += in.num_rows();
@@ -358,11 +447,21 @@ Status ComputeNodeOutput(const NodeStepContext& ctx, const WorkflowNode& node,
       const Table& in = input(0);
       std::vector<int> cols;
       for (AttrId a : node.keep) cols.push_back(in.schema().IndexOf(a));
-      for (const auto& row : in.rows()) {
-        std::vector<Value> projected;
-        projected.reserve(cols.size());
-        for (int c : cols) projected.push_back(row[static_cast<size_t>(c)]);
-        out.AddRow(std::move(projected));
+      if (VectorizedKernels()) {
+        // Copy-free: the kept columns are shared by pointer; downstream
+        // mutation clones them on write.
+        std::vector<ColumnPtr> kept;
+        kept.reserve(cols.size());
+        for (int c : cols) kept.push_back(in.shared_column(c));
+        out = Table::FromColumns(out.schema(), std::move(kept),
+                                 in.num_rows());
+      } else {
+        for (int64_t r = 0; r < in.num_rows(); ++r) {
+          std::vector<Value> projected;
+          projected.reserve(cols.size());
+          for (int c : cols) projected.push_back(in.at(r, c));
+          out.AddRow(projected);
+        }
       }
       result.rows_processed += in.num_rows();
       break;
@@ -373,27 +472,43 @@ Status ComputeNodeOutput(const NodeStepContext& ctx, const WorkflowNode& node,
       const int col = in.schema().IndexOf(t.input_attr);
       if (t.is_aggregate) {
         // Black-box aggregate UDF: emits one row per distinct transformed
-        // key value (a deterministic blocking reduction).
+        // key value (a deterministic blocking reduction). Output order
+        // depends on input order, so this stays a single row-order loop.
         std::unordered_map<Value, bool> seen;
-        for (const auto& row : in.rows()) {
-          const Value v = t.fn(row[static_cast<size_t>(col)]);
+        for (int64_t r = 0; r < in.num_rows(); ++r) {
+          const Value v = t.fn(in.at(r, col));
           if (seen.emplace(v, true).second) {
-            std::vector<Value> r = row;
-            r[static_cast<size_t>(col)] = v;
-            out.AddRow(std::move(r));
+            std::vector<Value> row = in.row(r);
+            row[static_cast<size_t>(col)] = v;
+            out.AddRow(row);
           }
         }
+      } else if (VectorizedKernels()) {
+        // Batched UDF: untouched columns are shared, the transformed (or
+        // derived) column is one fn-application loop over the input array.
+        auto mapped = std::make_shared<Column>();
+        MapColumn(t.fn, in.column_data(col), in.num_rows(), mapped.get());
+        std::vector<ColumnPtr> out_cols;
+        out_cols.reserve(static_cast<size_t>(out.schema().size()));
+        const bool in_place = t.output_attr == t.input_attr;
+        for (int c = 0; c < in.schema().size(); ++c) {
+          out_cols.push_back(in_place && c == col ? mapped
+                                                  : in.shared_column(c));
+        }
+        if (!in_place) out_cols.push_back(std::move(mapped));
+        out = Table::FromColumns(out.schema(), std::move(out_cols),
+                                 in.num_rows());
       } else if (t.output_attr == t.input_attr) {
-        for (const auto& row : in.rows()) {
-          std::vector<Value> r = row;
-          r[static_cast<size_t>(col)] = t.fn(r[static_cast<size_t>(col)]);
-          out.AddRow(std::move(r));
+        for (int64_t r = 0; r < in.num_rows(); ++r) {
+          std::vector<Value> row = in.row(r);
+          row[static_cast<size_t>(col)] = t.fn(row[static_cast<size_t>(col)]);
+          out.AddRow(row);
         }
       } else {
-        for (const auto& row : in.rows()) {
-          std::vector<Value> r = row;
-          r.push_back(t.fn(r[static_cast<size_t>(col)]));
-          out.AddRow(std::move(r));
+        for (int64_t r = 0; r < in.num_rows(); ++r) {
+          std::vector<Value> row = in.row(r);
+          row.push_back(t.fn(row[static_cast<size_t>(col)]));
+          out.AddRow(row);
         }
       }
       result.rows_processed += in.num_rows();
@@ -405,11 +520,17 @@ Status ComputeNodeOutput(const NodeStepContext& ctx, const WorkflowNode& node,
       for (AttrId a : node.aggregate.group_by) {
         cols.push_back(in.schema().IndexOf(a));
       }
+      std::vector<const Value*> data;
+      data.reserve(cols.size());
+      for (int c : cols) data.push_back(in.column_data(c));
+      // Output order follows the group map's iteration order, which is a
+      // function of the insertion sequence: single implementation so the
+      // order is one thing across engine modes.
       std::unordered_map<std::vector<Value>, int64_t, ValueVecHash> groups;
-      for (const auto& row : in.rows()) {
+      for (int64_t r = 0; r < in.num_rows(); ++r) {
         std::vector<Value> key;
         key.reserve(cols.size());
-        for (int c : cols) key.push_back(row[static_cast<size_t>(c)]);
+        for (const Value* d : data) key.push_back(d[r]);
         ++groups[std::move(key)];
       }
       const bool with_count = node.aggregate.count_attr != kInvalidAttr;
@@ -424,24 +545,43 @@ Status ComputeNodeOutput(const NodeStepContext& ctx, const WorkflowNode& node,
     case OpKind::kJoin: {
       const Table& left = input(0);
       const Table& right = input(1);
+      // Estimator-predicted build cardinality, when the plan carries one.
+      int64_t build_hint = -1;
+      if (!ctx.options->build_rows_hints.empty()) {
+        const auto hint_it = ctx.options->build_rows_hints.find(node.id);
+        if (hint_it != ctx.options->build_rows_hints.end()) {
+          build_hint = hint_it->second;
+        }
+      }
       Table rejects{left.schema()};
       out = node.join.algorithm == JoinAlgorithm::kSortMerge
                 ? SortMergeJoin(left, right, node.join.attr, &rejects)
-                : HashJoin(left, right, node.join.attr, &rejects);
+                : HashJoin(left, right, node.join.attr, &rejects, build_hint);
       result.rows_processed += left.num_rows() + right.num_rows();
       result.join_rejects[node.id] = std::move(rejects);
       // Right-side rejects: right rows whose key never occurs on the left.
       {
         const int lkey = left.schema().IndexOf(node.join.attr);
         const int rkey = right.schema().IndexOf(node.join.attr);
-        std::unordered_map<Value, bool> left_keys;
-        for (int64_t l = 0; l < left.num_rows(); ++l) {
-          left_keys.emplace(left.at(l, lkey), true);
-        }
         Table rrejects{right.schema()};
-        for (int64_t r = 0; r < right.num_rows(); ++r) {
-          if (left_keys.find(right.at(r, rkey)) == left_keys.end()) {
-            rrejects.AddRow(right.rows()[static_cast<size_t>(r)]);
+        if (VectorizedKernels()) {
+          const JoinHashTable left_keys(left.column_data(lkey),
+                                        left.num_rows());
+          const Value* rkeys = right.column_data(rkey);
+          SelVector sel;
+          for (int64_t r = 0; r < right.num_rows(); ++r) {
+            if (!left_keys.Contains(rkeys[r])) sel.push_back(r);
+          }
+          rrejects = Table::Gather(right, sel);
+        } else {
+          std::unordered_map<Value, bool> left_keys;
+          for (int64_t l = 0; l < left.num_rows(); ++l) {
+            left_keys.emplace(left.at(l, lkey), true);
+          }
+          for (int64_t r = 0; r < right.num_rows(); ++r) {
+            if (left_keys.find(right.at(r, rkey)) == left_keys.end()) {
+              rrejects.AppendRowFrom(right, r);
+            }
           }
         }
         result.join_rejects_right[node.id] = std::move(rrejects);
@@ -588,6 +728,21 @@ Status ExecuteNodeStep(const NodeStepContext& ctx, const WorkflowNode& node) {
   }
   FinishNodeStep(ctx, node, std::move(out), self_ns);
   return Status::OK();
+}
+
+std::unordered_map<NodeId, int64_t> BuildSideCardHints(
+    const Workflow& wf,
+    const std::unordered_map<NodeId, PlanMonitor>& monitors) {
+  std::unordered_map<NodeId, int64_t> hints;
+  if (monitors.empty()) return hints;
+  for (const WorkflowNode& node : wf.nodes()) {
+    if (node.kind != OpKind::kJoin || node.inputs.size() < 2) continue;
+    const auto it = monitors.find(node.inputs[1]);
+    if (it == monitors.end() || it->second.expected_rows < 0.0) continue;
+    hints[node.id] =
+        static_cast<int64_t>(it->second.expected_rows + 0.5);
+  }
+  return hints;
 }
 
 Result<ExecutionResult> Executor::Execute(const SourceMap& sources) const {

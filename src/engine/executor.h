@@ -73,6 +73,13 @@ struct ExecutorOptions {
   // salvage path instead of merely recording it.
   bool monitor_abort = false;
 
+  // Per-join build-side cardinality hints (node id -> predicted build
+  // rows), derived from the same ledger estimates that arm the monitors:
+  // the hash join sizes its table from the prediction instead of the row
+  // count when an annotation is present (see BuildSideCardHints). Purely a
+  // performance hint — outputs never depend on it.
+  std::unordered_map<NodeId, int64_t> build_rows_hints;
+
   // Defaults overridden by ETLOPT_MAX_ERROR_RATE.
   static ExecutorOptions FromEnv();
 };
@@ -254,15 +261,25 @@ Status ExecuteNodeStep(const NodeStepContext& ctx, const WorkflowNode& node);
 // Executes a join of two tables on a shared attribute (hash join; build on
 // the right input). When `rejects` is non-null it receives the left rows
 // with no match. Exposed for the instrumentation side-joins of the
-// union-division statistics.
+// union-division statistics. `build_rows_hint` > 0 presizes the build
+// table from the estimator's predicted build cardinality
+// (ExecutorOptions::build_rows_hints); <= 0 falls back to the row count.
 Table HashJoin(const Table& left, const Table& right, AttrId attr,
-               Table* rejects);
+               Table* rejects, int64_t build_rows_hint = -1);
 
 // Sort-merge implementation of the same join (identical output multiset,
 // different physical cost profile). The executor dispatches on
 // JoinSpec::algorithm; kAuto uses hash.
 Table SortMergeJoin(const Table& left, const Table& right, AttrId attr,
                     Table* rejects);
+
+// Derives ExecutorOptions::build_rows_hints from armed plan monitors: for
+// every join node whose build (right) input carries an expected
+// cardinality, the hash join reserves from the prediction instead of
+// discovering the size row by row.
+std::unordered_map<NodeId, int64_t> BuildSideCardHints(
+    const Workflow& wf,
+    const std::unordered_map<NodeId, PlanMonitor>& monitors);
 
 }  // namespace etlopt
 

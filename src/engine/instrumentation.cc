@@ -109,6 +109,16 @@ std::vector<int> KeyColumns(const Schema& schema, AttrMask attrs) {
   return cols;
 }
 
+// The key columns of `attrs` as raw column pointers — the zero-copy feed
+// the columnar tap kernels consume.
+std::vector<const Value*> KeyColumnData(const Table& t, AttrMask attrs) {
+  std::vector<const Value*> data;
+  for (int c : KeyColumns(t.schema(), attrs)) {
+    data.push_back(t.column_data(c));
+  }
+  return data;
+}
+
 int64_t MergedSliceRows(const std::vector<Table>& slices) {
   int64_t rows = 0;
   for (const Table& t : slices) rows += t.num_rows();
@@ -123,13 +133,13 @@ int64_t MergedDistinctCount(const std::vector<Table>& slices, AttrMask attrs,
   ForEachPartition(pool, static_cast<int>(slices.size()), [&](int p) {
     const Table& t = slices[static_cast<size_t>(p)];
     if (t.num_rows() == 0) return;
-    const std::vector<int> cols = KeyColumns(t.schema(), attrs);
+    const std::vector<const Value*> data = KeyColumnData(t, attrs);
     KeySet& set = sets[static_cast<size_t>(p)];
     set.reserve(static_cast<size_t>(t.num_rows()));
-    std::vector<Value> probe(cols.size());
-    for (const auto& row : t.rows()) {
-      for (size_t c = 0; c < cols.size(); ++c) {
-        probe[c] = row[static_cast<size_t>(cols[c])];
+    std::vector<Value> probe(data.size());
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      for (size_t c = 0; c < data.size(); ++c) {
+        probe[c] = data[c][r];
       }
       set.insert(probe);
     }
@@ -172,12 +182,16 @@ sketch::DistinctTap MergedDistinctTap(const std::vector<Table>& slices,
   ForEachPartition(pool, static_cast<int>(slices.size()), [&](int p) {
     const Table& t = slices[static_cast<size_t>(p)];
     if (t.num_rows() == 0) return;
+    sketch::DistinctTap& tap = parts[static_cast<size_t>(p)];
+    if (VectorizedKernels()) {
+      tap.AddColumns(KeyColumnData(t, attrs), t.num_rows());
+      return;
+    }
     const std::vector<int> cols = KeyColumns(t.schema(), attrs);
     std::vector<Value> probe(cols.size());
-    sketch::DistinctTap& tap = parts[static_cast<size_t>(p)];
-    for (const auto& row : t.rows()) {
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
       for (size_t c = 0; c < cols.size(); ++c) {
-        probe[c] = row[static_cast<size_t>(cols[c])];
+        probe[c] = t.at(r, cols[c]);
       }
       tap.AddRow(probe);
     }
@@ -200,12 +214,16 @@ sketch::HistTap MergedHistTap(const std::vector<Table>& slices, AttrMask attrs,
   ForEachPartition(pool, static_cast<int>(slices.size()), [&](int p) {
     const Table& t = slices[static_cast<size_t>(p)];
     if (t.num_rows() == 0) return;
+    sketch::HistTap& tap = parts[static_cast<size_t>(p)];
+    if (VectorizedKernels()) {
+      tap.AddColumns(KeyColumnData(t, attrs), t.num_rows());
+      return;
+    }
     const std::vector<int> cols = KeyColumns(t.schema(), attrs);
     std::vector<Value> probe(cols.size());
-    sketch::HistTap& tap = parts[static_cast<size_t>(p)];
-    for (const auto& row : t.rows()) {
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
       for (size_t c = 0; c < cols.size(); ++c) {
-        probe[c] = row[static_cast<size_t>(cols[c])];
+        probe[c] = t.at(r, cols[c]);
       }
       tap.AddRow(probe);
     }
@@ -300,6 +318,20 @@ Status StreamRejectSideJoin(const RejectJoinInputs& in, Emit&& emit) {
   const int rkey = in.r_table->schema().IndexOf(in.attr);
   if (lkey < 0 || rkey < 0) {
     return Status::Internal("join key missing from reject-join input");
+  }
+  if (VectorizedKernels()) {
+    // Same emission order as the map-based build: left rows in order, each
+    // key's matches in R build order (JoinHashTable groups preserve it).
+    const JoinHashTable ht(in.r_table->column_data(rkey),
+                           in.r_table->num_rows());
+    const Value* lvals = in.rejects->column_data(lkey);
+    for (int64_t l = 0; l < in.rejects->num_rows(); ++l) {
+      const JoinHashTable::RowRange range = ht.Lookup(lvals[l]);
+      for (const int64_t* p = range.begin; p != range.end; ++p) {
+        emit(l, *p);
+      }
+    }
+    return Status::OK();
   }
   std::unordered_map<Value, std::vector<int64_t>> build;
   build.reserve(static_cast<size_t>(in.r_table->num_rows()));
@@ -568,12 +600,17 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
                                       par.pool, &local.merge_ns)
                   : [&] {
                       sketch::DistinctTap serial(tap_config);
+                      if (VectorizedKernels()) {
+                        serial.AddColumns(KeyColumnData(*table, key.attrs),
+                                          table->num_rows());
+                        return serial;
+                      }
                       std::vector<int> cols =
                           KeyColumns(table->schema(), key.attrs);
                       std::vector<Value> probe(cols.size());
-                      for (const auto& row : table->rows()) {
+                      for (int64_t r = 0; r < table->num_rows(); ++r) {
                         for (size_t c = 0; c < cols.size(); ++c) {
-                          probe[c] = row[static_cast<size_t>(cols[c])];
+                          probe[c] = table->at(r, cols[c]);
                         }
                         serial.AddRow(probe);
                       }
@@ -607,12 +644,17 @@ Result<StatStore> ObserveStatistics(const BlockContext& ctx,
                                   par.pool, &local.merge_ns)
                   : [&] {
                       sketch::HistTap serial(tap_config, Arity(key));
+                      if (VectorizedKernels()) {
+                        serial.AddColumns(KeyColumnData(*table, key.attrs),
+                                          table->num_rows());
+                        return serial;
+                      }
                       std::vector<int> cols =
                           KeyColumns(table->schema(), key.attrs);
                       std::vector<Value> probe(cols.size());
-                      for (const auto& row : table->rows()) {
+                      for (int64_t r = 0; r < table->num_rows(); ++r) {
                         for (size_t c = 0; c < cols.size(); ++c) {
-                          probe[c] = row[static_cast<size_t>(cols[c])];
+                          probe[c] = table->at(r, cols[c]);
                         }
                         serial.AddRow(probe);
                       }

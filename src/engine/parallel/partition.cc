@@ -10,10 +10,9 @@ namespace parallel {
 uint64_t PartitionHashValue(Value v) {
   // splitmix64 finalizer: full-avalanche, constant-time, and stable across
   // platforms — unlike std::hash, whose result is implementation-defined.
-  uint64_t x = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
+  // Shared with the columnar join kernels (engine/column.h), so partition
+  // placement and hash-table slotting agree on the same mix.
+  return Hash64(v);
 }
 
 int HashPartitionIndex(Value v, int num_partitions) {
@@ -42,10 +41,10 @@ TablePartitions HashPartition(const Table& table, AttrId attr,
   const int col = table.schema().IndexOf(attr);
   ETLOPT_CHECK_MSG(col >= 0, "partition attribute missing from schema");
   TablePartitions out = MakeEmpty(table, num_partitions);
+  const Value* keys = table.column_data(col);
   for (int64_t r = 0; r < table.num_rows(); ++r) {
-    const int p = HashPartitionIndex(table.at(r, col), num_partitions);
-    out.parts[static_cast<size_t>(p)].AddRow(
-        table.rows()[static_cast<size_t>(r)]);
+    const int p = HashPartitionIndex(keys[r], num_partitions);
+    out.parts[static_cast<size_t>(p)].AppendRowFrom(table, r);
     out.row_index[static_cast<size_t>(p)].push_back(r);
   }
   return out;
@@ -58,8 +57,9 @@ TablePartitions RangePartition(const Table& table, AttrId attr,
   ETLOPT_CHECK_MSG(col >= 0, "partition attribute missing from schema");
   const int num_partitions = static_cast<int>(upper_bounds.size()) + 1;
   TablePartitions out = MakeEmpty(table, num_partitions);
+  const Value* keys = table.column_data(col);
   for (int64_t r = 0; r < table.num_rows(); ++r) {
-    const Value v = table.at(r, col);
+    const Value v = keys[r];
     int p = num_partitions - 1;
     for (size_t b = 0; b < upper_bounds.size(); ++b) {
       if (v <= upper_bounds[b]) {
@@ -67,8 +67,7 @@ TablePartitions RangePartition(const Table& table, AttrId attr,
         break;
       }
     }
-    out.parts[static_cast<size_t>(p)].AddRow(
-        table.rows()[static_cast<size_t>(r)]);
+    out.parts[static_cast<size_t>(p)].AppendRowFrom(table, r);
     out.row_index[static_cast<size_t>(p)].push_back(r);
   }
   return out;

@@ -4,18 +4,76 @@
 
 namespace etlopt {
 
+Table Table::FromColumns(Schema schema, std::vector<ColumnPtr> columns,
+                         int64_t rows) {
+  ETLOPT_CHECK(static_cast<int>(columns.size()) == schema.size());
+  for (const ColumnPtr& col : columns) {
+    ETLOPT_CHECK(col != nullptr &&
+                 static_cast<int64_t>(col->size()) == rows);
+  }
+  Table out;
+  out.schema_ = std::move(schema);
+  out.columns_ = std::move(columns);
+  out.num_rows_ = rows;
+  return out;
+}
+
+void Table::AppendRows(const Table& src) {
+  ETLOPT_CHECK(src.schema_ == schema_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const Column& in = *src.columns_[c];
+    Column& out = MutableColumn(c);
+    out.insert(out.end(), in.begin(), in.end());
+  }
+  num_rows_ += src.num_rows_;
+}
+
+std::vector<Value> Table::row(int64_t r) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const ColumnPtr& col : columns_) {
+    out.push_back((*col)[static_cast<size_t>(r)]);
+  }
+  return out;
+}
+
+std::vector<std::vector<Value>> Table::MaterializeRows() const {
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(static_cast<size_t>(num_rows_));
+  for (int64_t r = 0; r < num_rows_; ++r) rows.push_back(row(r));
+  return rows;
+}
+
+Table Table::Gather(const Table& src, const SelVector& sel) {
+  Table out{src.schema_};
+  for (size_t c = 0; c < out.columns_.size(); ++c) {
+    GatherColumn(*src.columns_[c], sel, out.columns_[c].get());
+  }
+  out.num_rows_ = static_cast<int64_t>(sel.size());
+  return out;
+}
+
+bool operator==(const Table& a, const Table& b) {
+  if (!(a.schema_ == b.schema_) || a.num_rows_ != b.num_rows_) return false;
+  for (size_t c = 0; c < a.columns_.size(); ++c) {
+    if (a.columns_[c] == b.columns_[c]) continue;  // shared: trivially equal
+    if (*a.columns_[c] != *b.columns_[c]) return false;
+  }
+  return true;
+}
+
 Histogram Table::BuildHistogram(AttrMask attrs) const {
   ETLOPT_CHECK_MSG(schema_.ContainsAll(attrs),
                    "histogram attributes must be in the table schema");
   Histogram hist(attrs);
-  std::vector<int> cols;
+  std::vector<const Value*> cols;
   for (int idx : MaskToIndices(attrs)) {
-    cols.push_back(schema_.IndexOf(static_cast<AttrId>(idx)));
+    cols.push_back(column_data(schema_.IndexOf(static_cast<AttrId>(idx))));
   }
   std::vector<Value> key(cols.size());
-  for (const auto& row : rows_) {
+  for (int64_t r = 0; r < num_rows_; ++r) {
     for (size_t i = 0; i < cols.size(); ++i) {
-      key[i] = row[static_cast<size_t>(cols[i])];
+      key[i] = cols[i][r];
     }
     hist.Add(key, 1);
   }
@@ -29,16 +87,15 @@ int64_t Table::CountDistinct(AttrMask attrs) const {
 std::string Table::ToString(const AttrCatalog& catalog, int64_t limit) const {
   std::ostringstream out;
   out << schema_.ToString(catalog) << " [" << num_rows() << " rows]\n";
-  int64_t shown = 0;
-  for (const auto& row : rows_) {
-    if (shown++ >= limit) {
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    if (r >= limit) {
       out << "  ...\n";
       break;
     }
     out << "  (";
-    for (size_t i = 0; i < row.size(); ++i) {
-      if (i != 0) out << ", ";
-      out << row[i];
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c != 0) out << ", ";
+      out << (*columns_[c])[static_cast<size_t>(r)];
     }
     out << ")\n";
   }

@@ -4,35 +4,90 @@
 #include <string>
 #include <vector>
 
+#include "engine/column.h"
 #include "etl/schema.h"
 #include "stats/histogram.h"
 
 namespace etlopt {
 
-// An in-memory record-set: the engine's unit of data. Row layout follows the
-// schema's attribute order.
+// An in-memory record-set: the engine's unit of data. Storage is typed
+// column-major — one contiguous Value array per schema attribute — with
+// columns shared copy-on-write between tables. Copying a Table (Source
+// fan-out, Materialize/Sink targets) shares every column in O(#columns);
+// the first mutation through AddRow/AppendRowFrom clones only the columns
+// still shared. Column order follows the schema's attribute order.
 class Table {
  public:
   Table() = default;
-  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  explicit Table(Schema schema) : schema_(std::move(schema)) {
+    columns_.reserve(static_cast<size_t>(schema_.size()));
+    for (int i = 0; i < schema_.size(); ++i) {
+      columns_.push_back(std::make_shared<Column>());
+    }
+  }
+
+  // Assembles a table directly from (possibly shared) columns: the
+  // copy-free Project/Transform swizzle. Every column must hold `rows`
+  // values.
+  static Table FromColumns(Schema schema, std::vector<ColumnPtr> columns,
+                           int64_t rows);
 
   const Schema& schema() const { return schema_; }
 
-  void AddRow(std::vector<Value> row) {
+  void AddRow(const std::vector<Value>& row) {
     ETLOPT_CHECK(static_cast<int>(row.size()) == schema_.size());
-    rows_.push_back(std::move(row));
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      MutableColumn(c).push_back(row[c]);
+    }
+    ++num_rows_;
   }
-  void Reserve(size_t n) { rows_.reserve(n); }
 
-  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
-  const std::vector<std::vector<Value>>& rows() const { return rows_; }
-
-  Value at(int64_t row, int col) const {
-    return rows_[static_cast<size_t>(row)][static_cast<size_t>(col)];
+  // Appends row `r` of `src` (same schema) without materializing it.
+  void AppendRowFrom(const Table& src, int64_t r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      MutableColumn(c).push_back((*src.columns_[c])[static_cast<size_t>(r)]);
+    }
+    ++num_rows_;
   }
+
+  // Appends every row of `src` (same schema) column-wise.
+  void AppendRows(const Table& src);
+
+  void Reserve(size_t n) {
+    for (size_t c = 0; c < columns_.size(); ++c) MutableColumn(c).reserve(n);
+  }
+
+  int64_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  const Value& at(int64_t row, int col) const {
+    return (*columns_[static_cast<size_t>(col)])[static_cast<size_t>(row)];
+  }
+
+  const Column& column(int col) const {
+    return *columns_[static_cast<size_t>(col)];
+  }
+  const Value* column_data(int col) const {
+    return columns_[static_cast<size_t>(col)]->data();
+  }
+  // The shareable column handle — what Project swizzles into its output.
+  const ColumnPtr& shared_column(int col) const {
+    return columns_[static_cast<size_t>(col)];
+  }
+
+  // Row `r` materialized in schema order (boundary/test use; hot paths read
+  // columns directly).
+  std::vector<Value> row(int64_t r) const;
+  // The full table materialized row-major (test/debug comparisons only).
+  std::vector<std::vector<Value>> MaterializeRows() const;
+
+  // out[i] = src[sel[i]], every column: the late-materialization step of
+  // the vectorized kernels.
+  static Table Gather(const Table& src, const SelVector& sel);
 
   // Builds the exact frequency histogram over `attrs` (all must be in the
-  // schema) — the engine-side collector of Section 3.2.5.
+  // schema) — the engine-side collector of Section 3.2.5, fed straight from
+  // the column arrays.
   Histogram BuildHistogram(AttrMask attrs) const;
 
   // Number of distinct value combinations of `attrs`.
@@ -40,9 +95,22 @@ class Table {
 
   std::string ToString(const AttrCatalog& catalog, int64_t limit = 10) const;
 
+  friend bool operator==(const Table& a, const Table& b);
+  friend bool operator!=(const Table& a, const Table& b) { return !(a == b); }
+
  private:
+  // The copy-on-write gate: a column shared with another table is cloned
+  // before its first mutation. use_count() == 1 is a relaxed atomic load,
+  // so unshared appends stay O(1).
+  Column& MutableColumn(size_t c) {
+    ColumnPtr& col = columns_[c];
+    if (col.use_count() != 1) col = std::make_shared<Column>(*col);
+    return *col;
+  }
+
   Schema schema_;
-  std::vector<std::vector<Value>> rows_;
+  std::vector<ColumnPtr> columns_;
+  int64_t num_rows_ = 0;
 };
 
 }  // namespace etlopt

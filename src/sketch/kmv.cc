@@ -32,6 +32,13 @@ void Kmv::AddHashWithKey(uint64_t hash, std::vector<Value> key) {
   entries_.emplace(hash, std::move(key));
 }
 
+bool Kmv::WouldAdmit(uint64_t hash) const {
+  if (static_cast<int>(entries_.size()) < k_) {
+    return entries_.count(hash) == 0;
+  }
+  return hash < entries_.rbegin()->first && entries_.count(hash) == 0;
+}
+
 int64_t Kmv::Estimate() const {
   const size_t m = entries_.size();
   if (!saturated_ || m < 2) {

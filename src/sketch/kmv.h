@@ -29,6 +29,12 @@ class Kmv {
   // Retains `key` as the payload of `hash` while it stays in the bottom-k.
   void AddHashWithKey(uint64_t hash, std::vector<Value> key);
 
+  // Whether AddHashWithKey(hash, ...) would retain a new entry right now.
+  // Pure admission test, no state change: columnar feeds use it to skip
+  // materializing key payloads for rows the sketch will reject (the
+  // rejection's saturation bookkeeping still needs an AddHash call).
+  bool WouldAdmit(uint64_t hash) const;
+
   int64_t Estimate() const;
 
   // 1-sigma relative standard error once saturated: ~ 1 / sqrt(k - 2);

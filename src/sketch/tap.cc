@@ -61,8 +61,32 @@ int64_t EstimateExactHistBytes(int64_t rows, int arity) {
   return rows * (HashEntryBytes(arity) + 8);
 }
 
+namespace {
+
+// The canonical composite-key hash (HashValues) computed from column
+// pointers: same FNV accumulation over the attribute-ordered values, same
+// Mix64 finalizer, so columnar feeds agree with per-row feeds bit for bit.
+inline uint64_t HashColumnsAt(const std::vector<const Value*>& cols,
+                              int64_t r) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Value* col : cols) {
+    h ^= static_cast<uint64_t>(col[r]);
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace
+
 void DistinctTap::AddRow(const std::vector<Value>& key) {
   hll_.AddHash(HashValues(key));
+}
+
+void DistinctTap::AddColumns(const std::vector<const Value*>& cols,
+                             int64_t rows) {
+  for (int64_t r = 0; r < rows; ++r) {
+    hll_.AddHash(HashColumnsAt(cols, r));
+  }
 }
 
 HistTap::HistTap(const TapSketchConfig& config, int arity)
@@ -75,6 +99,24 @@ void HistTap::AddRow(const std::vector<Value>& key) {
   cm_.AddHash(hash, 1);
   kmv_.AddHashWithKey(hash, key);
   ++rows_;
+}
+
+void HistTap::AddColumns(const std::vector<const Value*>& cols,
+                         int64_t rows) {
+  std::vector<Value> key(cols.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    const uint64_t hash = HashColumnsAt(cols, r);
+    cm_.AddHash(hash, 1);
+    if (kmv_.WouldAdmit(hash)) {
+      for (size_t c = 0; c < cols.size(); ++c) key[c] = cols[c][r];
+      kmv_.AddHashWithKey(hash, key);
+    } else {
+      // Duplicate or over-threshold hash: AddHash runs the same rejection
+      // path (including the sticky saturation flag) without a key payload.
+      kmv_.AddHash(hash);
+    }
+    ++rows_;
+  }
 }
 
 Status HistTap::Merge(const HistTap& other) {

@@ -45,6 +45,10 @@ class DistinctTap {
       : hll_(config.hll_precision) {}
 
   void AddRow(const std::vector<Value>& key);
+  // Columnar feed: hashes rows [0, rows) straight off the key-column
+  // arrays (values in attribute order). Bit-identical state to AddRow per
+  // row — same hash chain, no per-row key materialization.
+  void AddColumns(const std::vector<const Value*>& cols, int64_t rows);
 
   // Folds a per-partition tap into this one (register-wise max). Merging
   // the taps of a partitioned stream yields bit-identical state to one tap
@@ -73,6 +77,11 @@ class HistTap {
   HistTap(const TapSketchConfig& config, int arity);
 
   void AddRow(const std::vector<Value>& key);
+  // Columnar feed, bit-identical to AddRow per row: Count-Min and the
+  // row counter consume the column-pass hash directly; the KMV key payload
+  // is materialized only for rows its admission test would retain (the
+  // rejected-row saturation bookkeeping still runs).
+  void AddColumns(const std::vector<const Value*>& cols, int64_t rows);
 
   // Folds a per-partition tap into this one: Count-Min counters add, the
   // KMV sample unions then re-truncates to bottom-k, and rows_seen sums —

@@ -18,8 +18,9 @@ ApproxHistogram ApproxHistogram::FromTable(const Table& table, AttrId attr,
   ApproxHistogram h(attr, domain_size, bucket_width);
   const int col = table.schema().IndexOf(attr);
   ETLOPT_CHECK_MSG(col >= 0, "attribute not in table schema");
-  for (const auto& row : table.rows()) {
-    h.Add(row[static_cast<size_t>(col)]);
+  const Value* data = table.column_data(col);
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    h.Add(data[r]);
   }
   return h;
 }

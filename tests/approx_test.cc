@@ -25,8 +25,8 @@ TEST(ApproxHistogramTest, WidthOneIsExact) {
                    static_cast<double>(joined.num_rows()));
   const Predicate pred{a, CompareOp::kLe, 20};
   int64_t exact = 0;
-  for (const auto& row : t1.rows()) {
-    if (pred.Matches(row[0])) ++exact;
+  for (int64_t r = 0; r < t1.num_rows(); ++r) {
+    if (pred.Matches(t1.at(r, 0))) ++exact;
   }
   EXPECT_DOUBLE_EQ(h1.EstimateSelectCount(pred), static_cast<double>(exact));
 }

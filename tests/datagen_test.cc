@@ -15,8 +15,8 @@ TEST(TableGenTest, SequentialAndZipfColumns) {
   TableSpec spec;
   spec.name = "T";
   spec.rows = 500;
-  spec.columns = {ColumnSpec{pk, ColumnGen::kSequential, 0.0, 0, 0.0},
-                  ColumnSpec{z, ColumnGen::kZipf, 1.2, 0, 0.0}};
+  spec.columns = {ColumnSpec{pk, ColumnGen::kSequential, 0.0, 0, 0.0, {}},
+                  ColumnSpec{z, ColumnGen::kZipf, 1.2, 0, 0.0, {}}};
   Rng rng(3);
   const Table t = GenerateTable(catalog, spec, rng);
   ASSERT_EQ(t.num_rows(), 500);
@@ -41,7 +41,7 @@ TEST(TableGenTest, FkZipfRespectsMatchRangeAndMisses) {
   TableSpec spec;
   spec.name = "F";
   spec.rows = 2000;
-  spec.columns = {ColumnSpec{fk, ColumnGen::kFkZipf, 1.2, 80, 0.1}};
+  spec.columns = {ColumnSpec{fk, ColumnGen::kFkZipf, 1.2, 80, 0.1, {}}};
   Rng rng(11);
   const Table t = GenerateTable(catalog, spec, rng);
   int64_t dangling = 0;
@@ -62,7 +62,7 @@ TEST(TableGenTest, RowScaleShrinksConsistently) {
   TableSpec spec;
   spec.name = "T";
   spec.rows = 1000;
-  spec.columns = {ColumnSpec{pk, ColumnGen::kSequential, 0.0, 0, 0.0}};
+  spec.columns = {ColumnSpec{pk, ColumnGen::kSequential, 0.0, 0, 0.0, {}}};
   Rng rng(3);
   const Table t = GenerateTable(catalog, spec, rng, 0.05);
   EXPECT_EQ(t.num_rows(), 50);

@@ -68,11 +68,11 @@ TEST_F(ExecutorTest, JoinCardinalityMatchesBruteForce) {
   const Table& product = ex_.sources.at("Product");
   const Table& customer = ex_.sources.at("Customer");
   int64_t brute = 0;
-  for (const auto& o : orders.rows()) {
-    for (const auto& p : product.rows()) {
-      if (o[0] != p[0]) continue;
-      for (const auto& c : customer.rows()) {
-        if (o[1] == c[0]) ++brute;
+  for (int64_t o = 0; o < orders.num_rows(); ++o) {
+    for (int64_t p = 0; p < product.num_rows(); ++p) {
+      if (orders.at(o, 0) != product.at(p, 0)) continue;
+      for (int64_t c = 0; c < customer.num_rows(); ++c) {
+        if (orders.at(o, 1) == customer.at(c, 0)) ++brute;
       }
     }
   }
@@ -125,12 +125,12 @@ TEST(ExecutorOpsTest, AggregateWithCountColumn) {
   const Table& out = result.node_outputs.at(g);
   ASSERT_EQ(out.num_rows(), 2);
   // Find the group with key 3.
-  for (const auto& row : out.rows()) {
-    if (row[0] == 3) {
-      EXPECT_EQ(row[1], 2);
+  for (int64_t r = 0; r < out.num_rows(); ++r) {
+    if (out.at(r, 0) == 3) {
+      EXPECT_EQ(out.at(r, 1), 2);
     }
-    if (row[0] == 4) {
-      EXPECT_EQ(row[1], 1);
+    if (out.at(r, 0) == 4) {
+      EXPECT_EQ(out.at(r, 1), 1);
     }
   }
 }

@@ -66,8 +66,8 @@ TEST_P(HistogramAlgebraSweep, S1S2MatchEngineFilter) {
   const Predicate pred{a_, CompareOp::kLe, domain_ / 3};
   // Brute force through the engine's row filter.
   Table filtered{t.schema()};
-  for (const auto& row : t.rows()) {
-    if (pred.Matches(row[0])) filtered.AddRow(row);
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    if (pred.Matches(t.at(r, 0))) filtered.AppendRowFrom(t, r);
   }
   const AttrMask abit = AttrMask{1} << a_;
   const AttrMask bbit = AttrMask{1} << b_;
@@ -86,8 +86,8 @@ TEST_P(HistogramAlgebraSweep, G2CollapseEqualsGroupByDistribution) {
   // Engine group-by (one row per group).
   std::unordered_map<std::vector<Value>, bool, ValueVecHash> seen;
   Table grouped{Schema({a_, c_})};
-  for (const auto& row : t.rows()) {
-    if (seen.emplace(row, true).second) grouped.AddRow(row);
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    if (seen.emplace(t.row(r), true).second) grouped.AppendRowFrom(t, r);
   }
   const AttrMask cbit = AttrMask{1} << c_;
   EXPECT_TRUE(t.BuildHistogram(group).CollapseToDistinct().Marginalize(

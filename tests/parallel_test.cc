@@ -119,7 +119,7 @@ TEST(PartitionTest, HashPlacementIsDeterministicAndComplete) {
       EXPECT_TRUE(seen.insert(orig).second);
       EXPECT_GT(orig, prev);  // in-slice order = original order
       prev = orig;
-      EXPECT_EQ(parts.parts[p].rows()[i], t.rows()[static_cast<size_t>(orig)]);
+      EXPECT_EQ(parts.parts[p].row(static_cast<int64_t>(i)), t.row(orig));
       EXPECT_EQ(HashPartitionIndex(t.at(orig, 0), 4), p);
     }
   }
@@ -153,7 +153,8 @@ void ExpectTablesIdentical(const Table& a, const Table& b,
                            const std::string& what) {
   ASSERT_EQ(a.schema().mask(), b.schema().mask()) << what;
   ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
-  EXPECT_EQ(a.rows(), b.rows()) << what << ": row content or order differs";
+  EXPECT_EQ(a.MaterializeRows(), b.MaterializeRows())
+      << what << ": row content or order differs";
 }
 
 // Bit-identical equivalence of everything downstream consumers read:
